@@ -1,0 +1,78 @@
+// Command experiments regenerates every figure and theorem of the paper as
+// an executable experiment (see DESIGN.md §3 for the index).
+//
+// Usage:
+//
+//	experiments [-seed N] [-quick] [-csv DIR] [IDs...]
+//
+// With no IDs, all experiments run in order. Exit status 1 if any claim
+// fails to reproduce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"popsim/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	seed := fs.Int64("seed", 42, "random seed for all runs")
+	quick := fs.Bool("quick", false, "reduced sweeps (smoke mode)")
+	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Claim)
+		}
+		return nil
+	}
+
+	ids := fs.Args()
+	if len(ids) == 0 {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	failed := 0
+	for _, id := range ids {
+		res, out, err := experiments.Run(strings.ToUpper(id), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		if !res.Pass {
+			failed++
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			for i, t := range res.Tables {
+				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(res.ID), i+1)
+				if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(t.CSV()), 0o644); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) did not reproduce", failed)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQuickSingle(t *testing.T) {
+	if err := run([]string{"-quick", "-seed", "7", "FIG1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLowercaseIDAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-csv", dir, "thm33"}); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "thm33_*.csv"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no CSV written: %v %v", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil || len(data) == 0 {
+		t.Fatalf("empty CSV: %v", err)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if err := run([]string{"NOPE"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,183 @@
+// Command ppsim runs a population protocol — natively or through one of the
+// paper's simulators — under a chosen interaction model and omission
+// adversary, and prints progress, the final configuration, and the
+// simulation-verification verdict.
+//
+// Examples:
+//
+//	ppsim -protocol majority -n 16                          # native TW
+//	ppsim -protocol pairing -sim skno -o 2 -model I3 \
+//	      -omission-rate 0.05 -omission-budget 2            # Theorem 4.1
+//	ppsim -protocol leader -sim sid -model IO -n 8          # Theorem 4.5
+//	ppsim -protocol majority -sim naming -model IO -n 8     # Theorem 4.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"popsim"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ppsim:", err)
+		os.Exit(1)
+	}
+}
+
+// namedWorkload bundles a protocol with its standard initial configuration
+// and convergence predicate.
+type namedWorkload struct {
+	proto pp.TwoWay
+	cfg   func(n int) pp.Configuration
+	done  func(n int) func(pp.Configuration) bool
+}
+
+func workloadByName(name string) (namedWorkload, error) {
+	switch name {
+	case "pairing":
+		return namedWorkload{
+			proto: protocols.Pairing{},
+			cfg:   func(n int) pp.Configuration { return protocols.PairingConfig((n+1)/2, n/2) },
+			done: func(n int) func(pp.Configuration) bool {
+				c, p := (n+1)/2, n/2
+				return func(cf pp.Configuration) bool { return protocols.PairingDone(cf, c, p) }
+			},
+		}, nil
+	case "majority":
+		return namedWorkload{
+			proto: protocols.Majority{},
+			cfg:   func(n int) pp.Configuration { return protocols.MajorityConfig(n/2+1, n-n/2-1) },
+			done: func(n int) func(pp.Configuration) bool {
+				return func(cf pp.Configuration) bool { return protocols.MajorityConverged(cf, "A") }
+			},
+		}, nil
+	case "leader":
+		return namedWorkload{
+			proto: protocols.LeaderElection{},
+			cfg:   protocols.LeaderConfig,
+			done:  func(n int) func(pp.Configuration) bool { return protocols.LeaderElected },
+		}, nil
+	case "parity":
+		return namedWorkload{
+			proto: protocols.Modulo{M: 2},
+			cfg:   func(n int) pp.Configuration { return protocols.ModuloConfig(n, n/2+1) },
+			done: func(n int) func(pp.Configuration) bool {
+				want := (n/2 + 1) % 2
+				return func(cf pp.Configuration) bool { return protocols.ModuloConverged(cf, want) }
+			},
+		}, nil
+	case "or":
+		return namedWorkload{
+			proto: protocols.Or{},
+			cfg:   func(n int) pp.Configuration { return protocols.OrConfig(n, 1) },
+			done: func(n int) func(pp.Configuration) bool {
+				return func(cf pp.Configuration) bool { return protocols.OrConverged(cf, protocols.One) }
+			},
+		}, nil
+	}
+	return namedWorkload{}, fmt.Errorf("unknown protocol %q (pairing|majority|leader|parity|or)", name)
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ppsim", flag.ContinueOnError)
+	protoName := fs.String("protocol", "majority", "workload: pairing|majority|leader|parity|or")
+	simName := fs.String("sim", "", "simulator: skno|sid|naming (empty = run natively)")
+	modelName := fs.String("model", "TW", "interaction model: TW|T1|T2|T3|IT|IO|I1|I2|I3|I4")
+	n := fs.Int("n", 8, "population size")
+	o := fs.Int("o", 1, "omission bound for skno")
+	seed := fs.Int64("seed", 1, "random seed")
+	horizon := fs.Int("horizon", 2_000_000, "max scheduled interactions")
+	omRate := fs.Float64("omission-rate", 0, "adversary omission rate per scheduled interaction")
+	omBudget := fs.Int("omission-budget", -1, "adversary omission budget (-1 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w, err := workloadByName(*protoName)
+	if err != nil {
+		return err
+	}
+	kind, err := model.ParseKind(*modelName)
+	if err != nil {
+		return err
+	}
+
+	spec := popsim.SystemSpec{
+		Model:   kind,
+		Initial: w.cfg(*n),
+		Seed:    *seed,
+	}
+	switch *simName {
+	case "":
+		if kind.OneWay() {
+			spec.Protocol = pp.OneWayAdapter{P: w.proto}
+		} else {
+			spec.Protocol = w.proto
+		}
+	case "skno":
+		s := popsim.SKnO(w.proto, *o)
+		if !kind.OneWay() {
+			s = s.TwoWayEmbedded()
+		}
+		spec.Simulate = &s
+	case "sid":
+		s := popsim.SID(w.proto)
+		if !kind.OneWay() {
+			s = s.TwoWayEmbedded()
+		}
+		spec.Simulate = &s
+	case "naming":
+		s := popsim.Naming(w.proto, *n)
+		if !kind.OneWay() {
+			s = s.TwoWayEmbedded()
+		}
+		spec.Simulate = &s
+	default:
+		return fmt.Errorf("unknown simulator %q (skno|sid|naming)", *simName)
+	}
+	if *omRate > 0 {
+		if *omBudget >= 0 {
+			spec.Adversary = popsim.BudgetedAdversary(*seed+1, *omRate, *omBudget)
+		} else {
+			spec.Adversary = popsim.UOAdversary(*seed+1, *omRate, 1)
+		}
+	}
+
+	sys, err := popsim.NewSystem(spec)
+	if err != nil {
+		return err
+	}
+	done, err := sys.RunUntil(w.done(*n), *horizon)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol=%s sim=%s model=%v n=%d\n", *protoName, orNative(*simName), kind, *n)
+	fmt.Printf("steps=%d omissions=%d simulated-events=%d converged=%v\n",
+		sys.Steps(), sys.Omissions(), sys.SimulatedSteps(), done)
+	fmt.Printf("final: %v\n", sys.Projected())
+	if spec.Simulate != nil {
+		rep, err := sys.VerifySimulation()
+		if err != nil {
+			return fmt.Errorf("simulation verification FAILED: %w", err)
+		}
+		fmt.Printf("verification: OK (%d simulated interactions matched, %d in flight, %d identity events dropped)\n",
+			len(rep.Pairs), rep.Unmatched(), len(rep.DroppedIdentity))
+	}
+	if !done {
+		return fmt.Errorf("did not converge within %d interactions", *horizon)
+	}
+	return nil
+}
+
+func orNative(s string) string {
+	if s == "" {
+		return "native"
+	}
+	return s
+}

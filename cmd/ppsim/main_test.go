@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunNative(t *testing.T) {
+	if err := run([]string{"-protocol", "majority", "-n", "8", "-seed", "3"}); err != nil {
+		t.Fatalf("native run: %v", err)
+	}
+}
+
+func TestRunNativeOneWayModel(t *testing.T) {
+	// OR is IO-computable natively via the one-way adapter.
+	if err := run([]string{"-protocol", "or", "-model", "IO", "-n", "6", "-seed", "2"}); err != nil {
+		t.Fatalf("native IO run: %v", err)
+	}
+}
+
+func TestRunSimulators(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "pairing", "-sim", "skno", "-o", "1", "-model", "I3",
+			"-omission-rate", "0.05", "-omission-budget", "1", "-n", "4", "-seed", "5"},
+		{"-protocol", "leader", "-sim", "sid", "-model", "IO", "-n", "6", "-seed", "6"},
+		{"-protocol", "majority", "-sim", "naming", "-model", "IO", "-n", "6", "-seed", "7"},
+		{"-protocol", "pairing", "-sim", "sid", "-model", "T3", "-n", "4", "-seed", "8",
+			"-omission-rate", "0.1"},
+	}
+	for _, args := range cases {
+		args := args
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := run(args); err != nil {
+				t.Fatalf("ppsim %v: %v", args, err)
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-protocol", "nope"},
+		{"-model", "XX"},
+		{"-sim", "bogus"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	for _, name := range []string{"pairing", "majority", "leader", "parity", "or"} {
+		if _, err := workloadByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := workloadByName("threshold-of-doom"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

@@ -1,0 +1,77 @@
+// The dark side of the paper: this example *breaks* a simulator, executing
+// the Lemma 1 construction of Theorem 3.1 step by step. An adversary builds
+// the run I* that fools t pairs of agents — each believing it lives in a
+// two-agent system — plus one extra agent, extracting t+1 irrevocable
+// "served" states from only t producers: the Pairing safety property is
+// violated the moment the number of omissions reaches the simulator's
+// fastest transition time (FTT).
+//
+//	go run ./examples/adversarial
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"popsim/internal/adversary"
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const promisedOmissions = 1 // what SKnO is told to survive
+	prot := protocols.Pairing{}
+	s := sim.SKnO{P: prot, O: promisedOmissions}
+	victim := adversary.Victim{
+		Name:     s.Name(),
+		Model:    model.I3,
+		Protocol: s,
+		Wrap:     func(st pp.State, origin int) pp.State { return s.Wrap(st, origin) },
+		Project:  func(st pp.State) pp.State { return st.(sim.Wrapped).Simulated() },
+	}
+
+	// Phase 1: measure the victim's FTT on a two-agent system (p, c).
+	ftt, runI, err := victim.FindFTT(protocols.Producer, protocols.Consumer, prot.Delta, 40)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("victim: %s\n", victim.Name)
+	fmt.Printf("fastest transition time on two agents: %d interactions (%v)\n", ftt, runI)
+
+	// Phase 2: assemble I* on 2t+2 agents.
+	l1, err := victim.BuildLemma1(protocols.Producer, protocols.Consumer, prot.Delta, 1, 40, 6000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("I*: %d interactions over %d agents, %d omissions (> promised %d)\n",
+		len(l1.IStar), l1.Agents, l1.Omissions, promisedOmissions)
+
+	// Phase 3: execute and watch safety break.
+	initial := l1.InitialConfig(victim, protocols.Producer, protocols.Consumer)
+	eng, err := engine.New(model.I3, victim.Protocol, initial, sched.NewScript(l1.IStar, nil))
+	if err != nil {
+		return err
+	}
+	if err := eng.RunSteps(len(l1.IStar)); err != nil {
+		return err
+	}
+	proj := sim.Project(eng.Config())
+	served, producers := proj.Count(protocols.Served), l1.FTT
+	fmt.Printf("after I*: served = %d, producers = %d\n", served, producers)
+	if protocols.PairingSafe(proj, producers) {
+		return fmt.Errorf("construction failed — safety held")
+	}
+	fmt.Println("SAFETY VIOLATED — as Theorem 3.1 predicts: no simulator survives")
+	fmt.Println("once omissions reach its FTT, however much memory it has.")
+	return nil
+}

@@ -1,0 +1,45 @@
+// Quickstart: run the 4-state exact-majority protocol natively in the
+// standard two-way model and watch it converge.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"popsim"
+	"popsim/internal/protocols"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 9 agents voting A, 7 voting B: A has the majority.
+	initial := protocols.MajorityConfig(9, 7)
+
+	sys, err := popsim.NewSystem(popsim.SystemSpec{
+		Model:    popsim.TW, // standard two-way interactions
+		Protocol: protocols.Majority{},
+		Initial:  initial,
+		Seed:     2024,
+	})
+	if err != nil {
+		return err
+	}
+
+	converged, err := sys.RunUntil(func(c popsim.Configuration) bool {
+		return protocols.MajorityConverged(c, "A")
+	}, 1_000_000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("population: 9×A vs 7×B\n")
+	fmt.Printf("converged to majority A: %v after %d interactions\n", converged, sys.Steps())
+	fmt.Printf("final configuration: %v\n", sys.Projected())
+	return nil
+}

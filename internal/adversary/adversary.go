@@ -1,0 +1,177 @@
+// Package adversary implements the omission adversaries of Section 2.3 of
+// the paper — the malignant UO adversary, the benign eventually-non-omissive
+// NO adversary, and the single-omission NO1 adversary — together with the
+// constructive adversaries used in the impossibility proofs of Section 3
+// (see construction.go).
+//
+// Per Definitions 1 and 2, an adversary transforms a run by *inserting*
+// (finite bursts of) omissive interactions between the interactions of the
+// underlying fair run; it never removes or reorders the original
+// interactions, so fairness of the substrate is preserved.
+package adversary
+
+import (
+	"math/rand"
+
+	"popsim/internal/pp"
+)
+
+// Adversary decides, before each interaction of the underlying run, which
+// omissive interactions to insert.
+type Adversary interface {
+	// Inject is called before the idx-th scheduled interaction `next` is
+	// delivered, for a population of n agents. It returns the omissive
+	// interactions to insert at this point (possibly none). Every
+	// returned interaction must be omissive and valid for n agents.
+	Inject(idx int, next pp.Interaction, n int) []pp.Interaction
+}
+
+// None is the absent adversary: no omissions ever.
+type None struct{}
+
+var _ Adversary = None{}
+
+// Inject implements Adversary.
+func (None) Inject(int, pp.Interaction, int) []pp.Interaction { return nil }
+
+// UO is the Unfair Omissive adversary of Definition 1: at every point it may
+// insert a finite burst of omissive interactions, forever. This
+// implementation inserts, with probability Rate, a burst of 1..MaxBurst
+// omissive interactions between random pairs, with the omission side drawn
+// from Sides.
+type UO struct {
+	rng      *rand.Rand
+	rate     float64
+	maxBurst int
+	sides    []pp.OmissionSide
+	budget   int // < 0 means unlimited
+	spent    int
+}
+
+var _ Adversary = (*UO)(nil)
+
+// NewUO returns a UO adversary inserting bursts with the given probability
+// per scheduled interaction. sides lists the omission sides to draw from;
+// if empty, OmissionBoth is used (full omission — the natural notion in
+// one-way models).
+func NewUO(seed int64, rate float64, maxBurst int, sides ...pp.OmissionSide) *UO {
+	if maxBurst < 1 {
+		maxBurst = 1
+	}
+	if len(sides) == 0 {
+		sides = []pp.OmissionSide{pp.OmissionBoth}
+	}
+	return &UO{
+		rng:      rand.New(rand.NewSource(seed)),
+		rate:     rate,
+		maxBurst: maxBurst,
+		sides:    append([]pp.OmissionSide(nil), sides...),
+		budget:   -1,
+	}
+}
+
+// NewBudgeted returns a UO-style adversary that inserts at most budget
+// omissions in total. This realizes the "knowledge on omissions" assumption
+// of Section 4.1: the simulator is promised O(I) ≤ budget.
+func NewBudgeted(seed int64, rate float64, budget int, sides ...pp.OmissionSide) *UO {
+	a := NewUO(seed, rate, 1, sides...)
+	a.budget = budget
+	return a
+}
+
+// Spent reports how many omissive interactions have been inserted so far.
+func (a *UO) Spent() int { return a.spent }
+
+// Inject implements Adversary.
+func (a *UO) Inject(_ int, _ pp.Interaction, n int) []pp.Interaction {
+	if n < 2 || a.rate <= 0 {
+		return nil
+	}
+	if a.budget >= 0 && a.spent >= a.budget {
+		return nil
+	}
+	if a.rng.Float64() >= a.rate {
+		return nil
+	}
+	burst := 1 + a.rng.Intn(a.maxBurst)
+	if a.budget >= 0 && a.spent+burst > a.budget {
+		burst = a.budget - a.spent
+	}
+	out := make([]pp.Interaction, 0, burst)
+	for i := 0; i < burst; i++ {
+		s := a.rng.Intn(n)
+		r := a.rng.Intn(n - 1)
+		if r >= s {
+			r++
+		}
+		out = append(out, pp.Interaction{
+			Starter:  s,
+			Reactor:  r,
+			Omission: a.sides[a.rng.Intn(len(a.sides))],
+		})
+	}
+	a.spent += len(out)
+	return out
+}
+
+// NO is the Eventually Non-Omissive adversary of Definition 2: it behaves
+// like UO until a horizon (a number of scheduled interactions), after which
+// it stops inserting omissions forever.
+type NO struct {
+	inner   *UO
+	horizon int
+}
+
+var _ Adversary = (*NO)(nil)
+
+// NewNO returns an NO adversary that inserts omissions (like UO with the
+// given rate/burst) only before the idx-th scheduled interaction.
+func NewNO(seed int64, rate float64, maxBurst, horizon int, sides ...pp.OmissionSide) *NO {
+	return &NO{inner: NewUO(seed, rate, maxBurst, sides...), horizon: horizon}
+}
+
+// Spent reports how many omissions have been inserted so far.
+func (a *NO) Spent() int { return a.inner.Spent() }
+
+// Inject implements Adversary.
+func (a *NO) Inject(idx int, next pp.Interaction, n int) []pp.Interaction {
+	if idx >= a.horizon {
+		return nil
+	}
+	return a.inner.Inject(idx, next, n)
+}
+
+// NO1 is the weakest adversary of Definition 2: it inserts at most one
+// omissive interaction in the entire execution, at a chosen index.
+type NO1 struct {
+	at    int
+	make_ func(n int) pp.Interaction
+	done  bool
+}
+
+var _ Adversary = (*NO1)(nil)
+
+// NewNO1 returns an adversary inserting exactly one omissive interaction
+// before scheduled interaction at, built by mk (which receives n). If mk is
+// nil a default (0,1) full omission is used.
+func NewNO1(at int, mk func(n int) pp.Interaction) *NO1 {
+	if mk == nil {
+		mk = func(int) pp.Interaction {
+			return pp.Interaction{Starter: 0, Reactor: 1, Omission: pp.OmissionBoth}
+		}
+	}
+	return &NO1{at: at, make_: mk}
+}
+
+// Inject implements Adversary.
+func (a *NO1) Inject(idx int, _ pp.Interaction, n int) []pp.Interaction {
+	if a.done || idx != a.at || n < 2 {
+		return nil
+	}
+	a.done = true
+	it := a.make_(n)
+	if !it.Omission.IsOmissive() {
+		it.Omission = pp.OmissionBoth
+	}
+	return []pp.Interaction{it}
+}

@@ -1,0 +1,112 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"popsim/internal/adversary"
+	"popsim/internal/pp"
+)
+
+func TestNoneNeverInjects(t *testing.T) {
+	a := adversary.None{}
+	for i := 0; i < 100; i++ {
+		if got := a.Inject(i, pp.Interaction{Starter: 0, Reactor: 1}, 5); len(got) != 0 {
+			t.Fatalf("None injected %v", got)
+		}
+	}
+}
+
+func TestUOInjectsOmissionsForever(t *testing.T) {
+	a := adversary.NewUO(1, 1.0, 3)
+	total := 0
+	for i := 0; i < 500; i++ {
+		for _, om := range a.Inject(i, pp.Interaction{}, 6) {
+			if !om.Omission.IsOmissive() {
+				t.Fatalf("UO injected non-omissive %v", om)
+			}
+			if !om.Valid(6) {
+				t.Fatalf("UO injected invalid %v", om)
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("UO with rate 1.0 injected nothing")
+	}
+	if a.Spent() != total {
+		t.Fatalf("Spent = %d, want %d", a.Spent(), total)
+	}
+}
+
+func TestBudgetedStopsAtBudget(t *testing.T) {
+	for _, budget := range []int{0, 1, 5} {
+		a := adversary.NewBudgeted(2, 1.0, budget)
+		total := 0
+		for i := 0; i < 1000; i++ {
+			total += len(a.Inject(i, pp.Interaction{}, 4))
+		}
+		if total != budget {
+			t.Errorf("budget %d: injected %d", budget, total)
+		}
+	}
+}
+
+func TestUOSidesRespected(t *testing.T) {
+	a := adversary.NewUO(3, 1.0, 1, pp.OmissionReactor)
+	for i := 0; i < 200; i++ {
+		for _, om := range a.Inject(i, pp.Interaction{}, 3) {
+			if om.Omission != pp.OmissionReactor {
+				t.Fatalf("wrong side %v", om.Omission)
+			}
+		}
+	}
+}
+
+func TestNOStopsAtHorizon(t *testing.T) {
+	a := adversary.NewNO(4, 1.0, 2, 50)
+	before, after := 0, 0
+	for i := 0; i < 500; i++ {
+		n := len(a.Inject(i, pp.Interaction{}, 4))
+		if i < 50 {
+			before += n
+		} else {
+			after += n
+		}
+	}
+	if before == 0 {
+		t.Error("NO injected nothing before the horizon")
+	}
+	if after != 0 {
+		t.Errorf("NO injected %d omissions after the horizon", after)
+	}
+}
+
+func TestNO1InjectsExactlyOnce(t *testing.T) {
+	a := adversary.NewNO1(10, nil)
+	total := 0
+	for i := 0; i < 100; i++ {
+		oms := a.Inject(i, pp.Interaction{}, 2)
+		if len(oms) > 0 && i != 10 {
+			t.Fatalf("NO1 injected at %d", i)
+		}
+		for _, om := range oms {
+			if !om.Omission.IsOmissive() {
+				t.Fatalf("NO1 injected non-omissive %v", om)
+			}
+		}
+		total += len(oms)
+	}
+	if total != 1 {
+		t.Fatalf("NO1 injected %d omissions, want 1", total)
+	}
+}
+
+func TestNO1CustomBuilderForcedOmissive(t *testing.T) {
+	a := adversary.NewNO1(0, func(n int) pp.Interaction {
+		return pp.Interaction{Starter: 0, Reactor: 1} // adversary "forgot" the omission
+	})
+	oms := a.Inject(0, pp.Interaction{}, 2)
+	if len(oms) != 1 || !oms[0].Omission.IsOmissive() {
+		t.Fatalf("NO1 must force omissive interactions, got %v", oms)
+	}
+}

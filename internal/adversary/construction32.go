@@ -1,0 +1,190 @@
+package adversary
+
+import (
+	"fmt"
+
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/sched"
+)
+
+// This file implements the Theorem 3.2 machinery: in the interaction models
+// T1, I1 and I2, two-way simulation is impossible even under the NO1
+// adversary (at most one omission, ever). The theorem's proof rewrites the
+// Lemma-1 sequences Jk so that the final run I* contains *no omissions at
+// all*; the single omission only appears in the two-agent runs Ik that
+// define the timings tk.
+//
+// For a concrete simulator the empirical content splits in two:
+//
+//   - StallProbe: concrete simulators (e.g. SKnO, which is correct in
+//     I3/I4) are not NO1-resilient in I1/I2 — a single omission makes the
+//     two-agent simulation stall forever (tk undefined). This is exactly
+//     the dichotomy the proof exploits: a simulator either stalls under one
+//     omission (not a simulator in these models) or has well-defined tk and
+//     is then destroyed by the omission-free I*.
+//
+//   - BuildThm32: for victims that do survive one omission, assembles the
+//     omission-free I* whose execution violates Pairing safety.
+
+// StallReport is the outcome of probing a victim with a single omission.
+type StallReport struct {
+	// OmissionAt is the position of the single omissive interaction.
+	OmissionAt int
+	// BaselineDone is the number of interactions the omission-free run
+	// needed for the full simulated transition.
+	BaselineDone int
+	// Stalled is true when the probed run never completed the simulated
+	// transition within the horizon.
+	Stalled bool
+	// CompletedAt is the number of interactions the probed run needed,
+	// when it did not stall.
+	CompletedAt int
+}
+
+// StallProbe runs the victim on a two-agent system (simulated states q0,
+// q1), inserts exactly one omissive interaction at position omissionAt of
+// the FTT-achieving run, and then extends the run fairly (seeded, no further
+// omissions) up to horizon interactions. It reports whether the full
+// simulated transition δP(q0, q1) still completes.
+func (v Victim) StallProbe(q0, q1 pp.State, delta func(a, b pp.State) (pp.State, pp.State), omissionAt int, seed int64, maxDepth, horizon int) (*StallReport, error) {
+	t, runI, err := v.FindFTT(q0, q1, delta, maxDepth)
+	if err != nil {
+		return nil, err
+	}
+	if omissionAt >= t {
+		return nil, fmt.Errorf("construction: omission position %d beyond FTT %d", omissionAt, t)
+	}
+	want0, want1 := delta(q0, q1)
+	done := func(cfg [2]pp.State) bool {
+		return pp.Equal(v.Project(cfg[0]), want0) && pp.Equal(v.Project(cfg[1]), want1)
+	}
+	rep := &StallReport{OmissionAt: omissionAt, BaselineDone: t, Stalled: true}
+
+	cfg := [2]pp.State{v.Wrap(q0, 0), v.Wrap(q1, 1)}
+	om := runI[omissionAt]
+	om.Omission = pp.OmissionBoth // one-way models: the transmission is lost
+	steps := 0
+	apply := func(it pp.Interaction) error {
+		steps++
+		return v.applyPair(&cfg, it)
+	}
+	for _, it := range runI[:omissionAt] {
+		if err := apply(it); err != nil {
+			return nil, err
+		}
+	}
+	if err := apply(om); err != nil {
+		return nil, err
+	}
+	rng := sched.NewRandom(seed)
+	for steps < horizon {
+		if done(cfg) {
+			rep.Stalled = false
+			rep.CompletedAt = steps
+			return rep, nil
+		}
+		it, _ := rng.Next(2)
+		if err := apply(it); err != nil {
+			return nil, err
+		}
+	}
+	if done(cfg) {
+		rep.Stalled = false
+		rep.CompletedAt = steps
+	}
+	return rep, nil
+}
+
+// BuildThm32 assembles the omission-free run I* of Theorem 3.2 for models I1
+// and I2. It follows BuildLemma1, but the substituted interactions carry no
+// omissions: the models' weak omission semantics are reproduced exactly by
+// plain interactions against the sacrificial agents.
+//
+// If any two-agent run Ik stalls (the victim is not NO1-resilient in the
+// target model), ErrStalled is returned — itself the empirical finding.
+func (v Victim) BuildThm32(q0, q1 pp.State, delta func(a, b pp.State) (pp.State, pp.State), seed int64, maxDepth, maxExtend int) (*Lemma1Run, error) {
+	if v.Model != model.I1 && v.Model != model.I2 {
+		return nil, fmt.Errorf("construction: BuildThm32 supports I1 and I2, got %v", v.Model)
+	}
+	t, runI, err := v.FindFTT(q0, q1, delta, maxDepth)
+	if err != nil {
+		return nil, err
+	}
+	if t == 0 {
+		return nil, fmt.Errorf("construction: degenerate FTT 0")
+	}
+	_, target := delta(q0, q1)
+	out := &Lemma1Run{FTT: t, RunI: runI, Agents: 2*t + 2}
+	a2t, a2t1 := 2*t, 2*t+1
+	for k := 0; k < t; k++ {
+		ik, err := v.buildIk32(q0, q1, runI, k, target, seed+int64(k), maxExtend)
+		if err != nil {
+			return nil, err
+		}
+		out.TKs = append(out.TKs, len(ik))
+		for _, it := range ik[:k] {
+			out.IStar = append(out.IStar, remap(it, k))
+		}
+		orig := runI[k]
+		switch {
+		case v.Model == model.I1 && orig.Starter == 0:
+			// I1, I[k] = (d0, d1): omission ⇒ (g(d0), d1). One plain
+			// interaction: a2k transmits into a2t; a2k+1 untouched.
+			out.IStar = append(out.IStar,
+				pp.Interaction{Starter: 2 * k, Reactor: a2t})
+		case v.Model == model.I1:
+			// I1, I[k] = (d1, d0): omission ⇒ (g(d1), d0). a2t plays
+			// d1's starter step against the sacrificial agent; a2k+1
+			// applies g against the sacrificial agent; a2k untouched.
+			out.IStar = append(out.IStar,
+				pp.Interaction{Starter: a2t, Reactor: a2t1},
+				pp.Interaction{Starter: 2*k + 1, Reactor: a2t1})
+		case orig.Starter == 0:
+			// I2, I[k] = (d0, d1): omission ⇒ (g(d0), g(d1)).
+			out.IStar = append(out.IStar,
+				pp.Interaction{Starter: 2 * k, Reactor: a2t},
+				pp.Interaction{Starter: 2*k + 1, Reactor: a2t1})
+		default:
+			// I2, I[k] = (d1, d0): omission ⇒ (g(d1), g(d0)).
+			out.IStar = append(out.IStar,
+				pp.Interaction{Starter: a2t, Reactor: a2t1},
+				pp.Interaction{Starter: 2 * k, Reactor: a2t1},
+				pp.Interaction{Starter: 2*k + 1, Reactor: a2t1})
+		}
+		for _, it := range ik[k+1:] {
+			out.IStar = append(out.IStar, remap(it, k))
+		}
+	}
+	return out, nil
+}
+
+// buildIk32 is BuildIk with the omission semantics of I1/I2: the single
+// omissive interaction keeps the same starter and reactor as I[k].
+func (v Victim) buildIk32(q0, q1 pp.State, runI pp.Run, k int, target pp.State, seed int64, maxExtend int) (pp.Run, error) {
+	ik := runI[:k].Clone()
+	om := runI[k]
+	om.Omission = pp.OmissionBoth
+	ik = append(ik, om)
+	cfg := [2]pp.State{v.Wrap(q0, 0), v.Wrap(q1, 1)}
+	for _, it := range ik {
+		if err := v.applyPair(&cfg, it); err != nil {
+			return nil, err
+		}
+	}
+	if pp.Equal(v.Project(cfg[1]), target) {
+		return ik, nil
+	}
+	rng := sched.NewRandom(seed)
+	for i := 0; i < maxExtend; i++ {
+		it, _ := rng.Next(2)
+		ik = append(ik, it)
+		if err := v.applyPair(&cfg, it); err != nil {
+			return nil, err
+		}
+		if pp.Equal(v.Project(cfg[1]), target) {
+			return ik, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: k=%d after %d extension steps", ErrStalled, k, maxExtend)
+}

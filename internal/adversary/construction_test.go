@@ -1,0 +1,250 @@
+package adversary_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"popsim/internal/adversary"
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+)
+
+// sknoVictim builds a Victim around SKnO with omission bound o in the given
+// model.
+func sknoVictim(o int, k model.Kind) adversary.Victim {
+	s := sim.SKnO{P: protocols.Pairing{}, O: o}
+	return adversary.Victim{
+		Name:     s.Name(),
+		Model:    k,
+		Protocol: s,
+		Wrap:     func(st pp.State, origin int) pp.State { return s.Wrap(st, origin) },
+		Project: func(st pp.State) pp.State {
+			if w, ok := st.(sim.Wrapped); ok {
+				return w.Simulated()
+			}
+			return st
+		},
+	}
+}
+
+// TestFindFTT checks the Fastest Transition Time of SKnO: announcing takes
+// o+1 transmissions and completing takes o+1 more, so FTT = 2(o+1).
+func TestFindFTT(t *testing.T) {
+	p := protocols.Pairing{}
+	for _, o := range []int{0, 1, 2} {
+		v := sknoVictim(o, model.I3)
+		ftt, runI, err := v.FindFTT(protocols.Producer, protocols.Consumer, p.Delta, 32)
+		if err != nil {
+			t.Fatalf("o=%d: FindFTT: %v", o, err)
+		}
+		if want := 2 * (o + 1); ftt != want {
+			t.Errorf("o=%d: FTT = %d, want %d", o, ftt, want)
+		}
+		if len(runI) != ftt {
+			t.Errorf("o=%d: |I| = %d, want %d", o, len(runI), ftt)
+		}
+	}
+}
+
+// TestLemma1ViolatesPairingSafety is the executable Theorem 3.1: the run I*
+// drives ≥ t+1 consumers into the irrevocable state cs although only t
+// producers exist, violating the safety of the Pairing problem. SKnO is
+// promised at most o omissions; I* uses exactly FTT ≥ 2(o+1) > o of them.
+func TestLemma1ViolatesPairingSafety(t *testing.T) {
+	p := protocols.Pairing{}
+
+	// Degenerate case first: SKnO with budget o=0 is not resilient to the
+	// single omission inside the two-agent runs Ik, so the construction
+	// reports the stall instead (it only applies to simulators that
+	// survive one omission — the dichotomy of Section 3).
+	v0 := sknoVictim(0, model.I3)
+	if _, err := v0.BuildLemma1(protocols.Producer, protocols.Consumer, p.Delta, 999, 32, 3000); !errors.Is(err, adversary.ErrStalled) {
+		t.Fatalf("o=0: err = %v, want ErrStalled", err)
+	}
+
+	for _, o := range []int{1, 2} {
+		o := o
+		t.Run(fmt.Sprintf("o=%d", o), func(t *testing.T) {
+			v := sknoVictim(o, model.I3)
+			l1, err := v.BuildLemma1(protocols.Producer, protocols.Consumer, p.Delta, 1000+int64(o), 32, 4000)
+			if err != nil {
+				t.Fatalf("BuildLemma1: %v", err)
+			}
+			producers := l1.FTT
+			if l1.Agents != 2*l1.FTT+2 {
+				t.Fatalf("agents = %d, want %d", l1.Agents, 2*l1.FTT+2)
+			}
+			cfg := l1.InitialConfig(v, protocols.Producer, protocols.Consumer)
+			eng, err := engine.New(model.I3, v.Protocol, cfg,
+				sched.NewScript(l1.IStar, sched.NewRandom(7)))
+			if err != nil {
+				t.Fatalf("engine.New: %v", err)
+			}
+			if err := eng.RunSteps(len(l1.IStar)); err != nil {
+				t.Fatalf("run I*: %v", err)
+			}
+			proj := sim.Project(eng.Config())
+			served := proj.Count(protocols.Served)
+			if served < producers+1 {
+				t.Fatalf("construction failed: served = %d, want ≥ %d (t+1)", served, producers+1)
+			}
+			if protocols.PairingSafe(proj, producers) {
+				t.Fatalf("expected safety violation, got served=%d ≤ producers=%d", served, producers)
+			}
+			// The violation is irrevocable: extend fairly without
+			// omissions and re-check.
+			if err := eng.RunSteps(2000); err != nil {
+				t.Fatalf("extension: %v", err)
+			}
+			proj = sim.Project(eng.Config())
+			if got := proj.Count(protocols.Served); got < producers+1 {
+				t.Fatalf("violation undone by extension: served = %d", got)
+			}
+			if omLimit := l1.FTT; l1.Omissions > omLimit {
+				t.Errorf("I* uses %d omissions, construction promises ≤ t = %d", l1.Omissions, omLimit)
+			}
+		})
+	}
+}
+
+// TestLemma1Indistinguishability checks the heart of Lemma 1: inside I*,
+// each fooled pair (a2k, a2k+1) goes through *bit-for-bit* the same local
+// states as (d0, d1) do in the two-agent run Ik.
+func TestLemma1Indistinguishability(t *testing.T) {
+	p := protocols.Pairing{}
+	o := 1
+	v := sknoVictim(o, model.I3)
+	l1, err := v.BuildLemma1(protocols.Producer, protocols.Consumer, p.Delta, 2000, 32, 4000)
+	if err != nil {
+		t.Fatalf("BuildLemma1: %v", err)
+	}
+	// Execute I* tracking every configuration.
+	cfg := l1.InitialConfig(v, protocols.Producer, protocols.Consumer)
+	eng, err := engine.New(model.I3, v.Protocol, cfg, sched.NewScript(l1.IStar, nil))
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	finals := make(map[int]string) // agent -> final state key after its Jk
+	pos := 0
+	for k := 0; k < l1.FTT; k++ {
+		// Jk's length: tk interactions, of which one (or two/zero) were
+		// substituted; recompute from structure: k + subst + (tk-k-1).
+		subst := 2
+		jkLen := l1.TKs[k] - 1 + subst
+		for i := 0; i < jkLen; i++ {
+			if err := eng.Step(); err != nil {
+				t.Fatalf("step: %v", err)
+			}
+			pos++
+		}
+		finals[2*k] = eng.Config()[2*k].Key()
+		finals[2*k+1] = eng.Config()[2*k+1].Key()
+	}
+	if pos != len(l1.IStar) {
+		t.Fatalf("consumed %d interactions, I* has %d", pos, len(l1.IStar))
+	}
+	// Re-execute each Ik on a fresh two-agent system and compare.
+	for k := 0; k < l1.FTT; k++ {
+		ik, err := v.BuildIk(protocols.Producer, protocols.Consumer, l1.RunI, k,
+			protocols.Served, 2000+int64(k), 4000)
+		if err != nil {
+			t.Fatalf("BuildIk(%d): %v", k, err)
+		}
+		pair := pp.Configuration{v.Wrap(protocols.Producer, 0), v.Wrap(protocols.Consumer, 1)}
+		peng, err := engine.New(model.I3, v.Protocol, pair, sched.NewScript(ik, nil))
+		if err != nil {
+			t.Fatalf("engine.New: %v", err)
+		}
+		if err := peng.RunSteps(len(ik)); err != nil {
+			t.Fatalf("run Ik: %v", err)
+		}
+		if got, want := finals[2*k], peng.Config()[0].Key(); got != want {
+			t.Errorf("k=%d: a%d diverged from d0:\n got %s\nwant %s", k, 2*k, got, want)
+		}
+		if got, want := finals[2*k+1], peng.Config()[1].Key(); got != want {
+			t.Errorf("k=%d: a%d diverged from d1:\n got %s\nwant %s", k, 2*k+1, got, want)
+		}
+	}
+}
+
+// TestLemma1EvadesLocalOmissionCounting is an ablation on Theorem 3.3: one
+// might hope to "gracefully degrade" by counting omissions locally (each I3
+// reactor observes the omissions it suffers) and freezing past the budget o.
+// The construction defeats any such counter: I* spreads its t = 2(o+1) > o
+// omissions so that every single agent observes at most one, below every
+// useful threshold, while the global run still violates safety.
+func TestLemma1EvadesLocalOmissionCounting(t *testing.T) {
+	p := protocols.Pairing{}
+	o := 2
+	v := sknoVictim(o, model.I3)
+	l1, err := v.BuildLemma1(protocols.Producer, protocols.Consumer, p.Delta, 31, 32, 4000)
+	if err != nil {
+		t.Fatalf("BuildLemma1: %v", err)
+	}
+	if l1.Omissions <= o {
+		t.Fatalf("I* must exceed the budget globally: omissions=%d, o=%d", l1.Omissions, o)
+	}
+	perAgent := make(map[int]int)
+	for _, it := range l1.IStar {
+		if it.Omission.IsOmissive() {
+			perAgent[it.Reactor]++ // I3: the reactor observes the omission
+		}
+	}
+	for agent, count := range perAgent {
+		if count > 1 {
+			t.Fatalf("agent %d observes %d omissions; the construction promises ≤ 1", agent, count)
+		}
+	}
+	if len(perAgent) != l1.Omissions {
+		t.Fatalf("omissions hit %d distinct agents, want %d", len(perAgent), l1.Omissions)
+	}
+}
+
+// TestStallProbeI1I2 is the executable Theorem 3.2 for concrete simulators:
+// SKnO — correct in I3/I4 — is not resilient to even a single omission in
+// the weak models I1 and I2, while the same single omission is harmless in
+// I3 (where it is detected).
+func TestStallProbeI1I2(t *testing.T) {
+	p := protocols.Pairing{}
+	for _, tc := range []struct {
+		kind    model.Kind
+		stalled bool
+	}{
+		{model.I1, true},
+		{model.I2, true},
+		{model.I3, false},
+	} {
+		tc := tc
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			v := sknoVictim(1, tc.kind)
+			rep, err := v.StallProbe(protocols.Producer, protocols.Consumer, p.Delta, 0, 3, 32, 5000)
+			if err != nil {
+				t.Fatalf("StallProbe: %v", err)
+			}
+			if rep.Stalled != tc.stalled {
+				t.Fatalf("%v: stalled = %v, want %v (completedAt=%d)",
+					tc.kind, rep.Stalled, tc.stalled, rep.CompletedAt)
+			}
+		})
+	}
+}
+
+// TestBuildThm32StallsForSKnO: assembling the omission-free I* of
+// Theorem 3.2 against SKnO reports ErrStalled — the two-agent runs Ik never
+// complete, which is exactly the dichotomy of the proof (a protocol either
+// stalls under NO1, hence is no simulator, or is destroyed by I*).
+func TestBuildThm32StallsForSKnO(t *testing.T) {
+	p := protocols.Pairing{}
+	for _, kind := range []model.Kind{model.I1, model.I2} {
+		v := sknoVictim(1, kind)
+		_, err := v.BuildThm32(protocols.Producer, protocols.Consumer, p.Delta, 5, 32, 3000)
+		if !errors.Is(err, adversary.ErrStalled) {
+			t.Fatalf("%v: err = %v, want ErrStalled", kind, err)
+		}
+	}
+}

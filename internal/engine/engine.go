@@ -1,0 +1,194 @@
+// Package engine drives population-protocol executions: it pulls
+// interactions from a scheduler, lets the omission adversary inject omissive
+// interactions (Definitions 1–2 of the paper), applies the interaction-model
+// transition relation, and records the execution (interactions and
+// simulated-state events) into a trace recorder.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"popsim/internal/adversary"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+	"popsim/internal/trace"
+)
+
+// Errors.
+var (
+	// ErrExhausted is returned when the scheduler has no more
+	// interactions (only scripted schedulers exhaust).
+	ErrExhausted = errors.New("engine: scheduler exhausted")
+	// ErrConfig is returned for invalid engine configuration.
+	ErrConfig = errors.New("engine: invalid configuration")
+)
+
+// Engine executes one system (protocol, model, population).
+type Engine struct {
+	kind     model.Kind
+	protocol any
+	cfg      pp.Configuration
+	sch      sched.Scheduler
+	adv      adversary.Adversary
+	rec      *trace.Recorder
+
+	steps    int // interactions applied, injected ones included
+	schedIdx int // scheduled interactions consumed
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithAdversary installs an omission adversary (default: none).
+func WithAdversary(a adversary.Adversary) Option {
+	return func(e *Engine) { e.adv = a }
+}
+
+// WithRecorder installs a trace recorder (default: a fresh private one).
+func WithRecorder(r *trace.Recorder) Option {
+	return func(e *Engine) { e.rec = r }
+}
+
+// New builds an engine for protocol p under interaction model k, starting
+// from the given initial configuration, scheduled by s.
+func New(k model.Kind, p any, initial pp.Configuration, s sched.Scheduler, opts ...Option) (*Engine, error) {
+	if len(initial) < 2 {
+		return nil, fmt.Errorf("%w: population size %d < 2", ErrConfig, len(initial))
+	}
+	if s == nil {
+		return nil, fmt.Errorf("%w: nil scheduler", ErrConfig)
+	}
+	if k.OneWay() {
+		if _, ok := p.(pp.OneWay); !ok {
+			return nil, fmt.Errorf("%w: model %v needs a pp.OneWay protocol", ErrConfig, k)
+		}
+	} else if _, ok := p.(pp.TwoWay); !ok {
+		return nil, fmt.Errorf("%w: model %v needs a pp.TwoWay protocol", ErrConfig, k)
+	}
+	e := &Engine{
+		kind:     k,
+		protocol: p,
+		cfg:      initial.Clone(),
+		sch:      s,
+		adv:      adversary.None{},
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.rec == nil {
+		e.rec = &trace.Recorder{}
+	}
+	e.rec.Reset(initial)
+	return e, nil
+}
+
+// Config returns the current configuration (shared; treat as read-only —
+// states themselves are immutable).
+func (e *Engine) Config() pp.Configuration { return e.cfg }
+
+// Recorder returns the engine's trace recorder.
+func (e *Engine) Recorder() *trace.Recorder { return e.rec }
+
+// Steps returns the number of interactions applied so far (including
+// adversary-injected omissive ones).
+func (e *Engine) Steps() int { return e.steps }
+
+// Model returns the interaction model kind.
+func (e *Engine) Model() model.Kind { return e.kind }
+
+// apply executes one interaction against the current configuration.
+func (e *Engine) apply(it pp.Interaction) error {
+	if !it.Valid(len(e.cfg)) {
+		return fmt.Errorf("%w: interaction %v for n=%d", ErrConfig, it, len(e.cfg))
+	}
+	s, r := e.cfg[it.Starter], e.cfg[it.Reactor]
+	ns, nr, err := model.Apply(e.kind, e.protocol, s, r, it.Omission)
+	if err != nil {
+		return fmt.Errorf("apply %v: %w", it, err)
+	}
+	e.cfg[it.Starter], e.cfg[it.Reactor] = ns, nr
+	idx := e.steps
+	e.steps++
+	e.rec.OnInteraction(it)
+	e.emitEvent(idx, it.Starter, s, ns)
+	e.emitEvent(idx, it.Reactor, r, nr)
+	return nil
+}
+
+// emitEvent forwards a simulated-state event if the wrapped state's event
+// sequence advanced during this transition.
+func (e *Engine) emitEvent(idx, agent int, before, after pp.State) {
+	wa, ok := after.(sim.Wrapped)
+	if !ok {
+		return
+	}
+	var prev uint64
+	if wb, ok := before.(sim.Wrapped); ok {
+		prev = wb.EventSeq()
+	}
+	if wa.EventSeq() == prev {
+		return
+	}
+	ev := wa.LastEvent()
+	ev.Index = idx
+	ev.Agent = agent
+	e.rec.OnEvent(ev)
+}
+
+// Step consumes one scheduled interaction: it first applies any omissive
+// interactions the adversary injects at this point, then the scheduled
+// interaction itself. Returns ErrExhausted when the scheduler is done.
+func (e *Engine) Step() error {
+	next, ok := e.sch.Next(len(e.cfg))
+	if !ok {
+		return ErrExhausted
+	}
+	for _, om := range e.adv.Inject(e.schedIdx, next, len(e.cfg)) {
+		if !om.Omission.IsOmissive() {
+			return fmt.Errorf("%w: adversary injected non-omissive %v", ErrConfig, om)
+		}
+		if err := e.apply(om); err != nil {
+			return err
+		}
+	}
+	e.schedIdx++
+	return e.apply(next)
+}
+
+// RunSteps performs k scheduled steps (plus whatever the adversary injects).
+// It stops early without error if the scheduler exhausts.
+func (e *Engine) RunSteps(k int) error {
+	for i := 0; i < k; i++ {
+		if err := e.Step(); err != nil {
+			if errors.Is(err, ErrExhausted) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntil steps the engine until pred holds for the current configuration
+// or maxScheduled scheduled interactions have been consumed. It returns true
+// if the predicate was met.
+func (e *Engine) RunUntil(pred func(pp.Configuration) bool, maxScheduled int) (bool, error) {
+	if pred(e.cfg) {
+		return true, nil
+	}
+	for i := 0; i < maxScheduled; i++ {
+		if err := e.Step(); err != nil {
+			if errors.Is(err, ErrExhausted) {
+				return pred(e.cfg), nil
+			}
+			return false, err
+		}
+		if pred(e.cfg) {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,144 @@
+package engine_test
+
+import (
+	"errors"
+	"testing"
+
+	"popsim/internal/adversary"
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sched"
+	"popsim/internal/trace"
+)
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	p := protocols.Pairing{}
+	if _, err := engine.New(model.TW, p, protocols.PairingConfig(1, 0), sched.NewRandom(1)); !errors.Is(err, engine.ErrConfig) {
+		t.Errorf("n=1: err = %v, want ErrConfig", err)
+	}
+	if _, err := engine.New(model.TW, p, protocols.PairingConfig(1, 1), nil); !errors.Is(err, engine.ErrConfig) {
+		t.Errorf("nil scheduler: err = %v, want ErrConfig", err)
+	}
+	// Model/protocol shape mismatch: TW protocol under IO.
+	if _, err := engine.New(model.IO, p, protocols.PairingConfig(1, 1), sched.NewRandom(1)); !errors.Is(err, engine.ErrConfig) {
+		t.Errorf("TW protocol under IO: err = %v, want ErrConfig", err)
+	}
+	// One-way protocol under TW.
+	ow := pp.OneWayAdapter{P: p}
+	if _, err := engine.New(model.TW, ow, protocols.PairingConfig(1, 1), sched.NewRandom(1)); !errors.Is(err, engine.ErrConfig) {
+		t.Errorf("one-way protocol under TW: err = %v, want ErrConfig", err)
+	}
+}
+
+func TestEngineDoesNotMutateInitialConfig(t *testing.T) {
+	cfg := protocols.PairingConfig(1, 1)
+	eng, err := engine.New(model.TW, protocols.Pairing{}, cfg, sched.NewRandom(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunSteps(100); err != nil {
+		t.Fatal(err)
+	}
+	if !pp.Equal(cfg[0], protocols.Consumer) || !pp.Equal(cfg[1], protocols.Producer) {
+		t.Error("initial configuration was mutated by the run")
+	}
+}
+
+func TestScriptedExecutionExact(t *testing.T) {
+	// (c, p) then (p-spent, c-served): second interaction is identity.
+	run := pp.Run{{Starter: 0, Reactor: 1}, {Starter: 1, Reactor: 0}}
+	rec := &trace.Recorder{KeepInteractions: true}
+	eng, err := engine.New(model.TW, protocols.Pairing{}, protocols.PairingConfig(1, 1),
+		sched.NewScript(run, nil), engine.WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunSteps(5); err != nil { // stops at exhaustion without error
+		t.Fatal(err)
+	}
+	if eng.Steps() != 2 {
+		t.Fatalf("Steps = %d, want 2", eng.Steps())
+	}
+	if err := eng.Step(); !errors.Is(err, engine.ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	want := pp.Configuration{protocols.Served, protocols.Spent}
+	if eng.Config().Key() != want.Key() {
+		t.Fatalf("final config %v, want %v", eng.Config(), want)
+	}
+	if got := rec.Interactions(); len(got) != 2 || got[0] != run[0] {
+		t.Fatalf("recorded %v", got)
+	}
+}
+
+func TestAdversaryInjectionCountsSteps(t *testing.T) {
+	rec := &trace.Recorder{}
+	eng, err := engine.New(model.T3, protocols.Pairing{}, protocols.PairingConfig(2, 2),
+		sched.NewRandom(3),
+		engine.WithAdversary(adversary.NewBudgeted(4, 1.0, 5)),
+		engine.WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunSteps(100); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Omissions() != 5 {
+		t.Fatalf("omissions = %d, want 5 (budget)", rec.Omissions())
+	}
+	if rec.Steps() != 105 {
+		t.Fatalf("steps = %d, want 100 scheduled + 5 injected", rec.Steps())
+	}
+}
+
+func TestOmissionsRejectedUnderTW(t *testing.T) {
+	eng, err := engine.New(model.TW, protocols.Pairing{}, protocols.PairingConfig(1, 1),
+		sched.NewScript(pp.Run{{Starter: 0, Reactor: 1, Omission: pp.OmissionBoth}}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(); err == nil {
+		t.Fatal("omissive interaction accepted under TW")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	eng, err := engine.New(model.TW, protocols.LeaderElection{}, protocols.LeaderConfig(8), sched.NewRandom(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := eng.RunUntil(protocols.LeaderElected, 100000)
+	if err != nil || !ok {
+		t.Fatalf("RunUntil: ok=%v err=%v", ok, err)
+	}
+	// Immediately true predicate consumes no steps.
+	steps := eng.Steps()
+	ok, err = eng.RunUntil(func(pp.Configuration) bool { return true }, 10)
+	if err != nil || !ok || eng.Steps() != steps {
+		t.Fatalf("RunUntil(true) consumed steps")
+	}
+}
+
+func TestTraceRecorder(t *testing.T) {
+	var rec trace.Recorder
+	rec.Reset(protocols.PairingConfig(1, 1))
+	rec.OnInteraction(pp.Interaction{Starter: 0, Reactor: 1})
+	rec.OnInteraction(pp.Interaction{Starter: 1, Reactor: 0, Omission: pp.OmissionBoth})
+	if rec.Steps() != 2 || rec.Omissions() != 1 {
+		t.Fatalf("steps=%d omissions=%d", rec.Steps(), rec.Omissions())
+	}
+	if len(rec.Interactions()) != 0 {
+		t.Fatal("interactions kept without KeepInteractions")
+	}
+	init := rec.Initial()
+	init[0] = protocols.Served
+	if pp.Equal(rec.Initial()[0], protocols.Served) {
+		t.Fatal("Initial returns a shared slice")
+	}
+	rec.Reset(protocols.PairingConfig(1, 1))
+	if rec.Steps() != 0 || rec.Omissions() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}

@@ -1,0 +1,49 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"popsim/internal/experiments"
+)
+
+// TestAllExperimentsReproduceQuick runs every experiment in Quick mode and
+// asserts that each paper claim reproduces.
+func TestAllExperimentsReproduceQuick(t *testing.T) {
+	for _, exp := range experiments.All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			res, err := exp.Run(experiments.Config{Seed: 42, Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if !res.Pass {
+				for _, n := range res.Notes {
+					t.Log(n)
+				}
+				t.Fatalf("%s: claim did not reproduce", exp.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s: no tables produced", exp.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := experiments.ByID("THM41"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := experiments.ByID("NOPE"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunRenders(t *testing.T) {
+	res, out, err := experiments.Run("FIG1", experiments.Config{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass || out == "" {
+		t.Fatal("FIG1 did not render")
+	}
+}

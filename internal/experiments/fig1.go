@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/report"
+)
+
+// Fig1 reproduces Figure 1: the table of interaction models with their
+// capabilities, and the inclusion edges of the hierarchy — each edge checked
+// mechanically:
+//
+//   - Instantiation edges: every outcome of the source relation (over a
+//     symbolic probe protocol) is an outcome of the target relation under
+//     the documented instantiation of its free functions.
+//   - AdversaryAvoidance edges: the omission-free outcomes of source and
+//     target coincide.
+//   - AdversaryDecomposition (I1 → I2): one I2 omission equals the
+//     composition of two opposite I1 omissions.
+func Fig1(cfg Config) (*Result, error) {
+	res := &Result{ID: "FIG1", Pass: true}
+
+	models := report.NewTable("Figure 1 — interaction models",
+		"model", "one-way", "omissive", "starter detects omission", "reactor detects omission", "relation")
+	models.Caption = "Transition relations of Section 2.2–2.3."
+	for _, k := range model.Kinds() {
+		models.AddRow(k, k.OneWay(), k.Omissive(),
+			k.StarterDetectsOmission(), k.ReactorDetectsOmission(), relationString(k))
+	}
+	res.Tables = append(res.Tables, models)
+
+	edges := report.NewTable("Figure 1 — inclusion edges (solvable problems of A ⊆ of B)",
+		"A", "B", "mechanism", "checked", "justification")
+	edges.Caption = "Each edge verified mechanically over symbolic probe protocols."
+	for _, e := range model.Hierarchy() {
+		ok, err := checkEdge(e)
+		if err != nil {
+			return nil, fmt.Errorf("edge %v→%v: %w", e.From, e.To, err)
+		}
+		check(res, ok, "edge %v → %v (%v)", e.From, e.To, e.Mechanism)
+		edges.AddRow(e.From, e.To, e.Mechanism, ok, e.Note)
+	}
+	res.Tables = append(res.Tables, edges)
+
+	// Transitive sanity: every model's class is included in TW's.
+	reach := model.Reachable(model.TW)
+	for _, k := range model.Kinds() {
+		if k == model.TW {
+			continue
+		}
+		check(res, reach[k], "%v transitively included in TW", k)
+	}
+	return res, nil
+}
+
+// relationString renders the model's transition relation symbolically.
+func relationString(k model.Kind) string {
+	switch k {
+	case model.TW:
+		return "{(fs,fr)}"
+	case model.T1:
+		return "{(fs,fr),(as,fr),(fs,ar),(as,ar)}"
+	case model.T2:
+		return "{(fs,fr),(o,fr),(fs,ar),(o,ar)}"
+	case model.T3:
+		return "{(fs,fr),(o,fr),(fs,h),(o,h)}"
+	case model.IT:
+		return "{(g,f)}"
+	case model.IO:
+		return "{(as,f)}"
+	case model.I1:
+		return "{(g,f),(g,ar)}"
+	case model.I2:
+		return "{(g,f),(g,g)}"
+	case model.I3:
+		return "{(g,f),(g,h)}"
+	case model.I4:
+		return "{(g,f),(o,g)}"
+	}
+	return "?"
+}
+
+// probe protocols producing symbolic markers, so that outcome equality is
+// function-application equality.
+
+type probeOneWay struct {
+	gIsID bool // for IO-style instantiation
+	hIsG  bool // instantiate h := g
+	oIsG  bool // instantiate o := g
+	noO   bool // drop the o hook (identity)
+	noH   bool // drop the h hook (identity)
+}
+
+func (probeOneWay) Name() string { return "probe" }
+func (p probeOneWay) React(s, r pp.State) pp.State {
+	return pp.Symbol("f(" + s.Key() + "," + r.Key() + ")")
+}
+func (p probeOneWay) Detect(s pp.State) pp.State {
+	if p.gIsID {
+		return s
+	}
+	return pp.Symbol("g(" + s.Key() + ")")
+}
+func (p probeOneWay) OnStarterOmission(s pp.State) pp.State {
+	if p.noO {
+		return s
+	}
+	if p.oIsG {
+		return p.Detect(s)
+	}
+	return pp.Symbol("o(" + s.Key() + ")")
+}
+func (p probeOneWay) OnReactorOmission(r pp.State) pp.State {
+	if p.noH {
+		return r
+	}
+	if p.hIsG {
+		return p.Detect(r)
+	}
+	return pp.Symbol("h(" + r.Key() + ")")
+}
+
+// probeTwoWay instantiates a two-way protocol from the one-way probe:
+// fs(as, ar) = g(as), fr = f, with o and h configurable.
+type probeTwoWay struct {
+	ow probeOneWay
+}
+
+func (probeTwoWay) Name() string { return "probe2w" }
+func (p probeTwoWay) Delta(s, r pp.State) (pp.State, pp.State) {
+	return p.ow.Detect(s), p.ow.React(s, r)
+}
+func (p probeTwoWay) OnStarterOmission(s pp.State) pp.State { return p.ow.OnStarterOmission(s) }
+func (p probeTwoWay) OnReactorOmission(r pp.State) pp.State { return p.ow.OnReactorOmission(r) }
+
+// outcomes enumerates the (starter, reactor) results of every adversarial
+// option of model k for protocol p on states (a, b).
+func outcomes(k model.Kind, p any, a, b pp.State) ([][2]string, error) {
+	sides := []pp.OmissionSide{pp.OmissionNone}
+	if k.Omissive() {
+		if k.OneWay() {
+			sides = append(sides, pp.OmissionBoth)
+		} else {
+			sides = append(sides, pp.OmissionStarter, pp.OmissionReactor, pp.OmissionBoth)
+		}
+	}
+	var out [][2]string
+	for _, om := range sides {
+		s, r, err := model.Apply(k, p, a, b, om)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, [2]string{s.Key(), r.Key()})
+	}
+	return out, nil
+}
+
+// subset reports whether every outcome in xs appears in ys.
+func subset(xs, ys [][2]string) bool {
+	for _, x := range xs {
+		found := false
+		for _, y := range ys {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// checkEdge mechanically verifies one hierarchy edge.
+func checkEdge(e model.Edge) (bool, error) {
+	a, b := pp.Symbol("x"), pp.Symbol("y")
+
+	// Pick the probe pair realizing the documented instantiation.
+	srcProbe, dstProbe, err := probesFor(e)
+	if err != nil {
+		return false, err
+	}
+
+	switch e.Mechanism {
+	case model.Instantiation:
+		src, err := outcomes(e.From, srcProbe, a, b)
+		if err != nil {
+			return false, err
+		}
+		dst, err := outcomes(e.To, dstProbe, a, b)
+		if err != nil {
+			return false, err
+		}
+		return subset(src, dst), nil
+
+	case model.AdversaryAvoidance:
+		s1, r1, err := model.Apply(e.From, srcProbe, a, b, pp.OmissionNone)
+		if err != nil {
+			return false, err
+		}
+		s2, r2, err := model.Apply(e.To, dstProbe, a, b, pp.OmissionNone)
+		if err != nil {
+			return false, err
+		}
+		return pp.Equal(s1, s2) && pp.Equal(r1, r2), nil
+
+	case model.AdversaryDecomposition:
+		// I1 → I2: (g(as), g(ar)) == two opposite I1 omissions.
+		p := probeOneWay{}
+		s2, r2, err := model.Apply(model.I2, p, a, b, pp.OmissionBoth)
+		if err != nil {
+			return false, err
+		}
+		// First I1 omission (a → b): (g(a), b).
+		s1, rMid, err := model.Apply(model.I1, p, a, b, pp.OmissionBoth)
+		if err != nil {
+			return false, err
+		}
+		// Second I1 omission (b → a): (g(b), a-unchanged).
+		r1, sBack, err := model.Apply(model.I1, p, rMid, s1, pp.OmissionBoth)
+		if err != nil {
+			return false, err
+		}
+		return pp.Equal(s2, sBack) && pp.Equal(r2, r1), nil
+	}
+	return false, fmt.Errorf("unknown mechanism %v", e.Mechanism)
+}
+
+// probesFor returns (source protocol, target protocol) realizing the edge's
+// instantiation.
+func probesFor(e model.Edge) (any, any, error) {
+	base := probeOneWay{}
+	wrap2 := func(p probeOneWay) any { return probeTwoWay{ow: p} }
+	oneOrTwo := func(k model.Kind, p probeOneWay) any {
+		if k.OneWay() {
+			return p
+		}
+		return wrap2(p)
+	}
+	switch {
+	case e.From == model.IO && e.To == model.IT:
+		return probeOneWay{gIsID: true}, probeOneWay{gIsID: true}, nil
+	case e.From == model.I2 && e.To == model.I3:
+		return base, probeOneWay{hIsG: true}, nil
+	case e.From == model.I2 && e.To == model.I4:
+		return base, probeOneWay{oIsG: true}, nil
+	case e.From == model.IT && e.To == model.TW:
+		return base, wrap2(base), nil
+	case e.From == model.I1 && e.To == model.T1:
+		return base, wrap2(base), nil
+	case e.From == model.I3 && e.To == model.T3:
+		return base, wrap2(probeOneWay{oIsG: true}), nil
+	case e.From == model.I4 && e.To == model.T3:
+		return base, wrap2(probeOneWay{hIsG: true}), nil
+	case e.From == model.T1 && e.To == model.T2:
+		// T1 protocols have no o; running them in T2 must coincide.
+		return wrap2(probeOneWay{noO: true, noH: true}), wrap2(probeOneWay{noO: true, noH: true}), nil
+	case e.From == model.T2 && e.To == model.T3:
+		return wrap2(probeOneWay{noH: true}), wrap2(probeOneWay{noH: true}), nil
+	default:
+		// Avoidance and decomposition edges share the plain probe.
+		return oneOrTwo(e.From, base), oneOrTwo(e.To, base), nil
+	}
+}

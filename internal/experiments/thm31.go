@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"errors"
+
+	"popsim/internal/adversary"
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/report"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+)
+
+// sknoVictim builds a construction Victim around SKnO with omission bound o
+// in the given model, simulating the Pairing protocol PIP.
+func sknoVictim(o int, k model.Kind) adversary.Victim {
+	s := sim.SKnO{P: protocols.Pairing{}, O: o}
+	return adversary.Victim{
+		Name:     s.Name(),
+		Model:    k,
+		Protocol: s,
+		Wrap:     func(st pp.State, origin int) pp.State { return s.Wrap(st, origin) },
+		Project: func(st pp.State) pp.State {
+			if w, ok := st.(sim.Wrapped); ok {
+				return w.Simulated()
+			}
+			return st
+		},
+	}
+}
+
+// Thm31 reproduces Theorem 3.1 via the Lemma 1 construction: for the
+// concrete simulator SKnO(o) in model I3, the adversary builds a run I* on
+// 2t+2 agents (t = FTT) that drives t+1 consumers into the irrevocable
+// state cs although only t producers exist — Pairing safety is violated as
+// soon as the number of omissions reaches the simulator's FTT.
+func Thm31(cfg Config) (*Result, error) {
+	res := &Result{ID: "THM31", Pass: true}
+	p := protocols.Pairing{}
+
+	tbl := report.NewTable("Theorem 3.1 — Lemma 1 construction vs SKnO in I3",
+		"o (promised)", "FTT t", "agents 2t+2", "|I*|", "omissions in I*", "producers", "served (cs)", "safety violated")
+	tbl.Caption = "Safety of Pairing requires served ≤ producers; I* forces served ≥ t+1 > t = producers. " +
+		"SKnO tolerates ≤ o omissions; I* contains up to t = 2(o+1) > o."
+
+	budgets := []int{1, 2}
+	if cfg.Quick {
+		budgets = []int{1}
+	}
+	for _, o := range budgets {
+		v := sknoVictim(o, model.I3)
+		l1, err := v.BuildLemma1(protocols.Producer, protocols.Consumer, p.Delta, cfg.Seed+int64(o), 40, 6000)
+		if err != nil {
+			return nil, err
+		}
+		initial := l1.InitialConfig(v, protocols.Producer, protocols.Consumer)
+		eng, err := engine.New(model.I3, v.Protocol, initial,
+			sched.NewScript(l1.IStar, sched.NewRandom(cfg.Seed+100)))
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.RunSteps(len(l1.IStar) + 2000); err != nil {
+			return nil, err
+		}
+		proj := sim.Project(eng.Config())
+		served := proj.Count(protocols.Served)
+		producers := l1.FTT
+		violated := !protocols.PairingSafe(proj, producers)
+		tbl.AddRow(o, l1.FTT, l1.Agents, len(l1.IStar), l1.Omissions, producers, served, violated)
+		check(res, violated && served >= producers+1,
+			"o=%d: I* drives %d agents into cs with only %d producers", o, served, producers)
+		check(res, l1.FTT == 2*(o+1), "o=%d: FTT = %d = 2(o+1)", o, l1.FTT)
+	}
+	res.Tables = append(res.Tables, tbl)
+
+	// Degenerate case: SKnO(0) is not resilient to the single omission
+	// inside Ik — the dichotomy of Section 3.
+	v0 := sknoVictim(0, model.I3)
+	_, err := v0.BuildLemma1(protocols.Producer, protocols.Consumer, p.Delta, cfg.Seed, 40, 3000)
+	check(res, errors.Is(err, adversary.ErrStalled),
+		"o=0: construction reports stall (simulator not 1-omission resilient): %v", err)
+	return res, nil
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"errors"
+	"strconv"
+
+	"popsim/internal/adversary"
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/report"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+	"popsim/internal/trace"
+)
+
+// Thm32 reproduces Theorem 3.2: in T1, I1 and I2 simulation is impossible
+// even under the NO1 adversary (a single omission). For the concrete
+// simulator SKnO — provably correct in I3/I4 — the experiment shows the
+// dichotomy that drives the proof:
+//
+//  1. In I1/I2 (and in T1, where the undetected starter-side omission can
+//     even duplicate in-flight state), a single omission stalls the
+//     two-agent simulation forever, while the identical omission in I3 is
+//     harmless. A protocol that stalls under NO1 is not a simulator.
+//  2. A protocol that does *not* stall would have well-defined tk and be
+//     destroyed by the omission-free run I* of the theorem; assembling it
+//     against SKnO reports exactly the stall of case 1.
+func Thm32(cfg Config) (*Result, error) {
+	res := &Result{ID: "THM32", Pass: true}
+	p := protocols.Pairing{}
+
+	tbl := report.NewTable("Theorem 3.2 — one omission under NO1 (SKnO, o budget 1)",
+		"model", "omission-free FTT", "stalled after 1 omission", "completed at")
+	tbl.Caption = "Probe: the single omission is inserted at position 0 of the FTT-achieving two-agent run, " +
+		"then the run continues fairly without further omissions (horizon 5000)."
+	for _, tc := range []struct {
+		kind      model.Kind
+		wantStall bool
+	}{
+		{model.I1, true},
+		{model.I2, true},
+		{model.I3, false}, // control: detection makes one omission harmless
+		{model.I4, false}, // control
+	} {
+		v := sknoVictim(1, tc.kind)
+		rep, err := v.StallProbe(protocols.Producer, protocols.Consumer, p.Delta, 0, cfg.Seed+3, 40, 5000)
+		if err != nil {
+			return nil, err
+		}
+		completed := "-"
+		if !rep.Stalled {
+			completed = strconv.Itoa(rep.CompletedAt)
+		}
+		tbl.AddRow(tc.kind, rep.BaselineDone, rep.Stalled, completed)
+		check(res, rep.Stalled == tc.wantStall, "%v: stalled=%v (want %v)", tc.kind, rep.Stalled, tc.wantStall)
+	}
+	res.Tables = append(res.Tables, tbl)
+
+	// T1: the undetectable starter-side omission duplicates the in-flight
+	// token (the starter keeps it, the reactor still receives it), which
+	// the run below turns into a Pairing safety violation: with enough
+	// duplicated producer announcements, both consumers get served by a
+	// single producer.
+	t1, err := thm32T1Duplication(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Tables = append(res.Tables, t1.table)
+	check(res, t1.violated, "T1: starter-side omissions duplicate tokens and violate Pairing safety (served=%d > producers=%d)",
+		t1.served, t1.producers)
+
+	// Dichotomy, second horn: assembling the omission-free I* of the
+	// theorem against SKnO reports the stall.
+	for _, kind := range []model.Kind{model.I1, model.I2} {
+		v := sknoVictim(1, kind)
+		_, err := v.BuildThm32(protocols.Producer, protocols.Consumer, p.Delta, cfg.Seed+5, 40, 3000)
+		check(res, errors.Is(err, adversary.ErrStalled),
+			"%v: BuildThm32 reports ErrStalled for SKnO: %v", kind, err)
+	}
+	return res, nil
+}
+
+type t1Result struct {
+	table     *report.Table
+	served    int
+	producers int
+	violated  bool
+}
+
+// thm32T1Duplication runs SKnO (embedded two-way) under T1 with repeated
+// starter-side omissions targeted at the producer and shows served > producers.
+func thm32T1Duplication(cfg Config) (*t1Result, error) {
+	o := 1
+	s := sim.SKnO{P: protocols.Pairing{}, O: o}
+	embed := pp.TwoWayEmbed{OW: s}
+	// 1 producer, 2 consumers: safety requires served ≤ 1.
+	simCfg := pp.Configuration{protocols.Producer, protocols.Consumer, protocols.Consumer}
+	wrapped := pp.Configuration{s.Wrap(simCfg[0], 0), s.Wrap(simCfg[1], 1), s.Wrap(simCfg[2], 2)}
+
+	// Script: force the producer to announce, then duplicate its
+	// announcement tokens via starter-side omissions (starter keeps the
+	// head token, reactors still receive it), feeding both consumers.
+	var run pp.Run
+	for i := 0; i < 2*(o+1); i++ {
+		// Duplicating transmission to consumer 1: starter-side omission
+		// means the starter does not advance its queue.
+		run = append(run, pp.Interaction{Starter: 0, Reactor: 1, Omission: pp.OmissionStarter})
+		// Normal transmission of the same token to consumer 2.
+		run = append(run, pp.Interaction{Starter: 0, Reactor: 2})
+	}
+	rec := &trace.Recorder{}
+	eng, err := engine.New(model.T1, embed, wrapped,
+		sched.NewScript(run, sched.NewRandom(cfg.Seed+9)), engine.WithRecorder(rec))
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.RunSteps(len(run) + 3000); err != nil {
+		return nil, err
+	}
+	proj := sim.Project(eng.Config())
+	served := proj.Count(protocols.Served)
+	tbl := report.NewTable("Theorem 3.2 — T1 duplication attack on SKnO (1 producer, 2 consumers)",
+		"omissions", "served (cs)", "producers", "safety violated")
+	tbl.Caption = "T1's undetectable starter-side omission delivers the token while the starter keeps it: " +
+		"the producer's announcement is duplicated and serves two consumers."
+	violated := !protocols.PairingSafe(proj, 1)
+	tbl.AddRow(rec.Omissions(), served, 1, violated)
+	return &t1Result{table: tbl, served: served, producers: 1, violated: violated}, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/protocols"
+	"popsim/internal/report"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+)
+
+// Thm33 reproduces Theorem 3.3: a gracefully degrading simulator — one that
+// fully simulates below an omission threshold tO and is allowed to stop (but
+// never to reach an inconsistent simulated state) at or above it — must have
+// tO ≤ 1.
+//
+// Empirically, take SKnO(o ≥ 1) as the candidate: it fully simulates under a
+// single omission (so if it were gracefully degrading, its threshold would
+// be ≥ 2), yet the Lemma-1 run I* drives it into a *non-consistent*
+// simulated state (Pairing safety violated), not a mere stall. Hence no
+// threshold ≥ 2 is achievable — exactly the theorem's bound.
+func Thm33(cfg Config) (*Result, error) {
+	res := &Result{ID: "THM33", Pass: true}
+	p := protocols.Pairing{}
+
+	tbl := report.NewTable("Theorem 3.3 — graceful degradation threshold ≤ 1 (SKnO in I3)",
+		"o", "simulates with 1 omission", "I* outcome", "consistent stop", "implied threshold")
+	tbl.Caption = "A gracefully degrading simulator may stop on omission overload but must stay consistent; " +
+		"I* produces an inconsistent (unsafe) simulated state instead."
+
+	budgets := []int{1, 2}
+	if cfg.Quick {
+		budgets = []int{1}
+	}
+	for _, o := range budgets {
+		v := sknoVictim(o, model.I3)
+
+		// Horn 1: under a single omission the simulation completes.
+		probe, err := v.StallProbe(protocols.Producer, protocols.Consumer, p.Delta, 0, cfg.Seed+1, 40, 5000)
+		if err != nil {
+			return nil, err
+		}
+		oneOK := !probe.Stalled
+
+		// Horn 2: I* forces an inconsistent simulated state.
+		l1, err := v.BuildLemma1(protocols.Producer, protocols.Consumer, p.Delta, cfg.Seed+2, 40, 6000)
+		if err != nil {
+			return nil, err
+		}
+		initial := l1.InitialConfig(v, protocols.Producer, protocols.Consumer)
+		eng, err := engine.New(model.I3, v.Protocol, initial,
+			sched.NewScript(l1.IStar, sched.NewRandom(cfg.Seed+3)))
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.RunSteps(len(l1.IStar)); err != nil {
+			return nil, err
+		}
+		proj := sim.Project(eng.Config())
+		consistent := protocols.PairingSafe(proj, l1.FTT)
+		outcome := "safety violation"
+		if consistent {
+			outcome = "consistent"
+		}
+		tbl.AddRow(o, oneOK, outcome, consistent, "≤ 1")
+		check(res, oneOK, "o=%d: full simulation under one omission (tO would be ≥ 2)", o)
+		check(res, !consistent, "o=%d: I* leaves an inconsistent simulated state, so tO ≥ 2 is impossible", o)
+	}
+	res.Tables = append(res.Tables, tbl)
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+)
+
+// workload bundles a two-way protocol with its initial configuration and
+// problem-level predicates, parameterized by the population size n.
+type workload struct {
+	name  string
+	proto pp.TwoWay
+	// cfg builds the simulated initial configuration.
+	cfg func(n int) pp.Configuration
+	// done is the convergence predicate on the projected configuration.
+	done func(n int) func(pp.Configuration) bool
+	// safe is the safety invariant on the projected configuration.
+	safe func(n int) func(pp.Configuration) bool
+}
+
+// workloads returns the simulation workloads of the Theorem 4.x experiments.
+func workloads() []workload {
+	return []workload{
+		{
+			name:  "pairing",
+			proto: protocols.Pairing{},
+			cfg: func(n int) pp.Configuration {
+				return protocols.PairingConfig((n+1)/2, n/2)
+			},
+			done: func(n int) func(pp.Configuration) bool {
+				c, p := (n+1)/2, n/2
+				return func(cf pp.Configuration) bool { return protocols.PairingDone(cf, c, p) }
+			},
+			safe: func(n int) func(pp.Configuration) bool {
+				p := n / 2
+				return func(cf pp.Configuration) bool { return protocols.PairingSafe(cf, p) }
+			},
+		},
+		{
+			name:  "majority",
+			proto: protocols.Majority{},
+			cfg: func(n int) pp.Configuration {
+				a := n/2 + 1
+				return protocols.MajorityConfig(a, n-a)
+			},
+			done: func(n int) func(pp.Configuration) bool {
+				return func(cf pp.Configuration) bool { return protocols.MajorityConverged(cf, "A") }
+			},
+			safe: func(n int) func(pp.Configuration) bool {
+				a := n/2 + 1
+				return func(cf pp.Configuration) bool { return protocols.MajorityInvariant(cf, a, n-a) }
+			},
+		},
+		{
+			name:  "leader",
+			proto: protocols.LeaderElection{},
+			cfg:   protocols.LeaderConfig,
+			done: func(n int) func(pp.Configuration) bool {
+				return protocols.LeaderElected
+			},
+			safe: func(n int) func(pp.Configuration) bool {
+				return protocols.LeaderSafe
+			},
+		},
+		{
+			name:  "parity",
+			proto: protocols.Modulo{M: 2},
+			cfg: func(n int) pp.Configuration {
+				return protocols.ModuloConfig(n, n/2+1)
+			},
+			done: func(n int) func(pp.Configuration) bool {
+				want := (n/2 + 1) % 2
+				return func(cf pp.Configuration) bool { return protocols.ModuloConverged(cf, want) }
+			},
+			safe: func(n int) func(pp.Configuration) bool {
+				want := (n/2 + 1) % 2
+				return func(cf pp.Configuration) bool { return protocols.ModuloResidue(cf, 2) == want }
+			},
+		},
+	}
+}

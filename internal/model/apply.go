@@ -1,0 +1,133 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"popsim/internal/pp"
+)
+
+// Errors returned by Apply.
+var (
+	// ErrOmissionNotAllowed is returned when an omissive interaction is
+	// applied under a non-omissive model (TW, IT, IO).
+	ErrOmissionNotAllowed = errors.New("model: omissive interaction in a non-omissive model")
+	// ErrProtocolShape is returned when the protocol does not implement
+	// the interface required by the model (TwoWay vs OneWay).
+	ErrProtocolShape = errors.New("model: protocol does not match model shape")
+)
+
+// starterOmission applies o if the protocol implements detection and the
+// model allows it; otherwise the identity.
+func starterOmission(k Kind, p any, s pp.State) pp.State {
+	if !k.StarterDetectsOmission() {
+		return s
+	}
+	if d, ok := p.(pp.StarterOmissionAware); ok {
+		return d.OnStarterOmission(s)
+	}
+	return s
+}
+
+// reactorOmission applies h if the protocol implements detection and the
+// model allows it; otherwise the identity.
+func reactorOmission(k Kind, p any, r pp.State) pp.State {
+	if !k.ReactorDetectsOmission() {
+		return r
+	}
+	if d, ok := p.(pp.ReactorOmissionAware); ok {
+		return d.OnReactorOmission(r)
+	}
+	return r
+}
+
+// detect applies g if the model grants proximity detection to the starter.
+func detect(k Kind, p pp.OneWay, s pp.State) pp.State {
+	if !k.StarterDetectsProximity() {
+		return s
+	}
+	return p.Detect(s)
+}
+
+// Apply executes one interaction of protocol p under model k.
+//
+// The protocol must be a pp.TwoWay for the two-way models (TW, T1, T2, T3)
+// and a pp.OneWay for the one-way models (IT, IO, I1–I4); omission-detection
+// hooks are picked up via the optional pp.StarterOmissionAware and
+// pp.ReactorOmissionAware interfaces, and are forced to the identity whenever
+// the model withholds the capability.
+//
+// Apply returns the new (starter, reactor) states. It never mutates the
+// inputs.
+func Apply(k Kind, p any, starter, reactor pp.State, om pp.OmissionSide) (pp.State, pp.State, error) {
+	if om.IsOmissive() && !k.Omissive() {
+		return nil, nil, fmt.Errorf("%w: %v under %v", ErrOmissionNotAllowed, om, k)
+	}
+	if k.OneWay() {
+		ow, ok := p.(pp.OneWay)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: %v requires pp.OneWay", ErrProtocolShape, k)
+		}
+		return applyOneWay(k, ow, starter, reactor, om)
+	}
+	tw, ok := p.(pp.TwoWay)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %v requires pp.TwoWay", ErrProtocolShape, k)
+	}
+	return applyTwoWay(k, tw, starter, reactor, om)
+}
+
+// applyTwoWay implements the transition relations of TW, T1, T2, T3:
+//
+//	no omission:       (fs(as,ar), fr(as,ar))
+//	starter omission:  (o(as),     fr(as,ar))
+//	reactor omission:  (fs(as,ar), h(ar))
+//	both:              (o(as),     h(ar))
+//
+// with o (resp. h) forced to the identity when the model withholds
+// starter-side (resp. reactor-side) detection.
+func applyTwoWay(k Kind, p pp.TwoWay, s, r pp.State, om pp.OmissionSide) (pp.State, pp.State, error) {
+	var ns, nr pp.State
+	switch {
+	case !om.StarterOmitted() && !om.ReactorOmitted():
+		ns, nr = p.Delta(s, r)
+	case om.StarterOmitted() && !om.ReactorOmitted():
+		_, fr := p.Delta(s, r)
+		ns, nr = starterOmission(k, p, s), fr
+	case !om.StarterOmitted() && om.ReactorOmitted():
+		fs, _ := p.Delta(s, r)
+		ns, nr = fs, reactorOmission(k, p, r)
+	default: // both
+		ns, nr = starterOmission(k, p, s), reactorOmission(k, p, r)
+	}
+	return ns, nr, nil
+}
+
+// applyOneWay implements the transition relations of IT, IO, I1, I2, I3, I4:
+//
+//	no omission:  (g(as), f(as, ar))       (g = id in IO)
+//	omission:     I1: (g(as), ar)
+//	              I2: (g(as), g(ar))
+//	              I3: (g(as), h(ar))
+//	              I4: (o(as), g(ar))
+//
+// In one-way models there is a single transmission (starter → reactor), so
+// any omissive interaction means that transmission was lost; the
+// pp.OmissionSide granularity of the two-way models collapses to a boolean.
+func applyOneWay(k Kind, p pp.OneWay, s, r pp.State, om pp.OmissionSide) (pp.State, pp.State, error) {
+	if !om.IsOmissive() {
+		return detect(k, p, s), p.React(s, r), nil
+	}
+	switch k {
+	case I1:
+		return p.Detect(s), r, nil
+	case I2:
+		return p.Detect(s), p.Detect(r), nil
+	case I3:
+		return p.Detect(s), reactorOmission(k, p, r), nil
+	case I4:
+		return starterOmission(k, p, s), p.Detect(r), nil
+	default:
+		return nil, nil, fmt.Errorf("%w: %v with omission %v", ErrOmissionNotAllowed, k, om)
+	}
+}

@@ -1,0 +1,111 @@
+package model
+
+// This file encodes the computational hierarchy of Figure 1 of the paper.
+// An edge A → B means: the class of problems solvable in A is included in
+// the class solvable in B. Three mechanisms create edges, and each is
+// mechanically checkable (see the FIG1 experiment):
+//
+//   - Instantiation: A's transition relation is obtained from B's by fixing
+//     some of B's free functions (e.g. IO is IT with g = id; I2 is I3 with
+//     h = g). Any protocol for A literally runs in B.
+//   - AdversaryAvoidance: B is A without the omission options. A protocol
+//     correct despite A's adversary is correct under B's weaker one, so
+//     solvable(A) ⊆ solvable(B).
+//   - AdversaryDecomposition: every adversarial outcome of B('s extra
+//     options) equals the composition of outcomes available in A, so any
+//     B-run maps to an A-run with identical per-agent behaviour (e.g. one
+//     I2 omission = two consecutive I1 omissions in opposite directions).
+type EdgeMechanism int
+
+// Edge mechanisms.
+const (
+	// Instantiation: the source relation is the target's with some free
+	// functions fixed.
+	Instantiation EdgeMechanism = iota + 1
+	// AdversaryAvoidance: the target model removes adversarial options.
+	AdversaryAvoidance
+	// AdversaryDecomposition: the target's adversarial options decompose
+	// into sequences of the source's.
+	AdversaryDecomposition
+)
+
+// String implements fmt.Stringer.
+func (m EdgeMechanism) String() string {
+	switch m {
+	case Instantiation:
+		return "instantiation"
+	case AdversaryAvoidance:
+		return "adversary-avoidance"
+	case AdversaryDecomposition:
+		return "adversary-decomposition"
+	default:
+		return "unknown"
+	}
+}
+
+// Edge is one inclusion arrow of Figure 1.
+type Edge struct {
+	From, To  Kind
+	Mechanism EdgeMechanism
+	// Note is a one-line human-readable justification.
+	Note string
+}
+
+// Hierarchy returns the inclusion edges of Figure 1, each with its
+// justification.
+func Hierarchy() []Edge {
+	return []Edge{
+		// Omissive models reach their non-omissive parents: the
+		// adversary may simply never insert omissions.
+		{T1, TW, AdversaryAvoidance, "TW is T1 without the omission options"},
+		{T2, TW, AdversaryAvoidance, "TW is T2 without the omission options"},
+		{T3, TW, AdversaryAvoidance, "TW is T3 without the omission options"},
+		{I1, IT, AdversaryAvoidance, "IT is I1 without the omission option"},
+		{I2, IT, AdversaryAvoidance, "IT is I2 without the omission option"},
+		{I3, IT, AdversaryAvoidance, "IT is I3 without the omission option"},
+		{I4, IT, AdversaryAvoidance, "IT is I4 without the omission option"},
+
+		// Syntactic instantiations among one-way models.
+		{IO, IT, Instantiation, "IO is IT with g = id"},
+		{I2, I3, Instantiation, "I2 is I3 with h = g"},
+		{I2, I4, Instantiation, "I2 is I4 with o = g"},
+
+		// One-way into two-way: fs(as, ar) = g(as), fr = f.
+		{IT, TW, Instantiation, "IT is TW with fs depending only on as"},
+		{I1, T1, Instantiation, "fs = g, fr = f; both omission sides undetectable"},
+		{I3, T3, Instantiation, "fs = g, fr = f, o = g, h = h"},
+		{I4, T3, Instantiation, "fs = g, fr = f, o = o, h = g"},
+
+		// Detection ladders among two-way omissive models.
+		{T1, T2, Instantiation, "T1 is T2 with o = id"},
+		{T2, T3, Instantiation, "T2 is T3 with h = id"},
+
+		// One I2 omission = two consecutive I1 omissions in opposite
+		// directions: (g(as), g(ar)) = (g(as), ar) ∘ (g(ar), as).
+		{I1, I2, AdversaryDecomposition, "one I2 omission = two opposite I1 omissions"},
+	}
+}
+
+// Reachable returns the set of models whose solvable-problem class is
+// (transitively) included in that of the given model, per Figure 1.
+func Reachable(to Kind) map[Kind]bool {
+	edges := Hierarchy()
+	incoming := make(map[Kind][]Kind)
+	for _, e := range edges {
+		incoming[e.To] = append(incoming[e.To], e.From)
+	}
+	seen := map[Kind]bool{to: true}
+	stack := []Kind{to}
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, from := range incoming[k] {
+			if !seen[from] {
+				seen[from] = true
+				stack = append(stack, from)
+			}
+		}
+	}
+	delete(seen, to)
+	return seen
+}

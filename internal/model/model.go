@@ -1,0 +1,161 @@
+// Package model implements the ten interaction models of Di Luna et al.
+// (ICDCS 2017), Figure 1: the standard two-way model TW, the two-way omissive
+// models T1, T2, T3, the one-way models IT (Immediate Transmission) and IO
+// (Immediate Observation), and the one-way omissive models I1, I2, I3, I4.
+//
+// A model is a transition *relation*: for a given protocol and a given
+// ordered pair of agent states, the outcome depends on whether the adversary
+// made the interaction omissive. The model also determines which detection
+// capabilities (the functions o, h, g of the paper) are available; where a
+// capability is absent the identity function is enforced, regardless of what
+// the protocol implements.
+package model
+
+import "fmt"
+
+// Kind identifies one of the paper's interaction models.
+type Kind int
+
+// The ten interaction models of Figure 1.
+const (
+	// TW is the standard two-way model: δ(as, ar) = (fs(as,ar), fr(as,ar)).
+	TW Kind = iota + 1
+	// T1 is two-way with undetectable omissions on both sides.
+	T1
+	// T2 is two-way with starter-side omission detection only (h = id).
+	T2
+	// T3 is two-way with omission detection on both sides.
+	T3
+	// IT is the Immediate Transmission one-way model:
+	// δ(as, ar) = (g(as), f(as, ar)); the starter detects the interaction.
+	IT
+	// IO is the Immediate Observation one-way model:
+	// δ(as, ar) = (as, f(as, ar)); the starter is unaware.
+	IO
+	// I1 is one-way omissive, weakest: omission ⇒ (g(as), ar).
+	I1
+	// I2 is one-way omissive, proximity detected by both, omission by
+	// neither: omission ⇒ (g(as), g(ar)).
+	I2
+	// I3 is one-way omissive with reactor-side omission detection:
+	// omission ⇒ (g(as), h(ar)).
+	I3
+	// I4 is one-way omissive with starter-side omission detection:
+	// omission ⇒ (o(as), g(ar)).
+	I4
+)
+
+// Kinds lists every model, in presentation order.
+func Kinds() []Kind {
+	return []Kind{TW, T1, T2, T3, IT, IO, I1, I2, I3, I4}
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case TW:
+		return "TW"
+	case T1:
+		return "T1"
+	case T2:
+		return "T2"
+	case T3:
+		return "T3"
+	case IT:
+		return "IT"
+	case IO:
+		return "IO"
+	case I1:
+		return "I1"
+	case I2:
+		return "I2"
+	case I3:
+		return "I3"
+	case I4:
+		return "I4"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a model name (as printed by String) back to a Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown interaction model %q", s)
+}
+
+// OneWay reports whether the model restricts communication to a single
+// direction (starter → reactor).
+func (k Kind) OneWay() bool {
+	switch k {
+	case IT, IO, I1, I2, I3, I4:
+		return true
+	default:
+		return false
+	}
+}
+
+// Omissive reports whether the adversary may insert omissive interactions in
+// this model.
+func (k Kind) Omissive() bool {
+	switch k {
+	case T1, T2, T3, I1, I2, I3, I4:
+		return true
+	default:
+		return false
+	}
+}
+
+// StarterDetectsOmission reports whether the starter-side detection function
+// o is available (not forced to identity).
+func (k Kind) StarterDetectsOmission() bool {
+	switch k {
+	case T2, T3, I4:
+		return true
+	default:
+		return false
+	}
+}
+
+// ReactorDetectsOmission reports whether the reactor-side detection function
+// h is available (not forced to identity).
+func (k Kind) ReactorDetectsOmission() bool {
+	switch k {
+	case T3, I3:
+		return true
+	default:
+		return false
+	}
+}
+
+// StarterDetectsProximity reports whether the starter may apply the
+// proximity-detection function g on a (one-way) interaction. In IO the
+// starter is entirely unaware, so g is forced to identity.
+func (k Kind) StarterDetectsProximity() bool {
+	switch k {
+	case IT, I1, I2, I3, I4:
+		return true
+	case IO:
+		return false
+	default:
+		// Two-way models subsume proximity detection in fs.
+		return !k.OneWay()
+	}
+}
+
+// ReactorDetectsProximityOnOmission reports whether, on an omissive
+// interaction, the reactor still detects the proximity of the starter (and
+// applies g), even though the transmitted state was lost. This is the
+// distinguishing feature of I2 and I4.
+func (k Kind) ReactorDetectsProximityOnOmission() bool {
+	switch k {
+	case I2, I4:
+		return true
+	default:
+		return false
+	}
+}

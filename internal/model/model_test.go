@@ -1,0 +1,220 @@
+package model_test
+
+import (
+	"errors"
+	"testing"
+
+	"popsim/internal/model"
+	"popsim/internal/pp"
+)
+
+// testTwoWay is a fully instrumented two-way protocol: every hook produces a
+// distinct marker so tests can observe exactly which function the model
+// applied.
+type testTwoWay struct{}
+
+func (testTwoWay) Name() string { return "probe2w" }
+func (testTwoWay) Delta(s, r pp.State) (pp.State, pp.State) {
+	return pp.Symbol("fs(" + s.Key() + "," + r.Key() + ")"), pp.Symbol("fr(" + s.Key() + "," + r.Key() + ")")
+}
+func (testTwoWay) OnStarterOmission(s pp.State) pp.State { return pp.Symbol("o(" + s.Key() + ")") }
+func (testTwoWay) OnReactorOmission(r pp.State) pp.State { return pp.Symbol("h(" + r.Key() + ")") }
+
+// testOneWay is the one-way analogue.
+type testOneWay struct{}
+
+func (testOneWay) Name() string { return "probe1w" }
+func (testOneWay) React(s, r pp.State) pp.State {
+	return pp.Symbol("f(" + s.Key() + "," + r.Key() + ")")
+}
+func (testOneWay) Detect(s pp.State) pp.State            { return pp.Symbol("g(" + s.Key() + ")") }
+func (testOneWay) OnStarterOmission(s pp.State) pp.State { return pp.Symbol("o(" + s.Key() + ")") }
+func (testOneWay) OnReactorOmission(r pp.State) pp.State { return pp.Symbol("h(" + r.Key() + ")") }
+
+func apply(t *testing.T, k model.Kind, p any, om pp.OmissionSide) (string, string) {
+	t.Helper()
+	s, r, err := model.Apply(k, p, pp.Symbol("a"), pp.Symbol("b"), om)
+	if err != nil {
+		t.Fatalf("Apply(%v, om=%v): %v", k, om, err)
+	}
+	return s.Key(), r.Key()
+}
+
+// TestTwoWayRelations checks the transition relations of TW, T1, T2, T3
+// exactly as defined in Section 2.3 and Figure 1.
+func TestTwoWayRelations(t *testing.T) {
+	p := testTwoWay{}
+	tests := []struct {
+		kind   model.Kind
+		om     pp.OmissionSide
+		ws, wr string
+	}{
+		{model.TW, pp.OmissionNone, "fs(a,b)", "fr(a,b)"},
+		// T3: detection on both sides.
+		{model.T3, pp.OmissionNone, "fs(a,b)", "fr(a,b)"},
+		{model.T3, pp.OmissionStarter, "o(a)", "fr(a,b)"},
+		{model.T3, pp.OmissionReactor, "fs(a,b)", "h(b)"},
+		{model.T3, pp.OmissionBoth, "o(a)", "h(b)"},
+		// T2: h forced to identity.
+		{model.T2, pp.OmissionStarter, "o(a)", "fr(a,b)"},
+		{model.T2, pp.OmissionReactor, "fs(a,b)", "b"},
+		{model.T2, pp.OmissionBoth, "o(a)", "b"},
+		// T1: both forced to identity.
+		{model.T1, pp.OmissionStarter, "a", "fr(a,b)"},
+		{model.T1, pp.OmissionReactor, "fs(a,b)", "b"},
+		{model.T1, pp.OmissionBoth, "a", "b"},
+	}
+	for _, tc := range tests {
+		s, r := apply(t, tc.kind, p, tc.om)
+		if s != tc.ws || r != tc.wr {
+			t.Errorf("%v om=%v: got (%s,%s), want (%s,%s)", tc.kind, tc.om, s, r, tc.ws, tc.wr)
+		}
+	}
+}
+
+// TestOneWayRelations checks IT, IO, I1, I2, I3, I4 against Figure 1.
+func TestOneWayRelations(t *testing.T) {
+	p := testOneWay{}
+	tests := []struct {
+		kind   model.Kind
+		om     pp.OmissionSide
+		ws, wr string
+	}{
+		{model.IT, pp.OmissionNone, "g(a)", "f(a,b)"},
+		{model.IO, pp.OmissionNone, "a", "f(a,b)"}, // g forced to identity
+		{model.I1, pp.OmissionNone, "g(a)", "f(a,b)"},
+		{model.I1, pp.OmissionBoth, "g(a)", "b"},
+		{model.I2, pp.OmissionBoth, "g(a)", "g(b)"},
+		{model.I3, pp.OmissionBoth, "g(a)", "h(b)"},
+		{model.I4, pp.OmissionBoth, "o(a)", "g(b)"},
+	}
+	for _, tc := range tests {
+		s, r := apply(t, tc.kind, p, tc.om)
+		if s != tc.ws || r != tc.wr {
+			t.Errorf("%v om=%v: got (%s,%s), want (%s,%s)", tc.kind, tc.om, s, r, tc.ws, tc.wr)
+		}
+	}
+}
+
+// TestOmissionRejectedInNonOmissiveModels: TW, IT, IO reject omissive
+// interactions.
+func TestOmissionRejectedInNonOmissiveModels(t *testing.T) {
+	for _, k := range []model.Kind{model.TW, model.IT, model.IO} {
+		var p any = testTwoWay{}
+		if k.OneWay() {
+			p = testOneWay{}
+		}
+		_, _, err := model.Apply(k, p, pp.Symbol("a"), pp.Symbol("b"), pp.OmissionBoth)
+		if !errors.Is(err, model.ErrOmissionNotAllowed) {
+			t.Errorf("%v: err = %v, want ErrOmissionNotAllowed", k, err)
+		}
+	}
+}
+
+// TestProtocolShapeEnforced: one-way models need OneWay protocols and vice
+// versa.
+func TestProtocolShapeEnforced(t *testing.T) {
+	if _, _, err := model.Apply(model.IO, testTwoWay{}, pp.Symbol("a"), pp.Symbol("b"), pp.OmissionNone); !errors.Is(err, model.ErrProtocolShape) {
+		t.Errorf("IO with TwoWay: err = %v, want ErrProtocolShape", err)
+	}
+	if _, _, err := model.Apply(model.TW, testOneWay{}, pp.Symbol("a"), pp.Symbol("b"), pp.OmissionNone); !errors.Is(err, model.ErrProtocolShape) {
+		t.Errorf("TW with OneWay: err = %v, want ErrProtocolShape", err)
+	}
+}
+
+// TestDetectionWithoutHooks: a protocol without omission hooks falls back to
+// the identity even in detecting models.
+func TestDetectionWithoutHooks(t *testing.T) {
+	bare := pp.Func{ProtocolName: "bare", Transition: func(s, r pp.State) (pp.State, pp.State) {
+		return pp.Symbol("S"), pp.Symbol("R")
+	}}
+	s, r, err := model.Apply(model.T3, bare, pp.Symbol("a"), pp.Symbol("b"), pp.OmissionBoth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Key() != "a" || r.Key() != "b" {
+		t.Errorf("got (%s,%s), want identity (a,b)", s.Key(), r.Key())
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	tests := []struct {
+		k                          model.Kind
+		oneWay, omissive, sd, rd   bool
+		proximity, reactorProxOnOm bool
+	}{
+		{model.TW, false, false, false, false, true, false},
+		{model.T1, false, true, false, false, true, false},
+		{model.T2, false, true, true, false, true, false},
+		{model.T3, false, true, true, true, true, false},
+		{model.IT, true, false, false, false, true, false},
+		{model.IO, true, false, false, false, false, false},
+		{model.I1, true, true, false, false, true, false},
+		{model.I2, true, true, false, false, true, true},
+		{model.I3, true, true, false, true, true, false},
+		{model.I4, true, true, true, false, true, true},
+	}
+	for _, tc := range tests {
+		if tc.k.OneWay() != tc.oneWay {
+			t.Errorf("%v OneWay = %v", tc.k, tc.k.OneWay())
+		}
+		if tc.k.Omissive() != tc.omissive {
+			t.Errorf("%v Omissive = %v", tc.k, tc.k.Omissive())
+		}
+		if tc.k.StarterDetectsOmission() != tc.sd {
+			t.Errorf("%v StarterDetectsOmission = %v", tc.k, tc.k.StarterDetectsOmission())
+		}
+		if tc.k.ReactorDetectsOmission() != tc.rd {
+			t.Errorf("%v ReactorDetectsOmission = %v", tc.k, tc.k.ReactorDetectsOmission())
+		}
+		if tc.k.StarterDetectsProximity() != tc.proximity {
+			t.Errorf("%v StarterDetectsProximity = %v", tc.k, tc.k.StarterDetectsProximity())
+		}
+		if tc.k.ReactorDetectsProximityOnOmission() != tc.reactorProxOnOm {
+			t.Errorf("%v ReactorDetectsProximityOnOmission = %v", tc.k, tc.k.ReactorDetectsProximityOnOmission())
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range model.Kinds() {
+		got, err := model.ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := model.ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) succeeded")
+	}
+}
+
+// TestHierarchyShape sanity-checks Figure 1: every weaker model reaches TW,
+// and the one-way omissive models reach their one-way parents.
+func TestHierarchyShape(t *testing.T) {
+	reach := model.Reachable(model.TW)
+	for _, k := range model.Kinds() {
+		if k == model.TW {
+			continue
+		}
+		if !reach[k] {
+			t.Errorf("model %v does not reach TW in the Figure-1 hierarchy", k)
+		}
+	}
+	itReach := model.Reachable(model.IT)
+	for _, k := range []model.Kind{model.IO, model.I1, model.I2, model.I3, model.I4} {
+		if !itReach[k] {
+			t.Errorf("model %v does not reach IT", k)
+		}
+	}
+	if itReach[model.TW] || itReach[model.T3] {
+		t.Error("two-way models must not be included in IT's class")
+	}
+	for _, e := range model.Hierarchy() {
+		if e.From == e.To {
+			t.Errorf("self-edge %v", e)
+		}
+		if e.Note == "" {
+			t.Errorf("edge %v→%v lacks a justification note", e.From, e.To)
+		}
+	}
+}

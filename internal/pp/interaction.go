@@ -1,0 +1,118 @@
+package pp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OmissionSide says which side(s) of an interaction lost the transmitted
+// information (Section 2.3). In an omissive interaction an agent receives no
+// information about the state of its counterpart.
+type OmissionSide int
+
+// Omission sides. OmissionNone is the zero value: a fully successful
+// interaction.
+const (
+	// OmissionNone: no omission; the interaction is fully delivered.
+	OmissionNone OmissionSide = iota
+	// OmissionStarter: the starter did not receive the reactor's state.
+	OmissionStarter
+	// OmissionReactor: the reactor did not receive the starter's state.
+	OmissionReactor
+	// OmissionBoth: both transmissions were lost.
+	OmissionBoth
+)
+
+// String renders the omission side.
+func (o OmissionSide) String() string {
+	switch o {
+	case OmissionNone:
+		return "none"
+	case OmissionStarter:
+		return "starter"
+	case OmissionReactor:
+		return "reactor"
+	case OmissionBoth:
+		return "both"
+	default:
+		return fmt.Sprintf("OmissionSide(%d)", int(o))
+	}
+}
+
+// StarterOmitted reports whether the starter's incoming information was lost.
+func (o OmissionSide) StarterOmitted() bool {
+	return o == OmissionStarter || o == OmissionBoth
+}
+
+// ReactorOmitted reports whether the reactor's incoming information was lost.
+func (o OmissionSide) ReactorOmitted() bool {
+	return o == OmissionReactor || o == OmissionBoth
+}
+
+// IsOmissive reports whether the interaction carries any omission at all.
+func (o OmissionSide) IsOmissive() bool { return o != OmissionNone }
+
+// Interaction is one ordered meeting of two agents, possibly degraded by an
+// omission fault. Starter and Reactor are agent indices into the
+// configuration.
+type Interaction struct {
+	Starter  int
+	Reactor  int
+	Omission OmissionSide
+}
+
+// Valid reports whether the interaction references two distinct, non-negative
+// agent indices below n.
+func (i Interaction) Valid(n int) bool {
+	return i.Starter != i.Reactor &&
+		i.Starter >= 0 && i.Starter < n &&
+		i.Reactor >= 0 && i.Reactor < n
+}
+
+// String renders the interaction, e.g. "(3,7)" or "(3,7)!reactor".
+func (i Interaction) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	b.WriteString(strconv.Itoa(i.Starter))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(i.Reactor))
+	b.WriteByte(')')
+	if i.Omission != OmissionNone {
+		b.WriteByte('!')
+		b.WriteString(i.Omission.String())
+	}
+	return b.String()
+}
+
+// Run is a (finite prefix of a) sequence of interactions. The paper's runs
+// are infinite; executables work with finite prefixes and extend them on
+// demand.
+type Run []Interaction
+
+// Omissions returns O(I): the number of omissive interactions in the run.
+func (r Run) Omissions() int {
+	n := 0
+	for _, i := range r {
+		if i.Omission.IsOmissive() {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a copy of the run.
+func (r Run) Clone() Run {
+	out := make(Run, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the run compactly.
+func (r Run) String() string {
+	parts := make([]string, len(r))
+	for i, it := range r {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, " ")
+}

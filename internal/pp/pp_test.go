@@ -1,0 +1,182 @@
+package pp_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"popsim/internal/pp"
+)
+
+func TestSymbolKey(t *testing.T) {
+	if pp.Symbol("c").Key() != "c" {
+		t.Errorf("Symbol key mismatch")
+	}
+	if pp.Symbol("c").String() != "c" {
+		t.Errorf("Symbol string mismatch")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b pp.State
+		want bool
+	}{
+		{"same symbol", pp.Symbol("x"), pp.Symbol("x"), true},
+		{"different symbols", pp.Symbol("x"), pp.Symbol("y"), false},
+		{"nil vs nil", nil, nil, true},
+		{"nil vs state", nil, pp.Symbol("x"), false},
+		{"state vs nil", pp.Symbol("x"), nil, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := pp.Equal(tc.a, tc.b); got != tc.want {
+				t.Errorf("Equal(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestConfigurationClone(t *testing.T) {
+	c := pp.Configuration{pp.Symbol("a"), pp.Symbol("b")}
+	d := c.Clone()
+	d[0] = pp.Symbol("z")
+	if c[0].Key() != "a" {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestConfigurationKeys(t *testing.T) {
+	c := pp.Configuration{pp.Symbol("b"), pp.Symbol("a")}
+	if got, want := c.Key(), "b|a"; got != want {
+		t.Errorf("Key = %q, want %q", got, want)
+	}
+	if got, want := c.MultisetKey(), "a|b"; got != want {
+		t.Errorf("MultisetKey = %q, want %q", got, want)
+	}
+}
+
+// TestMultisetKeyPermutationInvariant: the multiset key must be invariant
+// under any permutation of the agents (closed sets of Section 2.1 are
+// permutation-closed).
+func TestMultisetKeyPermutationInvariant(t *testing.T) {
+	f := func(raw []byte, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cfg := make(pp.Configuration, len(raw))
+		for i, b := range raw {
+			cfg[i] = pp.Symbol(string(rune('a' + int(b)%4)))
+		}
+		perm := cfg.Clone()
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		return cfg.MultisetKey() == perm.MultisetKey()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigurationCount(t *testing.T) {
+	c := pp.Configuration{pp.Symbol("a"), pp.Symbol("b"), pp.Symbol("a")}
+	if got := c.Count(pp.Symbol("a")); got != 2 {
+		t.Errorf("Count(a) = %d, want 2", got)
+	}
+	if got := c.CountFunc(func(s pp.State) bool { return s.Key() != "a" }); got != 1 {
+		t.Errorf("CountFunc = %d, want 1", got)
+	}
+}
+
+func TestOmissionSide(t *testing.T) {
+	tests := []struct {
+		side             pp.OmissionSide
+		starter, reactor bool
+		str              string
+	}{
+		{pp.OmissionNone, false, false, "none"},
+		{pp.OmissionStarter, true, false, "starter"},
+		{pp.OmissionReactor, false, true, "reactor"},
+		{pp.OmissionBoth, true, true, "both"},
+	}
+	for _, tc := range tests {
+		if tc.side.StarterOmitted() != tc.starter {
+			t.Errorf("%v StarterOmitted = %v", tc.side, tc.side.StarterOmitted())
+		}
+		if tc.side.ReactorOmitted() != tc.reactor {
+			t.Errorf("%v ReactorOmitted = %v", tc.side, tc.side.ReactorOmitted())
+		}
+		if tc.side.String() != tc.str {
+			t.Errorf("%v String = %q, want %q", tc.side, tc.side.String(), tc.str)
+		}
+		if tc.side.IsOmissive() != (tc.starter || tc.reactor) {
+			t.Errorf("%v IsOmissive inconsistent", tc.side)
+		}
+	}
+}
+
+func TestInteractionValid(t *testing.T) {
+	tests := []struct {
+		it   pp.Interaction
+		n    int
+		want bool
+	}{
+		{pp.Interaction{Starter: 0, Reactor: 1}, 2, true},
+		{pp.Interaction{Starter: 1, Reactor: 0}, 2, true},
+		{pp.Interaction{Starter: 0, Reactor: 0}, 2, false},
+		{pp.Interaction{Starter: 0, Reactor: 2}, 2, false},
+		{pp.Interaction{Starter: -1, Reactor: 1}, 2, false},
+	}
+	for _, tc := range tests {
+		if got := tc.it.Valid(tc.n); got != tc.want {
+			t.Errorf("%v.Valid(%d) = %v, want %v", tc.it, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestInteractionString(t *testing.T) {
+	it := pp.Interaction{Starter: 3, Reactor: 7}
+	if got := it.String(); got != "(3,7)" {
+		t.Errorf("String = %q", got)
+	}
+	it.Omission = pp.OmissionReactor
+	if got := it.String(); got != "(3,7)!reactor" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRunOmissions(t *testing.T) {
+	r := pp.Run{
+		{Starter: 0, Reactor: 1},
+		{Starter: 1, Reactor: 0, Omission: pp.OmissionBoth},
+		{Starter: 0, Reactor: 1, Omission: pp.OmissionStarter},
+	}
+	if got := r.Omissions(); got != 2 {
+		t.Errorf("Omissions = %d, want 2", got)
+	}
+	cl := r.Clone()
+	cl[0].Starter = 9
+	if r[0].Starter != 0 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestOneWayAdapter(t *testing.T) {
+	p := pp.Func{
+		ProtocolName: "swap",
+		Transition: func(s, r pp.State) (pp.State, pp.State) {
+			return r, s
+		},
+	}
+	a := pp.OneWayAdapter{P: p}
+	if got := a.React(pp.Symbol("x"), pp.Symbol("y")); got.Key() != "x" {
+		t.Errorf("React = %v, want x", got)
+	}
+	if got := a.Detect(pp.Symbol("x")); got.Key() != "x" {
+		t.Errorf("Detect must be identity, got %v", got)
+	}
+	if a.Name() != "swap/one-way" {
+		t.Errorf("Name = %q", a.Name())
+	}
+}

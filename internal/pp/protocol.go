@@ -1,0 +1,149 @@
+package pp
+
+// TwoWay is a standard two-way population protocol (model TW, Section 2.2).
+//
+// Delta is the transition function δP : QP × QP → QP × QP. It is applied to
+// the ordered pair (starter, reactor) and returns their new states in the
+// same order. Delta must be deterministic and must not mutate its arguments.
+type TwoWay interface {
+	// Name identifies the protocol in traces and reports.
+	Name() string
+	// Delta returns (fs(s, r), fr(s, r)).
+	Delta(starter, reactor State) (State, State)
+}
+
+// OneWay is a one-way protocol (models IT and IO, Section 2.2).
+//
+// In a non-omissive one-way interaction the reactor becomes React(s, r) and
+// the starter becomes Detect(s). In the Immediate Observation model (IO),
+// Detect must be the identity; the model layer enforces this regardless of
+// the protocol's implementation.
+type OneWay interface {
+	// Name identifies the protocol in traces and reports.
+	Name() string
+	// React is f : QP × QP → QP, the reactor's update. The reactor
+	// observes both its own state and the starter's state.
+	React(starter, reactor State) State
+	// Detect is g : QP → QP, the starter's update upon detecting the
+	// proximity of a reactor. The starter does not see the reactor's
+	// state.
+	Detect(starter State) State
+}
+
+// StarterOmissionAware is implemented by protocols that can detect an
+// omission on the starter's side (the function o of Section 2.3). Models in
+// which starter-side omissions are undetectable force the identity instead.
+type StarterOmissionAware interface {
+	// OnStarterOmission is o : QP → QP.
+	OnStarterOmission(starter State) State
+}
+
+// ReactorOmissionAware is implemented by protocols that can detect an
+// omission on the reactor's side (the function h of Section 2.3). Models in
+// which reactor-side omissions are undetectable force the identity instead.
+type ReactorOmissionAware interface {
+	// OnReactorOmission is h : QP → QP.
+	OnReactorOmission(reactor State) State
+}
+
+// Initializer is an optional protocol extension that produces the initial
+// state of agent i in a population of n agents. Protocols whose initial
+// states encode knowledge (unique IDs, knowledge of n — Section 2.1 "Initial
+// Knowledge") implement this; simple protocols are usually initialized
+// explicitly by the caller instead.
+type Initializer interface {
+	InitialState(agent, n int) State
+}
+
+// Outputter is an optional protocol extension mapping each state to an
+// output value, used by predicate-computing protocols (e.g. majority).
+type Outputter interface {
+	Output(State) string
+}
+
+// OneWayAdapter lifts a TwoWay protocol into a OneWay protocol by using only
+// the reactor side of δ: React(s, r) = δ(s, r)[1] and Detect = identity.
+// This is the standard embedding of IO-runnable logic and is used by
+// simulators whose own protocol logic is naturally one-way.
+type OneWayAdapter struct {
+	P TwoWay
+}
+
+var _ OneWay = OneWayAdapter{}
+
+// Name implements OneWay.
+func (a OneWayAdapter) Name() string { return a.P.Name() + "/one-way" }
+
+// React implements OneWay using the reactor side of the wrapped δ.
+func (a OneWayAdapter) React(starter, reactor State) State {
+	_, r := a.P.Delta(starter, reactor)
+	return r
+}
+
+// Detect implements OneWay as the identity.
+func (a OneWayAdapter) Detect(starter State) State { return starter }
+
+// TwoWayEmbed lifts a OneWay protocol into a TwoWay protocol by the standard
+// embedding fs(as, ar) = g(as), fr(as, ar) = f(as, ar) (Figure 1: IT is TW
+// with fs depending only on as).
+//
+// Omission hooks: the starter of a one-way protocol receives nothing, so a
+// two-way omission on the starter's side (the reverse channel) is irrelevant
+// to it — it must behave exactly as on success, i.e. apply g. It must *not*
+// use an I4-style starter hook: that hook assumes the forward transmission
+// was lost, but in a T3 starter-side omission the forward delivery
+// succeeded, and acting on the wrong assumption duplicates protocol state
+// (for token protocols, duplicated tokens break safety). The reactor-side
+// hook h carries over verbatim: a two-way reactor-side omission is exactly a
+// lost forward transmission, the I3 situation.
+//
+// The embedding lets one-way simulators (SKnO, SID) run under the two-way
+// omissive models T1, T2, T3, realizing the Figure-1 inclusions I3 → T3 and
+// I4 → T3 operationally.
+type TwoWayEmbed struct {
+	OW OneWay
+}
+
+var (
+	_ TwoWay               = TwoWayEmbed{}
+	_ StarterOmissionAware = TwoWayEmbed{}
+	_ ReactorOmissionAware = TwoWayEmbed{}
+)
+
+// Name implements TwoWay.
+func (e TwoWayEmbed) Name() string { return e.OW.Name() + "/two-way" }
+
+// Delta implements TwoWay.
+func (e TwoWayEmbed) Delta(starter, reactor State) (State, State) {
+	return e.OW.Detect(starter), e.OW.React(starter, reactor)
+}
+
+// OnStarterOmission implements StarterOmissionAware: always g (see the type
+// comment for why the one-way starter hook must not be used here).
+func (e TwoWayEmbed) OnStarterOmission(starter State) State {
+	return e.OW.Detect(starter)
+}
+
+// OnReactorOmission implements ReactorOmissionAware.
+func (e TwoWayEmbed) OnReactorOmission(reactor State) State {
+	if d, ok := e.OW.(ReactorOmissionAware); ok {
+		return d.OnReactorOmission(reactor)
+	}
+	return reactor
+}
+
+// Func is a convenience TwoWay implementation backed by a function.
+type Func struct {
+	ProtocolName string
+	Transition   func(starter, reactor State) (State, State)
+}
+
+var _ TwoWay = Func{}
+
+// Name implements TwoWay.
+func (f Func) Name() string { return f.ProtocolName }
+
+// Delta implements TwoWay.
+func (f Func) Delta(starter, reactor State) (State, State) {
+	return f.Transition(starter, reactor)
+}

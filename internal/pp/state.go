@@ -1,0 +1,124 @@
+// Package pp defines the core notions of the Population Protocol (PP) model
+// of Angluin et al. as used in Di Luna et al., "On the Power of Weaker
+// Pairwise Interaction: Fault-Tolerant Simulation of Population Protocols"
+// (ICDCS 2017): agents, states, configurations, two-way protocols, one-way
+// protocols, and omission-detection hooks.
+//
+// A system is a population of n anonymous agents. When two agents meet, an
+// ordered interaction (starter, reactor) occurs and their states change
+// according to the protocol's transition function. All state values are
+// treated as immutable: transition functions must return fresh values and
+// never mutate their arguments.
+package pp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// State is an opaque, immutable agent state.
+//
+// Implementations must provide a canonical Key: two states are considered
+// equal if and only if their Keys are equal. Keys are used for hashing,
+// configuration comparison, and closed-set membership.
+type State interface {
+	// Key returns a canonical, deterministic encoding of the state.
+	Key() string
+}
+
+// Equal reports whether two states are equal under the canonical Key
+// encoding. A nil state is only equal to another nil state.
+func Equal(a, b State) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Key() == b.Key()
+}
+
+// Symbol is the simplest State implementation: a named constant state, such
+// as "c", "p" or "leader". It is the natural representation for the
+// constant-size state spaces of classical population protocols.
+type Symbol string
+
+// Key implements State.
+func (s Symbol) Key() string { return string(s) }
+
+// String returns the symbol itself.
+func (s Symbol) String() string { return string(s) }
+
+var _ State = Symbol("")
+
+// Configuration is the tuple of the states of all agents, indexed by agent.
+// Agents are anonymous: indices exist only so that runs can reference the
+// participants of an interaction.
+type Configuration []State
+
+// Clone returns a deep copy of the configuration slice. The State values
+// themselves are immutable and therefore shared.
+func (c Configuration) Clone() Configuration {
+	out := make(Configuration, len(c))
+	copy(out, c)
+	return out
+}
+
+// Key returns a canonical encoding of the ordered configuration.
+func (c Configuration) Key() string {
+	var b strings.Builder
+	for i, s := range c {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		if s == nil {
+			b.WriteString("<nil>")
+			continue
+		}
+		b.WriteString(s.Key())
+	}
+	return b.String()
+}
+
+// MultisetKey returns a canonical encoding of the configuration viewed as a
+// multiset of states, i.e. invariant under permutation of the agents. Closed
+// sets of configurations (Section 2.1 of the paper) are permutation-closed,
+// so multiset keys are the right granularity for fairness bookkeeping.
+func (c Configuration) MultisetKey() string {
+	keys := make([]string, len(c))
+	for i, s := range c {
+		if s == nil {
+			keys[i] = "<nil>"
+			continue
+		}
+		keys[i] = s.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+// Count returns how many agents of the configuration are in the given state.
+func (c Configuration) Count(s State) int {
+	n := 0
+	key := s.Key()
+	for _, st := range c {
+		if st != nil && st.Key() == key {
+			n++
+		}
+	}
+	return n
+}
+
+// CountFunc returns how many agents satisfy the predicate.
+func (c Configuration) CountFunc(pred func(State) bool) int {
+	n := 0
+	for _, st := range c {
+		if st != nil && pred(st) {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the configuration for debugging.
+func (c Configuration) String() string {
+	return fmt.Sprintf("(%s)", c.Key())
+}

@@ -1,0 +1,47 @@
+package protocols
+
+import "popsim/internal/pp"
+
+// Leader-election states.
+const (
+	// Leader is the initial state of every agent.
+	Leader = pp.Symbol("L")
+	// Follower is an agent that lost a leader duel.
+	Follower = pp.Symbol("F")
+)
+
+// LeaderElection is the folklore pairwise-elimination protocol: when two
+// leaders meet, the reactor demotes itself. Every globally fair execution
+// stabilizes with exactly one leader.
+//
+//	(L, L) → (L, F)
+type LeaderElection struct{}
+
+var _ pp.TwoWay = LeaderElection{}
+
+// Name implements pp.TwoWay.
+func (LeaderElection) Name() string { return "leader" }
+
+// Delta implements pp.TwoWay.
+func (LeaderElection) Delta(s, r pp.State) (pp.State, pp.State) {
+	if pp.Equal(s, Leader) && pp.Equal(r, Leader) {
+		return Leader, Follower
+	}
+	return s, r
+}
+
+// LeaderConfig builds the all-leaders initial configuration.
+func LeaderConfig(n int) pp.Configuration {
+	cfg := make(pp.Configuration, n)
+	for i := range cfg {
+		cfg[i] = Leader
+	}
+	return cfg
+}
+
+// LeaderElected reports whether exactly one leader remains.
+func LeaderElected(c pp.Configuration) bool { return c.Count(Leader) == 1 }
+
+// LeaderSafe reports whether at least one leader remains (leaders are only
+// ever demoted by other leaders, so the count never reaches zero).
+func LeaderSafe(c pp.Configuration) bool { return c.Count(Leader) >= 1 }

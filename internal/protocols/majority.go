@@ -1,0 +1,108 @@
+package protocols
+
+import "popsim/internal/pp"
+
+// Majority states: strong opinions cancel pairwise; surviving strong agents
+// convert weak ones.
+const (
+	// StrongA / StrongB are the initial opinions.
+	StrongA = pp.Symbol("A")
+	StrongB = pp.Symbol("B")
+	// WeakA / WeakB are converted (weak) opinions.
+	WeakA = pp.Symbol("a")
+	WeakB = pp.Symbol("b")
+)
+
+// Majority is the classical 4-state exact-majority protocol
+// (Draief–Vojnović / Mertzios et al.): strong opposite opinions cancel into
+// weak ones, and strong agents overwrite weak opposite opinions. For
+// non-tied inputs every globally fair execution converges to all agents
+// carrying the majority letter. (Ties are not decided by 4-state protocols;
+// a tied input converges to all-weak with mixed letters.)
+//
+//	(A, B) → (a, b)    cancellation
+//	(A, b) → (A, a)    conversion
+//	(B, a) → (B, b)    conversion
+//
+// plus the symmetric rules with the roles of starter and reactor swapped.
+type Majority struct{}
+
+var (
+	_ pp.TwoWay    = Majority{}
+	_ pp.Outputter = Majority{}
+)
+
+// Name implements pp.TwoWay.
+func (Majority) Name() string { return "majority" }
+
+// Delta implements pp.TwoWay.
+func (Majority) Delta(s, r pp.State) (pp.State, pp.State) {
+	a, b := majorityRule(s, r)
+	return a, b
+}
+
+func majorityRule(s, r pp.State) (pp.State, pp.State) {
+	sk, rk := s.Key(), r.Key()
+	switch {
+	// Cancellation.
+	case sk == "A" && rk == "B":
+		return WeakA, WeakB
+	case sk == "B" && rk == "A":
+		return WeakB, WeakA
+	// Conversion by a strong agent (either role).
+	case sk == "A" && rk == "b":
+		return StrongA, WeakA
+	case sk == "b" && rk == "A":
+		return WeakA, StrongA
+	case sk == "B" && rk == "a":
+		return StrongB, WeakB
+	case sk == "a" && rk == "B":
+		return WeakB, StrongB
+	default:
+		return s, r
+	}
+}
+
+// Output implements pp.Outputter: the agent's current opinion letter.
+func (Majority) Output(s pp.State) string {
+	switch s.Key() {
+	case "A", "a":
+		return "A"
+	case "B", "b":
+		return "B"
+	default:
+		return "?"
+	}
+}
+
+// MajorityConfig builds an initial configuration with the given numbers of
+// strong-A and strong-B agents.
+func MajorityConfig(as, bs int) pp.Configuration {
+	cfg := make(pp.Configuration, 0, as+bs)
+	for i := 0; i < as; i++ {
+		cfg = append(cfg, StrongA)
+	}
+	for i := 0; i < bs; i++ {
+		cfg = append(cfg, StrongB)
+	}
+	return cfg
+}
+
+// MajorityConverged reports whether every agent outputs the given letter.
+func MajorityConverged(c pp.Configuration, letter string) bool {
+	var m Majority
+	for _, s := range c {
+		if m.Output(s) != letter {
+			return false
+		}
+	}
+	return true
+}
+
+// MajorityInvariant checks the protocol's conserved quantity on a
+// (projected) configuration: #StrongA − #StrongB is invariant under every
+// rule (cancellation removes one of each; conversions do not touch strong
+// counts), so it must always equal the initial difference.
+func MajorityInvariant(c pp.Configuration, initialAs, initialBs int) bool {
+	return c.Count(StrongA)-c.Count(StrongB) == initialAs-initialBs
+}

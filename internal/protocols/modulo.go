@@ -1,0 +1,116 @@
+package protocols
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"popsim/internal/pp"
+)
+
+// ModuloState is the state of the modulo-counting protocol.
+type ModuloState struct {
+	// Value is the agent's residue (or adopted belief).
+	Value int
+	// Active marks agents still carrying counting tokens; exactly the
+	// active agents' values sum (mod M) to the input residue.
+	Active bool
+}
+
+var _ pp.State = ModuloState{}
+
+// Key implements pp.State.
+func (s ModuloState) Key() string {
+	var b strings.Builder
+	b.WriteString("mod:")
+	b.WriteString(strconv.Itoa(s.Value))
+	if s.Active {
+		b.WriteString(":act")
+	}
+	return b.String()
+}
+
+// String renders the state.
+func (s ModuloState) String() string { return s.Key() }
+
+// Modulo computes the number of agents that started with input 1, modulo M
+// (parity for M = 2). Active agents merge their residues; passive agents
+// adopt the value of any active agent they meet. Every globally fair
+// execution stabilizes with a single active agent holding the true residue
+// and all passive agents agreeing with it.
+//
+//	(act x, act y)  → (act (x+y mod M), pas (x+y mod M))
+//	(act x, pas y)  → (act x,           pas x)
+//	(pas x, act y)  → (pas x,           act y)            (no change)
+//	(pas x, pas y)  → (pas x,           pas x)            (gossip)
+type Modulo struct {
+	// M is the modulus (M ≥ 2).
+	M int
+}
+
+var _ pp.TwoWay = Modulo{}
+
+// Name implements pp.TwoWay.
+func (m Modulo) Name() string { return fmt.Sprintf("modulo(%d)", m.M) }
+
+// Delta implements pp.TwoWay.
+func (m Modulo) Delta(s, r pp.State) (pp.State, pp.State) {
+	ss, ok1 := s.(ModuloState)
+	rs, ok2 := r.(ModuloState)
+	if !ok1 || !ok2 {
+		return s, r
+	}
+	switch {
+	case ss.Active && rs.Active:
+		v := (ss.Value + rs.Value) % m.M
+		return ModuloState{Value: v, Active: true}, ModuloState{Value: v}
+	case ss.Active && !rs.Active:
+		return ss, ModuloState{Value: ss.Value}
+	case !ss.Active && !rs.Active:
+		return ss, ModuloState{Value: ss.Value}
+	default: // passive starter, active reactor: reactor keeps its token
+		return ss, rs
+	}
+}
+
+// ModuloConfig builds an initial configuration with `ones` agents holding
+// input 1 and the rest input 0; every agent starts active.
+func ModuloConfig(n, ones int) pp.Configuration {
+	cfg := make(pp.Configuration, n)
+	for i := range cfg {
+		v := 0
+		if i < ones {
+			v = 1
+		}
+		cfg[i] = ModuloState{Value: v, Active: true}
+	}
+	return cfg
+}
+
+// ModuloConverged reports whether exactly one active agent remains and all
+// agents agree on the given residue.
+func ModuloConverged(c pp.Configuration, want int) bool {
+	actives := 0
+	for _, s := range c {
+		ms, ok := s.(ModuloState)
+		if !ok || ms.Value != want {
+			return false
+		}
+		if ms.Active {
+			actives++
+		}
+	}
+	return actives == 1
+}
+
+// ModuloResidue returns the sum of active agents' values mod M — the
+// protocol's conserved quantity.
+func ModuloResidue(c pp.Configuration, m int) int {
+	total := 0
+	for _, s := range c {
+		if ms, ok := s.(ModuloState); ok && ms.Active {
+			total += ms.Value
+		}
+	}
+	return ((total % m) + m) % m
+}

@@ -1,0 +1,49 @@
+package protocols
+
+import "popsim/internal/pp"
+
+// OR (epidemic) states.
+const (
+	// Zero is the "nothing seen" state.
+	Zero = pp.Symbol("0")
+	// One is the "signal present" state; it spreads epidemically.
+	One = pp.Symbol("1")
+)
+
+// Or is the one-bit epidemic: any agent that meets a 1 becomes 1. It
+// computes the OR of the inputs and is the simplest non-trivial workload —
+// it is solvable even in IO with constant memory, making it a useful
+// baseline on the weak models.
+//
+//	(1, 0) → (1, 1); (0, 1) → (1, 1)
+type Or struct{}
+
+var _ pp.TwoWay = Or{}
+
+// Name implements pp.TwoWay.
+func (Or) Name() string { return "or" }
+
+// Delta implements pp.TwoWay.
+func (Or) Delta(s, r pp.State) (pp.State, pp.State) {
+	if pp.Equal(s, One) || pp.Equal(r, One) {
+		return One, One
+	}
+	return s, r
+}
+
+// OrConfig builds an initial configuration with `ones` agents in state 1.
+func OrConfig(n, ones int) pp.Configuration {
+	cfg := make(pp.Configuration, n)
+	for i := range cfg {
+		cfg[i] = Zero
+		if i < ones {
+			cfg[i] = One
+		}
+	}
+	return cfg
+}
+
+// OrConverged reports whether all agents carry the expected output.
+func OrConverged(c pp.Configuration, want pp.State) bool {
+	return c.Count(want) == len(c)
+}

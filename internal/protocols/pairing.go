@@ -1,0 +1,77 @@
+// Package protocols is a library of classical two-way population protocols
+// used as simulation workloads: the Pairing problem of Definition 5 (the
+// impossibility counterexample), exact majority, leader election, threshold
+// counting (flock of birds), modulo counting, and OR (epidemic detection).
+//
+// Every protocol here is a pp.TwoWay; they are pushed through the simulators
+// of package sim and their problem-level safety/liveness properties are
+// monitored by package verify.
+package protocols
+
+import "popsim/internal/pp"
+
+// Pairing problem states (Definition 5 of the paper).
+const (
+	// Consumer is the initial state of consumer agents.
+	Consumer = pp.Symbol("c")
+	// Producer is the initial state of producer agents.
+	Producer = pp.Symbol("p")
+	// Served is the irrevocable state cs that only consumers may reach.
+	Served = pp.Symbol("cs")
+	// Spent is the ⊥ state of a producer that served a consumer.
+	Spent = pp.Symbol("bot")
+)
+
+// Pairing is the protocol PIP of Section 3: consumers (state c) must pair
+// with producers (state p). Its only non-trivial rules are
+// (c, p) → (cs, ⊥) and (p, c) → (⊥, cs). PIP solves the Pairing problem in
+// the two-way model and is the counterexample protocol of every
+// impossibility proof in the paper.
+type Pairing struct{}
+
+var _ pp.TwoWay = Pairing{}
+
+// Name implements pp.TwoWay.
+func (Pairing) Name() string { return "pairing" }
+
+// Delta implements pp.TwoWay.
+func (Pairing) Delta(s, r pp.State) (pp.State, pp.State) {
+	switch {
+	case pp.Equal(s, Consumer) && pp.Equal(r, Producer):
+		return Served, Spent
+	case pp.Equal(s, Producer) && pp.Equal(r, Consumer):
+		return Spent, Served
+	default:
+		return s, r
+	}
+}
+
+// PairingConfig builds the initial configuration with the given numbers of
+// consumers and producers (consumers first).
+func PairingConfig(consumers, producers int) pp.Configuration {
+	cfg := make(pp.Configuration, 0, consumers+producers)
+	for i := 0; i < consumers; i++ {
+		cfg = append(cfg, Consumer)
+	}
+	for i := 0; i < producers; i++ {
+		cfg = append(cfg, Producer)
+	}
+	return cfg
+}
+
+// PairingSafe checks the Safety property of Definition 5 on a (projected)
+// configuration: the number of agents in state cs is at most the number of
+// producers the system started with.
+func PairingSafe(c pp.Configuration, producers int) bool {
+	return c.Count(Served) <= producers
+}
+
+// PairingDone checks the Liveness target of Definition 5: the number of
+// served consumers equals min(consumers, producers).
+func PairingDone(c pp.Configuration, consumers, producers int) bool {
+	want := consumers
+	if producers < consumers {
+		want = producers
+	}
+	return c.Count(Served) == want
+}

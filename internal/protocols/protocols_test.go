@@ -1,0 +1,330 @@
+package protocols_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sched"
+)
+
+// runTW executes a protocol natively in the two-way model until the
+// predicate holds or the horizon expires.
+func runTW(t *testing.T, p pp.TwoWay, cfg pp.Configuration, pred func(pp.Configuration) bool, horizon int, seed int64) pp.Configuration {
+	t.Helper()
+	eng, err := engine.New(model.TW, p, cfg, sched.NewRandom(seed))
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	ok, err := eng.RunUntil(pred, horizon)
+	if err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if !ok {
+		t.Fatalf("%s did not converge within %d interactions: %v", p.Name(), horizon, eng.Config())
+	}
+	return eng.Config()
+}
+
+func TestPairingDelta(t *testing.T) {
+	p := protocols.Pairing{}
+	tests := []struct {
+		s, r, ws, wr pp.State
+	}{
+		{protocols.Consumer, protocols.Producer, protocols.Served, protocols.Spent},
+		{protocols.Producer, protocols.Consumer, protocols.Spent, protocols.Served},
+		{protocols.Consumer, protocols.Consumer, protocols.Consumer, protocols.Consumer},
+		{protocols.Served, protocols.Producer, protocols.Served, protocols.Producer},
+		{protocols.Spent, protocols.Consumer, protocols.Spent, protocols.Consumer},
+	}
+	for _, tc := range tests {
+		gs, gr := p.Delta(tc.s, tc.r)
+		if !pp.Equal(gs, tc.ws) || !pp.Equal(gr, tc.wr) {
+			t.Errorf("Delta(%v,%v) = (%v,%v), want (%v,%v)", tc.s, tc.r, gs, gr, tc.ws, tc.wr)
+		}
+	}
+}
+
+// TestPairingServedIrrevocable: cs never changes in any interaction —
+// property-based over all state pairs.
+func TestPairingServedIrrevocable(t *testing.T) {
+	p := protocols.Pairing{}
+	states := []pp.State{protocols.Consumer, protocols.Producer, protocols.Served, protocols.Spent}
+	for _, other := range states {
+		if s, _ := p.Delta(protocols.Served, other); !pp.Equal(s, protocols.Served) {
+			t.Errorf("cs changed as starter against %v", other)
+		}
+		if _, r := p.Delta(other, protocols.Served); !pp.Equal(r, protocols.Served) {
+			t.Errorf("cs changed as reactor against %v", other)
+		}
+	}
+}
+
+func TestPairingLivenessTW(t *testing.T) {
+	for _, tc := range []struct{ c, p int }{{1, 1}, {3, 2}, {2, 5}, {4, 4}} {
+		cfg := protocols.PairingConfig(tc.c, tc.p)
+		final := runTW(t, protocols.Pairing{}, cfg,
+			func(c pp.Configuration) bool { return protocols.PairingDone(c, tc.c, tc.p) },
+			100000, int64(tc.c+10*tc.p))
+		if !protocols.PairingSafe(final, tc.p) {
+			t.Errorf("c=%d p=%d: safety violated natively", tc.c, tc.p)
+		}
+	}
+}
+
+// TestPairingSafetyInvariantRandom: the served count never exceeds the
+// producer count at any point of any random execution.
+func TestPairingSafetyInvariantRandom(t *testing.T) {
+	f := func(seed int64, cRaw, pRaw uint8) bool {
+		c, pN := 1+int(cRaw%5), 1+int(pRaw%5)
+		eng, err := engine.New(model.TW, protocols.Pairing{}, protocols.PairingConfig(c, pN), sched.NewRandom(seed))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 500; i++ {
+			if err := eng.Step(); err != nil {
+				return false
+			}
+			if !protocols.PairingSafe(eng.Config(), pN) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMajorityConvergesTW(t *testing.T) {
+	tests := []struct {
+		as, bs int
+		want   string
+	}{
+		{5, 3, "A"}, {3, 5, "B"}, {7, 1, "A"}, {1, 2, "B"},
+	}
+	for _, tc := range tests {
+		cfg := protocols.MajorityConfig(tc.as, tc.bs)
+		final := runTW(t, protocols.Majority{}, cfg,
+			func(c pp.Configuration) bool { return protocols.MajorityConverged(c, tc.want) },
+			200000, int64(tc.as*100+tc.bs))
+		if !protocols.MajorityInvariant(final, tc.as, tc.bs) {
+			t.Errorf("as=%d bs=%d: strong-count invariant broken", tc.as, tc.bs)
+		}
+	}
+}
+
+// TestMajorityInvariantEveryStep: #StrongA − #StrongB is conserved by every
+// single interaction.
+func TestMajorityInvariantEveryStep(t *testing.T) {
+	f := func(seed int64, asRaw, bsRaw uint8) bool {
+		as, bs := 1+int(asRaw%6), 1+int(bsRaw%6)
+		eng, err := engine.New(model.TW, protocols.Majority{}, protocols.MajorityConfig(as, bs), sched.NewRandom(seed))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 300; i++ {
+			if err := eng.Step(); err != nil {
+				return false
+			}
+			if !protocols.MajorityInvariant(eng.Config(), as, bs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMajorityOutput(t *testing.T) {
+	var m protocols.Majority
+	for state, want := range map[pp.Symbol]string{
+		protocols.StrongA: "A", protocols.WeakA: "A",
+		protocols.StrongB: "B", protocols.WeakB: "B",
+	} {
+		if got := m.Output(state); got != want {
+			t.Errorf("Output(%v) = %q, want %q", state, got, want)
+		}
+	}
+	if got := m.Output(pp.Symbol("junk")); got != "?" {
+		t.Errorf("Output(junk) = %q", got)
+	}
+}
+
+func TestLeaderElectionTW(t *testing.T) {
+	for _, n := range []int{2, 5, 16} {
+		final := runTW(t, protocols.LeaderElection{}, protocols.LeaderConfig(n),
+			protocols.LeaderElected, 100000, int64(n))
+		if !protocols.LeaderSafe(final) {
+			t.Errorf("n=%d: no leader left", n)
+		}
+	}
+}
+
+// TestLeaderNeverZero: the leader count is positive at every step.
+func TestLeaderNeverZero(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw%8)
+		eng, err := engine.New(model.TW, protocols.LeaderElection{}, protocols.LeaderConfig(n), sched.NewRandom(seed))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 300; i++ {
+			if err := eng.Step(); err != nil {
+				return false
+			}
+			if !protocols.LeaderSafe(eng.Config()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdDetects(t *testing.T) {
+	tests := []struct {
+		n, elevated, k int
+		detect         bool
+	}{
+		{8, 5, 3, true},
+		{8, 3, 3, true},
+		{8, 2, 3, false},
+		{4, 0, 1, false},
+		{4, 1, 1, true},
+	}
+	for _, tc := range tests {
+		p := protocols.Threshold{K: tc.k}
+		cfg := protocols.ThresholdConfig(tc.n, tc.elevated)
+		eng, err := engine.New(model.TW, p, cfg, sched.NewRandom(int64(tc.n*tc.k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.detect {
+			ok, err := eng.RunUntil(protocols.ThresholdAllDetected, 200000)
+			if err != nil || !ok {
+				t.Errorf("n=%d e=%d k=%d: detection did not spread (ok=%v err=%v)", tc.n, tc.elevated, tc.k, ok, err)
+			}
+			continue
+		}
+		if err := eng.RunSteps(20000); err != nil {
+			t.Fatal(err)
+		}
+		if !protocols.ThresholdNoneDetected(eng.Config()) {
+			t.Errorf("n=%d e=%d k=%d: false detection", tc.n, tc.elevated, tc.k)
+		}
+	}
+}
+
+// TestThresholdMassNeverGrows: the total weight is non-increasing (conserved
+// up to capping).
+func TestThresholdMassNeverGrows(t *testing.T) {
+	f := func(seed int64, eRaw uint8) bool {
+		n, k := 6, 3
+		e := int(eRaw) % (n + 1)
+		p := protocols.Threshold{K: k}
+		eng, err := engine.New(model.TW, p, protocols.ThresholdConfig(n, e), sched.NewRandom(seed))
+		if err != nil {
+			return false
+		}
+		mass := protocols.ThresholdMass(eng.Config())
+		for i := 0; i < 300; i++ {
+			if err := eng.Step(); err != nil {
+				return false
+			}
+			m := protocols.ThresholdMass(eng.Config())
+			if m > mass {
+				return false
+			}
+			mass = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModuloConverges(t *testing.T) {
+	for _, tc := range []struct{ n, ones, m int }{{6, 3, 2}, {6, 4, 2}, {9, 7, 3}, {5, 0, 2}} {
+		p := protocols.Modulo{M: tc.m}
+		want := tc.ones % tc.m
+		cfg := protocols.ModuloConfig(tc.n, tc.ones)
+		final := runTW(t, p, cfg,
+			func(c pp.Configuration) bool { return protocols.ModuloConverged(c, want) },
+			300000, int64(tc.n*tc.ones+tc.m))
+		if got := protocols.ModuloResidue(final, tc.m); got != want {
+			t.Errorf("n=%d ones=%d m=%d: residue %d, want %d", tc.n, tc.ones, tc.m, got, want)
+		}
+	}
+}
+
+// TestModuloResidueConserved: the active-sum residue is invariant under
+// every interaction.
+func TestModuloResidueConserved(t *testing.T) {
+	f := func(seed int64, onesRaw uint8) bool {
+		n, m := 7, 3
+		ones := int(onesRaw) % (n + 1)
+		p := protocols.Modulo{M: m}
+		eng, err := engine.New(model.TW, p, protocols.ModuloConfig(n, ones), sched.NewRandom(seed))
+		if err != nil {
+			return false
+		}
+		want := ones % m
+		for i := 0; i < 300; i++ {
+			if err := eng.Step(); err != nil {
+				return false
+			}
+			if protocols.ModuloResidue(eng.Config(), m) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrEpidemic(t *testing.T) {
+	final := runTW(t, protocols.Or{}, protocols.OrConfig(10, 1),
+		func(c pp.Configuration) bool { return protocols.OrConverged(c, protocols.One) },
+		100000, 5)
+	if final.Count(protocols.One) != 10 {
+		t.Error("epidemic incomplete")
+	}
+	// All-zeros stays all-zeros.
+	eng, err := engine.New(model.TW, protocols.Or{}, protocols.OrConfig(5, 0), sched.NewRandom(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunSteps(5000); err != nil {
+		t.Fatal(err)
+	}
+	if !protocols.OrConverged(eng.Config(), protocols.Zero) {
+		t.Error("spurious one appeared")
+	}
+}
+
+func TestProtocolNames(t *testing.T) {
+	names := map[string]string{
+		protocols.Pairing{}.Name():        "pairing",
+		protocols.Majority{}.Name():       "majority",
+		protocols.LeaderElection{}.Name(): "leader",
+		protocols.Threshold{K: 3}.Name():  "threshold(3)",
+		protocols.Modulo{M: 2}.Name():     "modulo(2)",
+		protocols.Or{}.Name():             "or",
+	}
+	for got, want := range names {
+		if got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package protocols
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"popsim/internal/pp"
+)
+
+// This file implements the two canonical building blocks of semilinear
+// predicates — the exact class stably computable by population protocols
+// (Angluin–Aspnes–Eisenstat): linear threshold predicates
+// Σᵢ cᵢ·xᵢ ≥ k and remainder predicates Σᵢ cᵢ·xᵢ ≡ r (mod m). Together with
+// boolean closure they generate every semilinear predicate. They are the
+// natural "heavy" workloads to push through the paper's simulators: larger
+// state spaces than the toy protocols, with conserved quantities that make
+// strong invariant tests possible.
+
+// LinearState is an agent state of the LinearThreshold protocol: a clamped
+// partial sum plus the epidemically spread current verdict.
+type LinearState struct {
+	// Value is the agent's accumulated weight, clamped to [-Clamp, Clamp].
+	Value int
+	// Leader marks the agents still carrying weight; non-leaders only
+	// relay the verdict.
+	Leader bool
+	// Verdict is the current belief about the predicate.
+	Verdict bool
+}
+
+var _ pp.State = LinearState{}
+
+// Key implements pp.State.
+func (s LinearState) Key() string {
+	var b strings.Builder
+	b.WriteString("lin:")
+	b.WriteString(strconv.Itoa(s.Value))
+	if s.Leader {
+		b.WriteString(":L")
+	}
+	if s.Verdict {
+		b.WriteString(":1")
+	} else {
+		b.WriteString(":0")
+	}
+	return b.String()
+}
+
+// String renders the state.
+func (s LinearState) String() string { return s.Key() }
+
+// LinearThreshold stably computes the predicate Σ cᵢ·xᵢ ≥ K, where xᵢ is the
+// number of agents whose input was i. It is the classical
+// Angluin–Aspnes–Eisenstat threshold protocol: when two leaders meet, one
+// takes as much of the combined (clamped) weight as fits, the other keeps
+// the remainder and demotes to a relay if its share is zero... here in the
+// standard simplified form: the starter keeps the clamped sum, the reactor
+// keeps the overflow and stays a leader only if its share is non-zero.
+// Verdicts spread epidemically and are corrected by any leader.
+type LinearThreshold struct {
+	// K is the threshold.
+	K int
+	// Clamp bounds the stored weights; it must be ≥ max(|K|, max |cᵢ|)
+	// for stability (AAE use s = max(|K|, max|cᵢ|) + 1).
+	Clamp int
+}
+
+var _ pp.TwoWay = LinearThreshold{}
+
+// Name implements pp.TwoWay.
+func (t LinearThreshold) Name() string {
+	return fmt.Sprintf("linear(K=%d,clamp=%d)", t.K, t.Clamp)
+}
+
+// clampVal clamps v to [-Clamp, Clamp].
+func (t LinearThreshold) clampVal(v int) int {
+	if v > t.Clamp {
+		return t.Clamp
+	}
+	if v < -t.Clamp {
+		return -t.Clamp
+	}
+	return v
+}
+
+// Delta implements pp.TwoWay.
+func (t LinearThreshold) Delta(s, r pp.State) (pp.State, pp.State) {
+	ss, ok1 := s.(LinearState)
+	rs, ok2 := r.(LinearState)
+	if !ok1 || !ok2 {
+		return s, r
+	}
+	switch {
+	case ss.Leader && rs.Leader:
+		// Consolidate weight into the starter; the reactor keeps the
+		// overflow (zero when everything fits) and demotes when empty.
+		total := ss.Value + rs.Value
+		first := t.clampVal(total)
+		rest := total - first
+		verdict := first >= t.K
+		return LinearState{Value: first, Leader: true, Verdict: verdict},
+			LinearState{Value: rest, Leader: rest != 0, Verdict: verdict}
+	case ss.Leader && !rs.Leader:
+		return ss, LinearState{Verdict: ss.Verdict}
+	case !ss.Leader && rs.Leader:
+		return LinearState{Verdict: rs.Verdict}, rs
+	default:
+		// Relay gossip: the reactor adopts the starter's verdict.
+		return ss, LinearState{Verdict: ss.Verdict}
+	}
+}
+
+// LinearConfig builds an initial configuration from per-agent input weights
+// cᵢ (one entry per agent). Every agent starts as a leader carrying its own
+// weight, with the verdict of its solitary view.
+func (t LinearThreshold) LinearConfig(weights []int) pp.Configuration {
+	cfg := make(pp.Configuration, len(weights))
+	for i, w := range weights {
+		cfg[i] = LinearState{Value: t.clampVal(w), Leader: true, Verdict: t.clampVal(w) >= t.K}
+	}
+	return cfg
+}
+
+// LinearConverged reports whether all agents agree on the given verdict and
+// at most one leader carries non-zero... precisely: the verdict is uniform.
+func LinearConverged(c pp.Configuration, want bool) bool {
+	for _, s := range c {
+		ls, ok := s.(LinearState)
+		if !ok || ls.Verdict != want {
+			return false
+		}
+	}
+	return true
+}
+
+// LinearMass returns the total stored weight. The merge rule keeps the sum
+// exact (the reactor retains the overflow), so mass is conserved by every
+// interaction; only inputs beyond the clamp are truncated at configuration
+// time (callers must pick Clamp ≥ max |cᵢ|, as in AAE).
+func LinearMass(c pp.Configuration) int {
+	total := 0
+	for _, s := range c {
+		if ls, ok := s.(LinearState); ok {
+			total += ls.Value
+		}
+	}
+	return total
+}
+
+// RemainderState is an agent state of the Remainder protocol.
+type RemainderState struct {
+	// Value is the agent's residue.
+	Value int
+	// Leader marks agents still carrying residue tokens.
+	Leader bool
+	// Verdict is the spread belief about Σ ≡ R (mod M).
+	Verdict bool
+}
+
+var _ pp.State = RemainderState{}
+
+// Key implements pp.State.
+func (s RemainderState) Key() string {
+	var b strings.Builder
+	b.WriteString("rem:")
+	b.WriteString(strconv.Itoa(s.Value))
+	if s.Leader {
+		b.WriteString(":L")
+	}
+	if s.Verdict {
+		b.WriteString(":1")
+	} else {
+		b.WriteString(":0")
+	}
+	return b.String()
+}
+
+// String renders the state.
+func (s RemainderState) String() string { return s.Key() }
+
+// Remainder stably computes Σ cᵢ·xᵢ ≡ R (mod M): leaders merge residues
+// modulo M; the surviving leader knows the total residue and gossips the
+// verdict.
+type Remainder struct {
+	// M is the modulus (≥ 2); R the target remainder (0 ≤ R < M).
+	M, R int
+}
+
+var _ pp.TwoWay = Remainder{}
+
+// Name implements pp.TwoWay.
+func (p Remainder) Name() string { return fmt.Sprintf("remainder(%d mod %d)", p.R, p.M) }
+
+// Delta implements pp.TwoWay.
+func (p Remainder) Delta(s, r pp.State) (pp.State, pp.State) {
+	ss, ok1 := s.(RemainderState)
+	rs, ok2 := r.(RemainderState)
+	if !ok1 || !ok2 {
+		return s, r
+	}
+	switch {
+	case ss.Leader && rs.Leader:
+		v := ((ss.Value+rs.Value)%p.M + p.M) % p.M
+		verdict := v == p.R
+		return RemainderState{Value: v, Leader: true, Verdict: verdict},
+			RemainderState{Verdict: verdict}
+	case ss.Leader && !rs.Leader:
+		return ss, RemainderState{Verdict: ss.Verdict}
+	case !ss.Leader && rs.Leader:
+		return RemainderState{Verdict: rs.Verdict}, rs
+	default:
+		return ss, RemainderState{Verdict: ss.Verdict}
+	}
+}
+
+// RemainderConfig builds an initial configuration from per-agent weights.
+func (p Remainder) RemainderConfig(weights []int) pp.Configuration {
+	cfg := make(pp.Configuration, len(weights))
+	for i, w := range weights {
+		v := ((w % p.M) + p.M) % p.M
+		cfg[i] = RemainderState{Value: v, Leader: true, Verdict: v == p.R}
+	}
+	return cfg
+}
+
+// RemainderConverged reports whether all agents agree on the verdict.
+func RemainderConverged(c pp.Configuration, want bool) bool {
+	for _, s := range c {
+		rs, ok := s.(RemainderState)
+		if !ok || rs.Verdict != want {
+			return false
+		}
+	}
+	return true
+}
+
+// RemainderResidue returns the sum of leader residues mod M — the conserved
+// quantity.
+func RemainderResidue(c pp.Configuration, m int) int {
+	total := 0
+	for _, s := range c {
+		if rs, ok := s.(RemainderState); ok && rs.Leader {
+			total += rs.Value
+		}
+	}
+	return ((total % m) + m) % m
+}

@@ -1,0 +1,190 @@
+package protocols_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sched"
+)
+
+func TestLinearThresholdComputes(t *testing.T) {
+	tests := []struct {
+		weights []int
+		k       int
+		want    bool
+	}{
+		{[]int{1, 1, 1, 1}, 3, true},
+		{[]int{1, 1, 1, 1}, 5, false},
+		{[]int{2, 2, -1, -1}, 2, true},
+		{[]int{2, 2, -1, -1}, 3, false},
+		{[]int{-2, -2, 1}, -2, false},
+		{[]int{-2, -2, 1}, -3, true},
+		{[]int{0, 0, 0}, 0, true},
+		{[]int{3, 3, 3, -3}, 6, true},
+	}
+	for _, tc := range tests {
+		tc := tc
+		t.Run(fmt.Sprintf("w=%v_k=%d", tc.weights, tc.k), func(t *testing.T) {
+			p := protocols.LinearThreshold{K: tc.k, Clamp: 8}
+			cfg := p.LinearConfig(tc.weights)
+			eng, err := engine.New(model.TW, p, cfg, sched.NewRandom(int64(tc.k+17)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, err := eng.RunUntil(func(c pp.Configuration) bool {
+				return protocols.LinearConverged(c, tc.want)
+			}, 400000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("did not stabilize to %v: %v", tc.want, eng.Config())
+			}
+		})
+	}
+}
+
+// TestLinearMassConserved: the merge rule conserves the exact sum at every
+// step (the reactor keeps the overflow).
+func TestLinearMassConserved(t *testing.T) {
+	f := func(seed int64, raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		weights := make([]int, len(raw))
+		for i, w := range raw {
+			weights[i] = int(w % 5)
+		}
+		p := protocols.LinearThreshold{K: 3, Clamp: 6}
+		cfg := p.LinearConfig(weights)
+		want := protocols.LinearMass(cfg)
+		eng, err := engine.New(model.TW, p, cfg, sched.NewRandom(seed))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 300; i++ {
+			if err := eng.Step(); err != nil {
+				return false
+			}
+			if protocols.LinearMass(eng.Config()) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemainderComputes(t *testing.T) {
+	tests := []struct {
+		weights []int
+		m, r    int
+		want    bool
+	}{
+		{[]int{1, 1, 1}, 3, 0, true},
+		{[]int{1, 1, 1}, 3, 1, false},
+		{[]int{2, 3, 4}, 5, 4, true},
+		{[]int{-1, 1, 7}, 4, 3, true},
+		{[]int{0, 0}, 2, 0, true},
+	}
+	for _, tc := range tests {
+		tc := tc
+		t.Run(fmt.Sprintf("w=%v_%%%d=%d", tc.weights, tc.m, tc.r), func(t *testing.T) {
+			p := protocols.Remainder{M: tc.m, R: tc.r}
+			cfg := p.RemainderConfig(tc.weights)
+			eng, err := engine.New(model.TW, p, cfg, sched.NewRandom(int64(tc.m*10+tc.r)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, err := eng.RunUntil(func(c pp.Configuration) bool {
+				return protocols.RemainderConverged(c, tc.want)
+			}, 400000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("did not stabilize to %v: %v", tc.want, eng.Config())
+			}
+		})
+	}
+}
+
+// TestRemainderResidueConserved: the leader-residue sum mod M is invariant.
+func TestRemainderResidueConserved(t *testing.T) {
+	f := func(seed int64, raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		weights := make([]int, len(raw))
+		for i, w := range raw {
+			weights[i] = int(w)
+		}
+		p := protocols.Remainder{M: 5, R: 2}
+		cfg := p.RemainderConfig(weights)
+		want := protocols.RemainderResidue(cfg, 5)
+		eng, err := engine.New(model.TW, p, cfg, sched.NewRandom(seed))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 300; i++ {
+			if err := eng.Step(); err != nil {
+				return false
+			}
+			if protocols.RemainderResidue(eng.Config(), 5) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSemilinearStateKeys: distinct states have distinct keys.
+func TestSemilinearStateKeys(t *testing.T) {
+	a := protocols.LinearState{Value: 1, Leader: true, Verdict: true}
+	b := protocols.LinearState{Value: 1, Leader: false, Verdict: true}
+	c := protocols.LinearState{Value: -1, Leader: true, Verdict: true}
+	if a.Key() == b.Key() || a.Key() == c.Key() || b.Key() == c.Key() {
+		t.Errorf("key collision: %q %q %q", a.Key(), b.Key(), c.Key())
+	}
+	x := protocols.RemainderState{Value: 2, Leader: true, Verdict: false}
+	y := protocols.RemainderState{Value: 2, Leader: true, Verdict: true}
+	if x.Key() == y.Key() {
+		t.Errorf("key collision: %q", x.Key())
+	}
+}
+
+// TestSemilinearThroughSimulators: the heavier semilinear workloads also
+// verify end-to-end through both simulators.
+func TestSemilinearThroughSimulators(t *testing.T) {
+	p := protocols.Remainder{M: 3, R: 1}
+	weights := []int{2, 2, 0, 0}
+	want := (2+2)%3 == 1
+	simCfg := p.RemainderConfig(weights)
+
+	t.Run("skno-I3", func(t *testing.T) {
+		runSimulatedWorkload(t, model.I3, p, simCfg, func(c pp.Configuration) bool {
+			return protocols.RemainderConverged(c, want)
+		}, 1)
+	})
+	t.Run("sid-IO", func(t *testing.T) {
+		runSimulatedWorkload(t, model.IO, p, simCfg, func(c pp.Configuration) bool {
+			return protocols.RemainderConverged(c, want)
+		}, 0)
+	})
+}

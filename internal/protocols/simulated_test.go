@@ -1,0 +1,57 @@
+package protocols_test
+
+import (
+	"testing"
+
+	"popsim/internal/adversary"
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+	"popsim/internal/trace"
+	"popsim/internal/verify"
+)
+
+// runSimulatedWorkload pushes a two-way protocol through the simulator
+// matching the model (SKnO for I3/I4/IT with bound o, SID for IO), runs to
+// the predicate, and verifies the execution against Definitions 3–4.
+func runSimulatedWorkload(t *testing.T, kind model.Kind, p pp.TwoWay, simCfg pp.Configuration,
+	done func(pp.Configuration) bool, o int) {
+	t.Helper()
+	var (
+		protocol any
+		wrapped  pp.Configuration
+	)
+	switch kind {
+	case model.IO:
+		s := sim.SID{P: p}
+		protocol, wrapped = s, s.WrapConfig(simCfg)
+	default:
+		s := sim.SKnO{P: p, O: o}
+		protocol, wrapped = s, s.WrapConfig(simCfg)
+	}
+	rec := &trace.Recorder{}
+	opts := []engine.Option{engine.WithRecorder(rec)}
+	if o > 0 {
+		opts = append(opts, engine.WithAdversary(adversary.NewBudgeted(11, 0.03, o)))
+	}
+	eng, err := engine.New(kind, protocol, wrapped, sched.NewRandom(13), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := eng.RunUntil(func(c pp.Configuration) bool { return done(sim.Project(c)) }, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("workload %s under %v did not converge", p.Name(), kind)
+	}
+	rep := verify.Verify(rec.Events(), simCfg, p.Delta)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("verification: %v", err)
+	}
+	if got, limit := rep.Unmatched(), len(simCfg); got > limit {
+		t.Errorf("in-flight %d > n = %d", got, limit)
+	}
+}

@@ -1,0 +1,115 @@
+package protocols
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"popsim/internal/pp"
+)
+
+// ThresholdState is the state of the flock-of-birds threshold-counting
+// protocol: a partial count plus a detection flag spread epidemically.
+type ThresholdState struct {
+	// Count is the agent's accumulated weight, capped at the threshold.
+	Count int
+	// Detected is set once any agent's count reached the threshold.
+	Detected bool
+}
+
+var _ pp.State = ThresholdState{}
+
+// Key implements pp.State.
+func (s ThresholdState) Key() string {
+	var b strings.Builder
+	b.WriteString("th:")
+	b.WriteString(strconv.Itoa(s.Count))
+	if s.Detected {
+		b.WriteString(":!")
+	}
+	return b.String()
+}
+
+// String renders the state.
+func (s ThresholdState) String() string { return s.Key() }
+
+// Threshold is the "flock of birds" counting protocol: it stably detects
+// whether at least K agents started in the elevated state (weight 1). When
+// two agents meet, the starter transfers its weight to the reactor, capped
+// at K; an agent whose weight reaches K raises the detection flag, which
+// then spreads epidemically.
+//
+//	((x,·), (y,·)) → ((0,·), (min(x+y,K),·)),  flag set when x+y ≥ K,
+//	flags propagate on every interaction.
+type Threshold struct {
+	// K is the detection threshold (K ≥ 1).
+	K int
+}
+
+var _ pp.TwoWay = Threshold{}
+
+// Name implements pp.TwoWay.
+func (t Threshold) Name() string { return fmt.Sprintf("threshold(%d)", t.K) }
+
+// Delta implements pp.TwoWay.
+func (t Threshold) Delta(s, r pp.State) (pp.State, pp.State) {
+	ss, ok1 := s.(ThresholdState)
+	rs, ok2 := r.(ThresholdState)
+	if !ok1 || !ok2 {
+		return s, r
+	}
+	sum := ss.Count + rs.Count
+	detected := ss.Detected || rs.Detected || sum >= t.K
+	if sum > t.K {
+		sum = t.K
+	}
+	return ThresholdState{Count: 0, Detected: detected},
+		ThresholdState{Count: sum, Detected: detected}
+}
+
+// ThresholdConfig builds an initial configuration with `elevated` agents of
+// weight 1 and the rest of weight 0.
+func ThresholdConfig(n, elevated int) pp.Configuration {
+	cfg := make(pp.Configuration, n)
+	for i := range cfg {
+		cfg[i] = ThresholdState{Count: 0}
+		if i < elevated {
+			cfg[i] = ThresholdState{Count: 1}
+		}
+	}
+	return cfg
+}
+
+// ThresholdAllDetected reports whether every agent has raised the flag.
+func ThresholdAllDetected(c pp.Configuration) bool {
+	for _, s := range c {
+		ts, ok := s.(ThresholdState)
+		if !ok || !ts.Detected {
+			return false
+		}
+	}
+	return true
+}
+
+// ThresholdNoneDetected reports whether no agent has raised the flag.
+func ThresholdNoneDetected(c pp.Configuration) bool {
+	for _, s := range c {
+		if ts, ok := s.(ThresholdState); ok && ts.Detected {
+			return false
+		}
+	}
+	return true
+}
+
+// ThresholdMass returns the total weight in the configuration; it is
+// conserved until capping occurs (total weight above K is truncated), so it
+// never exceeds the initial mass and never increases.
+func ThresholdMass(c pp.Configuration) int {
+	total := 0
+	for _, s := range c {
+		if ts, ok := s.(ThresholdState); ok {
+			total += ts.Count
+		}
+	}
+	return total
+}

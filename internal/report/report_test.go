@@ -1,0 +1,56 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"popsim/internal/report"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := report.NewTable("Demo", "name", "value")
+	tbl.Caption = "a caption"
+	tbl.AddRow("alpha", 1)
+	tbl.AddRow("beta", 2.5)
+	out := tbl.String()
+	for _, want := range []string{"== Demo ==", "name", "value", "alpha", "beta", "2.5", "a caption", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tbl.Rows() != 2 {
+		t.Errorf("Rows = %d", tbl.Rows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tbl := report.NewTable("", "a", "b")
+	tbl.AddRow("longer-cell", "x")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Header and row must align on the second column.
+	if strings.Index(lines[0], "b") != strings.Index(lines[2], "x") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tbl := report.NewTable("t", "col,a", "colb")
+	tbl.AddRow(`va"l`, "plain")
+	csv := tbl.CSV()
+	want := "\"col,a\",colb\n\"va\"\"l\",plain\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tbl := report.NewTable("t", "v")
+	tbl.AddRow(1.23456789)
+	if !strings.Contains(tbl.CSV(), "1.23") {
+		t.Errorf("float not compacted: %q", tbl.CSV())
+	}
+}

@@ -1,0 +1,133 @@
+// Package sched provides interaction schedulers for population-protocol
+// executions.
+//
+// The paper's correctness notion is global fairness (GF, Section 2.1). For
+// the finite-state (and boundedly-growing) systems exercised here, the
+// uniform-random scheduler satisfies GF with probability 1, and is the
+// workhorse scheduler of the experiments. A deterministic sweep scheduler
+// and a scripted scheduler (used by the adversarial constructions of
+// Section 3) complete the set.
+package sched
+
+import (
+	"math/rand"
+
+	"popsim/internal/pp"
+)
+
+// Scheduler produces the next ordered interaction for a population of n
+// agents. Schedulers never produce omissions; omissions are inserted by the
+// adversary layer (package adversary).
+type Scheduler interface {
+	// Next returns the next interaction for a population of n ≥ 2 agents.
+	// The returned interaction must be valid (two distinct indices in
+	// range) and non-omissive. ok is false when the scheduler is
+	// exhausted (only scripted schedulers ever exhaust).
+	Next(n int) (pp.Interaction, bool)
+}
+
+// Random is a seeded uniform-random scheduler: every ordered pair of
+// distinct agents is equally likely at every step. Replayable via its seed.
+type Random struct {
+	rng *rand.Rand
+}
+
+var _ Scheduler = (*Random)(nil)
+
+// NewRandom returns a uniform-random scheduler with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (s *Random) Next(n int) (pp.Interaction, bool) {
+	if n < 2 {
+		return pp.Interaction{}, false
+	}
+	a := s.rng.Intn(n)
+	b := s.rng.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	return pp.Interaction{Starter: a, Reactor: b}, true
+}
+
+// Intn exposes the scheduler's random stream for auxiliary randomized
+// choices that must replay together with the schedule (e.g. adversarial
+// coin flips tied to the same seed).
+func (s *Random) Intn(n int) int { return s.rng.Intn(n) }
+
+// Sweep deterministically enumerates all ordered pairs (i, j), i ≠ j, in
+// round-robin order, forever. Every pair occurs once per round of
+// n·(n−1) steps; the schedule is weakly fair and useful for deterministic
+// smoke tests (it is *not* globally fair in general).
+type Sweep struct {
+	i, j int
+}
+
+var _ Scheduler = (*Sweep)(nil)
+
+// NewSweep returns a fresh round-robin pair enumerator.
+func NewSweep() *Sweep { return &Sweep{} }
+
+// Next implements Scheduler.
+func (s *Sweep) Next(n int) (pp.Interaction, bool) {
+	if n < 2 {
+		return pp.Interaction{}, false
+	}
+	if s.i >= n {
+		s.i, s.j = 0, 0
+	}
+	for {
+		if s.j >= n {
+			s.j = 0
+			s.i++
+			if s.i >= n {
+				s.i = 0
+			}
+		}
+		if s.i != s.j {
+			it := pp.Interaction{Starter: s.i, Reactor: s.j}
+			s.j++
+			return it, true
+		}
+		s.j++
+	}
+}
+
+// Script replays a fixed, finite sequence of interactions — including their
+// omission annotations — and then optionally falls back to a continuation
+// scheduler. It is the vehicle for the hand-crafted runs of Lemma 1 and
+// Theorem 3.2.
+type Script struct {
+	run  pp.Run
+	pos  int
+	cont Scheduler
+}
+
+var _ Scheduler = (*Script)(nil)
+
+// NewScript returns a scheduler replaying run; once the run is exhausted it
+// delegates to cont (which may be nil, in which case Next reports ok=false).
+func NewScript(run pp.Run, cont Scheduler) *Script {
+	return &Script{run: run.Clone(), cont: cont}
+}
+
+// Next implements Scheduler. Unlike other schedulers, Script may emit
+// omissive interactions: the scripted runs of the impossibility
+// constructions carry their omissions inline.
+func (s *Script) Next(n int) (pp.Interaction, bool) {
+	if s.pos < len(s.run) {
+		it := s.run[s.pos]
+		s.pos++
+		return it, true
+	}
+	if s.cont == nil {
+		return pp.Interaction{}, false
+	}
+	return s.cont.Next(n)
+}
+
+// Remaining reports how many scripted interactions are left before the
+// continuation takes over.
+func (s *Script) Remaining() int { return len(s.run) - s.pos }

@@ -1,0 +1,130 @@
+package sched_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"popsim/internal/pp"
+	"popsim/internal/sched"
+)
+
+func TestRandomValidAndSeeded(t *testing.T) {
+	a, b := sched.NewRandom(42), sched.NewRandom(42)
+	for i := 0; i < 1000; i++ {
+		ia, oka := a.Next(7)
+		ib, okb := b.Next(7)
+		if !oka || !okb {
+			t.Fatal("random scheduler exhausted")
+		}
+		if ia != ib {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, ia, ib)
+		}
+		if !ia.Valid(7) {
+			t.Fatalf("invalid interaction %v", ia)
+		}
+		if ia.Omission.IsOmissive() {
+			t.Fatalf("scheduler produced omission %v", ia)
+		}
+	}
+}
+
+func TestRandomTooFewAgents(t *testing.T) {
+	if _, ok := sched.NewRandom(1).Next(1); ok {
+		t.Error("Next(1) should fail")
+	}
+}
+
+// TestRandomUniform: all ordered pairs occur with roughly equal frequency.
+func TestRandomUniform(t *testing.T) {
+	s := sched.NewRandom(7)
+	const n, iters = 4, 60000
+	counts := make(map[pp.Interaction]int)
+	for i := 0; i < iters; i++ {
+		it, _ := s.Next(n)
+		counts[it]++
+	}
+	pairs := n * (n - 1)
+	if len(counts) != pairs {
+		t.Fatalf("observed %d distinct pairs, want %d", len(counts), pairs)
+	}
+	want := iters / pairs
+	for it, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("pair %v count %d far from expected %d", it, c, want)
+		}
+	}
+}
+
+// TestSweepCoverage: one round of Sweep enumerates every ordered pair
+// exactly once.
+func TestSweepCoverage(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := 2 + int(nRaw%6)
+		s := sched.NewSweep()
+		seen := make(map[pp.Interaction]int)
+		for i := 0; i < n*(n-1); i++ {
+			it, ok := s.Next(n)
+			if !ok || !it.Valid(n) {
+				return false
+			}
+			seen[it]++
+		}
+		if len(seen) != n*(n-1) {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScriptReplaysAndFallsBack(t *testing.T) {
+	run := pp.Run{
+		{Starter: 0, Reactor: 1},
+		{Starter: 1, Reactor: 0, Omission: pp.OmissionBoth},
+	}
+	s := sched.NewScript(run, sched.NewRandom(3))
+	it, ok := s.Next(2)
+	if !ok || it != run[0] {
+		t.Fatalf("first = %v", it)
+	}
+	if s.Remaining() != 1 {
+		t.Fatalf("Remaining = %d", s.Remaining())
+	}
+	it, ok = s.Next(2)
+	if !ok || it != run[1] {
+		t.Fatalf("second = %v (omission must be preserved)", it)
+	}
+	// Continuation takes over.
+	it, ok = s.Next(2)
+	if !ok || !it.Valid(2) || it.Omission.IsOmissive() {
+		t.Fatalf("continuation = %v, %v", it, ok)
+	}
+}
+
+func TestScriptExhaustsWithoutContinuation(t *testing.T) {
+	s := sched.NewScript(pp.Run{{Starter: 0, Reactor: 1}}, nil)
+	if _, ok := s.Next(2); !ok {
+		t.Fatal("scripted interaction missing")
+	}
+	if _, ok := s.Next(2); ok {
+		t.Fatal("script should exhaust")
+	}
+}
+
+// TestScriptIsolatedFromCallerMutation: the script clones its input run.
+func TestScriptIsolatedFromCallerMutation(t *testing.T) {
+	run := pp.Run{{Starter: 0, Reactor: 1}}
+	s := sched.NewScript(run, nil)
+	run[0].Starter = 1
+	it, _ := s.Next(2)
+	if it.Starter != 0 {
+		t.Error("script shares backing array with caller")
+	}
+}

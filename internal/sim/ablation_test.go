@@ -1,0 +1,102 @@
+package sim_test
+
+import (
+	"testing"
+
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+)
+
+// staleCommitmentScript drives three SID agents (a0 = consumer, a1 =
+// producer, a2 = consumer) into the situation the Figure 3 lines 14–16
+// rollback exists for:
+//
+//	(1,0) a0 pairs on a1, saving a1's state p;
+//	(1,2) a2 pairs on a1 as well;
+//	(2,1) a1 locks on a2's commitment, applying δ(p,c)[0] = ⊥ — a0's saved
+//	      state p is now stale;
+//	(1,2) a2 observes the lock and completes with δ(p,c)[1] = cs.
+//
+// Afterwards a0 is pairing on a partner whose state changed, and a1 is
+// locked on a partner that moved on. Only the rollback rule can release
+// either of them.
+func staleCommitmentScript() pp.Run {
+	return pp.Run{
+		{Starter: 1, Reactor: 0},
+		{Starter: 1, Reactor: 2},
+		{Starter: 2, Reactor: 1},
+		{Starter: 1, Reactor: 2},
+	}
+}
+
+// buildStale runs the script and asserts the stale state: a0 pairing, a1
+// locked, a2 available, exactly two simulated events so far.
+func buildStale(t *testing.T, disable bool) *engine.Engine {
+	t.Helper()
+	s := sim.SID{P: protocols.Pairing{}, DisableRollback: disable}
+	cfg := s.WrapConfig(protocols.PairingConfig(1, 1))
+	// PairingConfig(1,1) gives (c, p); append a second consumer.
+	cfg = append(cfg, s.Wrap(protocols.Consumer, 3))
+	eng, err := engine.New(model.IO, s, cfg,
+		sched.NewScript(staleCommitmentScript(), sched.NewRandom(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunSteps(len(staleCommitmentScript())); err != nil {
+		t.Fatal(err)
+	}
+	wantModes := []sim.SIDMode{sim.SIDPairing, sim.SIDLocked, sim.SIDAvailable}
+	for a, st := range eng.Config() {
+		ss := st.(*sim.SIDState)
+		if ss.Mode() != wantModes[a] {
+			t.Fatalf("agent %d mode %v, want %v (scenario not formed)", a, ss.Mode(), wantModes[a])
+		}
+	}
+	return eng
+}
+
+// totalEvents sums the agents' simulated-event counters.
+func totalEvents(eng *engine.Engine) uint64 {
+	var total uint64
+	for _, st := range eng.Config() {
+		total += st.(*sim.SIDState).EventSeq()
+	}
+	return total
+}
+
+// TestSIDRollbackAblation validates the necessity of the Figure 3 lines
+// 14–16 rollback: with it, the stale commitments dissolve and simulated
+// interactions keep firing; without it (ablation), a0 stays pairing and a1
+// stays locked forever — the simulation freezes.
+func TestSIDRollbackAblation(t *testing.T) {
+	// With the rollback: progress continues past the two scripted events.
+	eng := buildStale(t, false)
+	progressed, err := eng.RunUntil(func(pp.Configuration) bool {
+		return totalEvents(eng) > 2
+	}, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !progressed {
+		t.Fatal("with rollback: no simulated event after the stale scenario")
+	}
+
+	// Ablated: frozen forever.
+	eng = buildStale(t, true)
+	if err := eng.RunSteps(50000); err != nil {
+		t.Fatal(err)
+	}
+	if got := totalEvents(eng); got != 2 {
+		t.Fatalf("ablated: %d simulated events, want the simulation frozen at 2", got)
+	}
+	if eng.Config()[0].(*sim.SIDState).Mode() != sim.SIDPairing {
+		t.Fatal("ablated: a0 escaped the stale pairing")
+	}
+	if eng.Config()[1].(*sim.SIDState).Mode() != sim.SIDLocked {
+		t.Fatal("ablated: a1 escaped the stale lock")
+	}
+}

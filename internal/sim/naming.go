@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+
+	"popsim/internal/pp"
+	"popsim/internal/verify"
+)
+
+// Naming is the simulator of Section 4.3 (Theorem 4.6): assuming the
+// Immediate Observation model and knowledge of n, it first runs the naming
+// protocol Nn to assign unique IDs (all agents start with my_id = 1; a
+// reactor meeting a starter with the same my_id increments its own; the
+// maximum witnessed ID is gossiped), and each agent whose gossiped maximum
+// reaches n calls start_sim(my_id), joining the SID simulator of
+// Section 4.2.
+//
+// By Lemma 3 of the paper, when the witnessed maximum reaches n all IDs are
+// unique and stable, so SID's assumptions hold from the moment any agent
+// starts simulating.
+type Naming struct {
+	// P is the simulated two-way protocol.
+	P pp.TwoWay
+	// N is the known population size.
+	N int
+}
+
+var _ pp.OneWay = Naming{}
+
+// Name implements pp.OneWay.
+func (s Naming) Name() string { return "naming(n=" + strconv.Itoa(s.N) + ")/" + s.P.Name() }
+
+// sid returns the inner SID simulator.
+func (s Naming) sid() SID { return SID{P: s.P} }
+
+// Wrap builds the initial wrapped state of an agent with initial simulated
+// state sim. All agents start identically (my_id = max_id = 1): unlike SID,
+// no pre-assigned identity is needed.
+func (s Naming) Wrap(sim pp.State) *NamingState {
+	return &NamingState{myID: 1, maxID: 1, n: s.N, sim: sim}
+}
+
+// WrapConfig wraps a simulated initial configuration.
+func (s Naming) WrapConfig(simCfg pp.Configuration) pp.Configuration {
+	out := make(pp.Configuration, len(simCfg))
+	for i, st := range simCfg {
+		out[i] = s.Wrap(st)
+	}
+	return out
+}
+
+// NamingState is the wrapped state of one Nn agent: the naming variables
+// (my_id, max_id, the known n), the initial simulated state held until
+// start_sim, and — once started — the inner SID state.
+type NamingState struct {
+	myID  int
+	maxID int
+	n     int
+	sim   pp.State  // simulated initial state, authoritative until started
+	inner *SIDState // non-nil once start_sim(my_id) ran
+}
+
+var (
+	_ Wrapped     = (*NamingState)(nil)
+	_ MemoryBytes = (*NamingState)(nil)
+)
+
+// Started reports whether the agent has joined the SID simulation.
+func (a *NamingState) Started() bool { return a.inner != nil }
+
+// MyID returns the agent's current my_id.
+func (a *NamingState) MyID() int { return a.myID }
+
+// MaxID returns the agent's gossiped maximum ID.
+func (a *NamingState) MaxID() int { return a.maxID }
+
+// Simulated implements Wrapped.
+func (a *NamingState) Simulated() pp.State {
+	if a.inner != nil {
+		return a.inner.Simulated()
+	}
+	return a.sim
+}
+
+// EventSeq implements Wrapped.
+func (a *NamingState) EventSeq() uint64 {
+	if a.inner != nil {
+		return a.inner.EventSeq()
+	}
+	return 0
+}
+
+// LastEvent implements Wrapped.
+func (a *NamingState) LastEvent() verify.Event {
+	if a.inner != nil {
+		return a.inner.LastEvent()
+	}
+	return verify.Event{}
+}
+
+// Key implements pp.State.
+func (a *NamingState) Key() string {
+	var b strings.Builder
+	b.WriteString("nam{")
+	b.WriteString(strconv.Itoa(a.myID))
+	b.WriteByte(';')
+	b.WriteString(strconv.Itoa(a.maxID))
+	b.WriteByte(';')
+	b.WriteString(strconv.Itoa(a.n))
+	b.WriteByte(';')
+	if a.inner != nil {
+		b.WriteString(a.inner.Key())
+	} else {
+		b.WriteString(a.sim.Key())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MemoryBytes implements MemoryBytes: two Θ(log n) counters plus the inner
+// SID memory once started.
+func (a *NamingState) MemoryBytes() int {
+	total := bitsLen(a.myID)/8 + 1 + bitsLen(a.maxID)/8 + 1 + bitsLen(a.n)/8 + 1
+	if a.inner != nil {
+		total += a.inner.MemoryBytes()
+	}
+	return total
+}
+
+// clone returns a copy ready for mutation (the inner SID state is immutable
+// and shared until replaced).
+func (a *NamingState) clone() *NamingState {
+	cp := *a
+	return &cp
+}
+
+// maybeStart invokes start_sim(my_id) when the gossiped maximum reached n.
+func (s Naming) maybeStart(a *NamingState) {
+	if a.inner == nil && a.maxID >= s.N {
+		a.inner = s.sid().Wrap(a.sim, a.myID)
+	}
+}
+
+// Detect implements pp.OneWay: identity (Immediate Observation).
+func (s Naming) Detect(starter pp.State) pp.State { return starter }
+
+// React implements pp.OneWay.
+func (s Naming) React(starter, reactor pp.State) pp.State {
+	sa, ok1 := starter.(*NamingState)
+	ra, ok2 := reactor.(*NamingState)
+	if !ok1 || !ok2 {
+		return reactor
+	}
+	r := ra.clone()
+	if r.inner == nil {
+		// Naming phase: collision ⇒ increment; gossip the maximum.
+		if sa.myID == r.myID {
+			r.myID++
+		}
+		r.maxID = max4(r.maxID, r.myID, sa.myID, sa.maxID)
+		s.maybeStart(r)
+		return r
+	}
+	// Simulation phase: delegate to SID once both sides are simulating; a
+	// not-yet-started starter carries no SID variables to observe.
+	if sa.inner == nil {
+		return r
+	}
+	next := s.sid().React(sa.inner, r.inner)
+	ns, ok := next.(*SIDState)
+	if !ok {
+		return r
+	}
+	r.inner = ns
+	return r
+}
+
+// max4 returns the maximum of four ints.
+func max4(a, b, c, d int) int {
+	m := a
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	if d > m {
+		m = d
+	}
+	return m
+}

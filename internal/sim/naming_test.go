@@ -1,0 +1,134 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+	"popsim/internal/trace"
+	"popsim/internal/verify"
+)
+
+// allStarted reports whether every agent has invoked start_sim.
+func allStarted(cfg pp.Configuration) bool {
+	for _, st := range cfg {
+		ns, ok := st.(*sim.NamingState)
+		if !ok || !ns.Started() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNamingAssignsUniqueIDs checks Lemma 3: by the time the gossiped
+// maximum reaches n everywhere, the my_id values are a permutation of 1..n.
+func TestNamingAssignsUniqueIDs(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 16} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			s := sim.Naming{P: protocols.Or{}, N: n}
+			simCfg := protocols.OrConfig(n, 1)
+			eng, err := engine.New(model.IO, s, s.WrapConfig(simCfg), sched.NewRandom(int64(n)))
+			if err != nil {
+				t.Fatalf("engine.New: %v", err)
+			}
+			done, err := eng.RunUntil(allStarted, 400*n*n)
+			if err != nil {
+				t.Fatalf("RunUntil: %v", err)
+			}
+			if !done {
+				t.Fatalf("naming did not converge within %d interactions", 400*n*n)
+			}
+			seen := make(map[int]bool, n)
+			for _, st := range eng.Config() {
+				ns := st.(*sim.NamingState)
+				id := ns.MyID()
+				if id < 1 || id > n {
+					t.Fatalf("id %d out of range 1..%d", id, n)
+				}
+				if seen[id] {
+					t.Fatalf("duplicate id %d", id)
+				}
+				seen[id] = true
+			}
+		})
+	}
+}
+
+// TestNamingThenSimulation is the Theorem 4.6 end-to-end check: Nn names the
+// agents, hands over to SID, and the composed protocol simulates a two-way
+// protocol correctly in IO knowing only n.
+func TestNamingThenSimulation(t *testing.T) {
+	for _, tc := range []struct{ c, p int }{{2, 2}, {3, 2}} {
+		tc := tc
+		t.Run(fmt.Sprintf("c=%d_p=%d", tc.c, tc.p), func(t *testing.T) {
+			n := tc.c + tc.p
+			prot := protocols.Pairing{}
+			s := sim.Naming{P: prot, N: n}
+			simCfg := protocols.PairingConfig(tc.c, tc.p)
+			rec := &trace.Recorder{}
+			eng, err := engine.New(model.IO, s, s.WrapConfig(simCfg), sched.NewRandom(int64(n)*3),
+				engine.WithRecorder(rec))
+			if err != nil {
+				t.Fatalf("engine.New: %v", err)
+			}
+			if err := eng.RunSteps(120000); err != nil {
+				t.Fatalf("RunSteps: %v", err)
+			}
+			proj := sim.Project(eng.Config())
+			if !protocols.PairingSafe(proj, tc.p) {
+				t.Fatalf("SAFETY violated: served=%d > producers=%d",
+					proj.Count(protocols.Served), tc.p)
+			}
+			if !protocols.PairingDone(proj, tc.c, tc.p) {
+				t.Fatalf("liveness: served=%d want %d", proj.Count(protocols.Served), min(tc.c, tc.p))
+			}
+			rep := verify.VerifyStrict(rec.Events(), simCfg, prot.Delta)
+			if err := rep.Err(); err != nil {
+				t.Fatalf("verification failed: %v", err)
+			}
+			if err := verify.Replay(rep, rec.Events(), simCfg, prot.Delta); err != nil {
+				t.Fatalf("replay failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestNamingIDsStableAfterStart: once an agent starts simulating, its my_id
+// never changes (Lemma 3's stability claim).
+func TestNamingIDsStableAfterStart(t *testing.T) {
+	n := 6
+	s := sim.Naming{P: protocols.Or{}, N: n}
+	simCfg := protocols.OrConfig(n, 2)
+	eng, err := engine.New(model.IO, s, s.WrapConfig(simCfg), sched.NewRandom(9))
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	started := make(map[int]int) // agent -> id at start time
+	for i := 0; i < 40000; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		for a, st := range eng.Config() {
+			ns := st.(*sim.NamingState)
+			if !ns.Started() {
+				continue
+			}
+			if id0, ok := started[a]; ok {
+				if ns.MyID() != id0 {
+					t.Fatalf("agent %d changed id after start: %d -> %d", a, id0, ns.MyID())
+				}
+				continue
+			}
+			started[a] = ns.MyID()
+		}
+	}
+	if len(started) != n {
+		t.Fatalf("only %d/%d agents started", len(started), n)
+	}
+}

@@ -1,0 +1,197 @@
+package sim_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"popsim/internal/adversary"
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+)
+
+// TestSKnOTransitionsNeverMutateInputs: every SKnO transition function
+// returns fresh values; the argument states' canonical keys are unchanged.
+// Property-based over random short histories.
+func TestSKnOTransitionsNeverMutateInputs(t *testing.T) {
+	f := func(seed int64, o8 uint8, steps uint8) bool {
+		o := int(o8 % 3)
+		s := sim.SKnO{P: protocols.Pairing{}, O: o}
+		cfg := s.WrapConfig(protocols.PairingConfig(2, 2))
+		rng := sched.NewRandom(seed)
+		for i := 0; i < int(steps%60)+5; i++ {
+			it, _ := rng.Next(len(cfg))
+			sPre, rPre := cfg[it.Starter], cfg[it.Reactor]
+			sKey, rKey := sPre.Key(), rPre.Key()
+			ns, nr, err := model.Apply(model.I3, s, sPre, rPre, pp.OmissionNone)
+			if err != nil {
+				return false
+			}
+			if sPre.Key() != sKey || rPre.Key() != rKey {
+				return false // inputs mutated
+			}
+			cfg[it.Starter], cfg[it.Reactor] = ns, nr
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSKnODeterministicReplay: identical seeds (scheduler + adversary) give
+// bit-identical executions.
+func TestSKnODeterministicReplay(t *testing.T) {
+	run := func(seed int64) string {
+		s := sim.SKnO{P: protocols.Majority{}, O: 1}
+		cfg := s.WrapConfig(protocols.MajorityConfig(3, 2))
+		eng, err := engine.New(model.I3, s, cfg, sched.NewRandom(seed),
+			engine.WithAdversary(adversary.NewBudgeted(seed+1, 0.05, 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.RunSteps(3000); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Config().Key()
+	}
+	f := func(seed int64) bool { return run(seed) == run(seed) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSKnOProjectionOnlyChangesViaDelta: every change of a projected state
+// is explained by δP (one side of it) — property over random executions.
+func TestSKnOProjectionOnlyChangesViaDelta(t *testing.T) {
+	p := protocols.Pairing{}
+	f := func(seed int64) bool {
+		s := sim.SKnO{P: p, O: 1}
+		cfg := s.WrapConfig(protocols.PairingConfig(2, 2))
+		eng, err := engine.New(model.I3, s, cfg, sched.NewRandom(seed),
+			engine.WithAdversary(adversary.NewBudgeted(seed+5, 0.05, 1)))
+		if err != nil {
+			return false
+		}
+		states := []pp.State{protocols.Consumer, protocols.Producer, protocols.Served, protocols.Spent}
+		prev := sim.Project(eng.Config())
+		for i := 0; i < 2000; i++ {
+			if err := eng.Step(); err != nil {
+				return false
+			}
+			cur := sim.Project(eng.Config())
+			for a := range cur {
+				if pp.Equal(prev[a], cur[a]) {
+					continue
+				}
+				// The change must be some δ-image: exists q with
+				// δ(q, prev)[1] = cur or δ(prev, q)[0] = cur.
+				ok := false
+				for _, q := range states {
+					if _, r := p.Delta(q, prev[a]); pp.Equal(r, cur[a]) {
+						ok = true
+						break
+					}
+					if l, _ := p.Delta(prev[a], q); pp.Equal(l, cur[a]) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSIDNeverMutatesInputs: same immutability property for SID.
+func TestSIDNeverMutatesInputs(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		s := sim.SID{P: protocols.LeaderElection{}}
+		cfg := s.WrapConfig(protocols.LeaderConfig(4))
+		rng := sched.NewRandom(seed)
+		for i := 0; i < int(steps%60)+5; i++ {
+			it, _ := rng.Next(len(cfg))
+			sPre, rPre := cfg[it.Starter], cfg[it.Reactor]
+			sKey, rKey := sPre.Key(), rPre.Key()
+			ns, nr, err := model.Apply(model.IO, s, sPre, rPre, pp.OmissionNone)
+			if err != nil {
+				return false
+			}
+			if sPre.Key() != sKey || rPre.Key() != rKey {
+				return false
+			}
+			cfg[it.Starter], cfg[it.Reactor] = ns, nr
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNamingMaxGossipMonotone: max_id never decreases and never exceeds n
+// once naming has stabilized — over random schedules.
+func TestNamingMaxGossipMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 5
+		s := sim.Naming{P: protocols.Or{}, N: n}
+		cfg := s.WrapConfig(protocols.OrConfig(n, 1))
+		eng, err := engine.New(model.IO, s, cfg, sched.NewRandom(seed))
+		if err != nil {
+			return false
+		}
+		prevMax := make([]int, n)
+		for i := 0; i < 3000; i++ {
+			if err := eng.Step(); err != nil {
+				return false
+			}
+			for a, st := range eng.Config() {
+				ns := st.(*sim.NamingState)
+				if ns.MaxID() < prevMax[a] {
+					return false
+				}
+				prevMax[a] = ns.MaxID()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSKnOUnderNOAdversary: the benign eventually-non-omissive adversary
+// with insertions within the budget leaves SKnO fully live.
+func TestSKnOUnderNOAdversary(t *testing.T) {
+	o := 2
+	s := sim.SKnO{P: protocols.Pairing{}, O: o}
+	simCfg := protocols.PairingConfig(2, 2)
+	adv := adversary.NewNO(3, 0.5, 1, 4) // bursts only before step 4
+	eng, err := engine.New(model.I3, s, s.WrapConfig(simCfg), sched.NewRandom(4),
+		engine.WithAdversary(adv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := eng.RunUntil(func(c pp.Configuration) bool {
+		return protocols.PairingDone(sim.Project(c), 2, 2)
+	}, 300000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Spent() > o {
+		t.Skipf("adversary spent %d > o; probe inconclusive for this seed", adv.Spent())
+	}
+	if !done {
+		t.Fatalf("stalled under NO adversary with %d ≤ %d omissions", adv.Spent(), o)
+	}
+}

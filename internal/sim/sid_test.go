@@ -1,0 +1,149 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+	"popsim/internal/trace"
+	"popsim/internal/verify"
+)
+
+// runSID drives the SID simulator in the IO model.
+func runSID(t *testing.T, p pp.TwoWay, simCfg pp.Configuration, seed int64, steps int) (*engine.Engine, *trace.Recorder) {
+	t.Helper()
+	s := sim.SID{P: p}
+	rec := &trace.Recorder{}
+	eng, err := engine.New(model.IO, s, s.WrapConfig(simCfg), sched.NewRandom(seed),
+		engine.WithRecorder(rec))
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	if err := eng.RunSteps(steps); err != nil {
+		t.Fatalf("RunSteps: %v", err)
+	}
+	return eng, rec
+}
+
+func verifySim(t *testing.T, p pp.TwoWay, simCfg pp.Configuration, rec *trace.Recorder) *verify.Report {
+	t.Helper()
+	rep := verify.Verify(rec.Events(), simCfg, p.Delta)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("verification failed: %v", err)
+	}
+	strict := verify.VerifyStrict(rec.Events(), simCfg, p.Delta)
+	if err := strict.Err(); err != nil {
+		t.Fatalf("strict verification failed: %v", err)
+	}
+	if err := verify.Replay(strict, rec.Events(), simCfg, p.Delta); err != nil {
+		t.Fatalf("replay failed: %v", err)
+	}
+	if got, limit := rep.Unmatched(), len(simCfg); got > limit {
+		t.Errorf("unmatched events = %d, want ≤ n = %d", got, limit)
+	}
+	return rep
+}
+
+func TestSIDPairingTwoAgents(t *testing.T) {
+	simCfg := protocols.PairingConfig(1, 1)
+	eng, rec := runSID(t, protocols.Pairing{}, simCfg, 1, 2000)
+	proj := sim.Project(eng.Config())
+	if !protocols.PairingDone(proj, 1, 1) {
+		t.Fatalf("pairing not completed: %v", proj)
+	}
+	rep := verifySim(t, protocols.Pairing{}, simCfg, rec)
+	if len(rep.Pairs) == 0 {
+		t.Fatal("no simulated interactions matched")
+	}
+}
+
+func TestSIDPairingMany(t *testing.T) {
+	for _, tc := range []struct{ c, p int }{{3, 2}, {2, 3}, {4, 4}} {
+		tc := tc
+		t.Run(fmt.Sprintf("c=%d_p=%d", tc.c, tc.p), func(t *testing.T) {
+			simCfg := protocols.PairingConfig(tc.c, tc.p)
+			eng, rec := runSID(t, protocols.Pairing{}, simCfg, int64(tc.c*10+tc.p), 60000)
+			proj := sim.Project(eng.Config())
+			if !protocols.PairingSafe(proj, tc.p) {
+				t.Fatalf("SAFETY violated: served=%d producers=%d", proj.Count(protocols.Served), tc.p)
+			}
+			if !protocols.PairingDone(proj, tc.c, tc.p) {
+				t.Fatalf("liveness: served=%d want %d", proj.Count(protocols.Served), min(tc.c, tc.p))
+			}
+			verifySim(t, protocols.Pairing{}, simCfg, rec)
+		})
+	}
+}
+
+func TestSIDMajority(t *testing.T) {
+	simCfg := protocols.MajorityConfig(5, 3)
+	eng, rec := runSID(t, protocols.Majority{}, simCfg, 17, 120000)
+	proj := sim.Project(eng.Config())
+	if !protocols.MajorityInvariant(proj, 5, 3) {
+		t.Fatalf("majority invariant broken: %v", proj)
+	}
+	if !protocols.MajorityConverged(proj, "A") {
+		t.Fatalf("majority did not converge to A: %v", proj)
+	}
+	verifySim(t, protocols.Majority{}, simCfg, rec)
+}
+
+func TestSIDLeaderElection(t *testing.T) {
+	simCfg := protocols.LeaderConfig(6)
+	eng, rec := runSID(t, protocols.LeaderElection{}, simCfg, 23, 120000)
+	proj := sim.Project(eng.Config())
+	if !protocols.LeaderSafe(proj) {
+		t.Fatal("leader count dropped to zero")
+	}
+	if !protocols.LeaderElected(proj) {
+		t.Fatalf("leaders remaining: %d, want 1", proj.Count(protocols.Leader))
+	}
+	verifySim(t, protocols.LeaderElection{}, simCfg, rec)
+}
+
+// TestSIDLockedNeverLosesHalfStep: a locked agent has already applied its
+// δ[0] half; the rollback rule must only release it after its partner
+// completed. We check a strong consequence on the final configuration of
+// every run: the number of SimStarter events equals the number of SimReactor
+// events up to the (≤ n) in-flight tail, and verification matches them all.
+func TestSIDHalfStepAccounting(t *testing.T) {
+	simCfg := protocols.MajorityConfig(3, 3)
+	_, rec := runSID(t, protocols.Majority{}, simCfg, 5, 40000)
+	starters, reactors := 0, 0
+	for _, e := range rec.Events() {
+		switch e.Role {
+		case verify.SimStarter:
+			starters++
+		case verify.SimReactor:
+			reactors++
+		}
+	}
+	if diff := starters - reactors; diff < 0 || diff > len(simCfg) {
+		t.Fatalf("starter/reactor event imbalance: %d vs %d", starters, reactors)
+	}
+	verifySim(t, protocols.Majority{}, simCfg, rec)
+}
+
+// TestSIDDeterministicReplay: same seed ⇒ identical execution.
+func TestSIDDeterministicReplay(t *testing.T) {
+	run := func() string {
+		simCfg := protocols.PairingConfig(2, 2)
+		eng, _ := runSID(t, protocols.Pairing{}, simCfg, 77, 5000)
+		return eng.Config().Key()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different executions:\n%s\n%s", a, b)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,212 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"popsim/internal/adversary"
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+	"popsim/internal/trace"
+	"popsim/internal/verify"
+)
+
+// runSKnO drives the SKnO simulator for the given protocol and simulated
+// initial configuration under the given model with at most o omissions, and
+// returns the engine and recorder after the run.
+func runSKnO(t *testing.T, p pp.TwoWay, simCfg pp.Configuration, k model.Kind, o int, seed int64, steps int) (*engine.Engine, *trace.Recorder) {
+	t.Helper()
+	s := sim.SKnO{P: p, O: o}
+	rec := &trace.Recorder{}
+	var adv adversary.Adversary = adversary.None{}
+	if o > 0 {
+		adv = adversary.NewBudgeted(seed+1, 0.05, o)
+	}
+	eng, err := engine.New(k, s, s.WrapConfig(simCfg), sched.NewRandom(seed),
+		engine.WithAdversary(adv), engine.WithRecorder(rec))
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	if err := eng.RunSteps(steps); err != nil {
+		t.Fatalf("RunSteps: %v", err)
+	}
+	return eng, rec
+}
+
+// verifySKnO runs both verification levels on a recorded run: the literal
+// Definition-3/4 check, and the strict variant whose matching additionally
+// replays the derived execution snapshot-exactly.
+func verifySKnO(t *testing.T, p pp.TwoWay, simCfg pp.Configuration, rec *trace.Recorder) *verify.Report {
+	t.Helper()
+	rep := verify.Verify(rec.Events(), simCfg, p.Delta)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("verification failed: %v", err)
+	}
+	strict := verify.VerifyStrict(rec.Events(), simCfg, p.Delta)
+	if err := strict.Err(); err != nil {
+		t.Fatalf("strict verification failed: %v", err)
+	}
+	if err := verify.Replay(strict, rec.Events(), simCfg, p.Delta); err != nil {
+		t.Fatalf("replay failed: %v", err)
+	}
+	if got, limit := rep.Unmatched(), len(simCfg); got > limit {
+		t.Errorf("unmatched events = %d, want ≤ n = %d", got, limit)
+	}
+	return rep
+}
+
+func TestSKnOTwoAgentsNoOmissionsIT(t *testing.T) {
+	// Corollary 1 setting: o = 0 under Immediate Transmission.
+	simCfg := protocols.PairingConfig(1, 1)
+	eng, rec := runSKnO(t, protocols.Pairing{}, simCfg, model.IT, 0, 1, 400)
+	proj := sim.Project(eng.Config())
+	if !protocols.PairingDone(proj, 1, 1) {
+		t.Fatalf("pairing not completed: %v", proj)
+	}
+	rep := verifySKnO(t, protocols.Pairing{}, simCfg, rec)
+	if len(rep.Pairs) == 0 {
+		t.Fatal("no simulated interactions matched")
+	}
+}
+
+func TestSKnOPairingUnderI3WithOmissions(t *testing.T) {
+	for _, o := range []int{0, 1, 2, 4} {
+		o := o
+		t.Run(fmt.Sprintf("o=%d", o), func(t *testing.T) {
+			simCfg := protocols.PairingConfig(3, 2)
+			eng, rec := runSKnO(t, protocols.Pairing{}, simCfg, model.I3, o, 42+int64(o), 30000)
+			proj := sim.Project(eng.Config())
+			if !protocols.PairingSafe(proj, 2) {
+				t.Fatalf("SAFETY violated: %d served > 2 producers", proj.Count(protocols.Served))
+			}
+			if !protocols.PairingDone(proj, 3, 2) {
+				t.Fatalf("liveness: served=%d want 2 after %d steps (omissions=%d)",
+					proj.Count(protocols.Served), rec.Steps(), rec.Omissions())
+			}
+			verifySKnO(t, protocols.Pairing{}, simCfg, rec)
+		})
+	}
+}
+
+func TestSKnOPairingUnderI4WithOmissions(t *testing.T) {
+	for _, o := range []int{1, 3} {
+		o := o
+		t.Run(fmt.Sprintf("o=%d", o), func(t *testing.T) {
+			simCfg := protocols.PairingConfig(2, 2)
+			eng, rec := runSKnO(t, protocols.Pairing{}, simCfg, model.I4, o, 99+int64(o), 30000)
+			proj := sim.Project(eng.Config())
+			if !protocols.PairingSafe(proj, 2) {
+				t.Fatalf("SAFETY violated: %d served > 2 producers", proj.Count(protocols.Served))
+			}
+			if !protocols.PairingDone(proj, 2, 2) {
+				t.Fatalf("liveness: served=%d want 2 (omissions=%d)", proj.Count(protocols.Served), rec.Omissions())
+			}
+			verifySKnO(t, protocols.Pairing{}, simCfg, rec)
+		})
+	}
+}
+
+func TestSKnOMajorityUnderI3(t *testing.T) {
+	simCfg := protocols.MajorityConfig(4, 2)
+	eng, rec := runSKnO(t, protocols.Majority{}, simCfg, model.I3, 2, 7, 60000)
+	proj := sim.Project(eng.Config())
+	if !protocols.MajorityInvariant(proj, 4, 2) {
+		t.Fatalf("majority invariant broken: %v", proj)
+	}
+	if !protocols.MajorityConverged(proj, "A") {
+		t.Fatalf("majority did not converge to A: %v (steps=%d)", proj, rec.Steps())
+	}
+	verifySKnO(t, protocols.Majority{}, simCfg, rec)
+}
+
+func TestSKnOLeaderElectionUnderIT(t *testing.T) {
+	simCfg := protocols.LeaderConfig(5)
+	eng, rec := runSKnO(t, protocols.LeaderElection{}, simCfg, model.IT, 0, 3, 60000)
+	proj := sim.Project(eng.Config())
+	if !protocols.LeaderSafe(proj) {
+		t.Fatal("leader count dropped to zero")
+	}
+	if !protocols.LeaderElected(proj) {
+		t.Fatalf("leaders remaining: %d, want 1", proj.Count(protocols.Leader))
+	}
+	verifySKnO(t, protocols.LeaderElection{}, simCfg, rec)
+}
+
+// TestSKnOJokerConservation checks the token-accounting invariant: at every
+// point, jokers present in queues plus recorded joker debt equals the number
+// of omissions suffered so far.
+func TestSKnOJokerConservation(t *testing.T) {
+	p := protocols.Pairing{}
+	o := 3
+	s := sim.SKnO{P: p, O: o}
+	simCfg := protocols.PairingConfig(2, 2)
+	rec := &trace.Recorder{}
+	adv := adversary.NewBudgeted(5, 0.2, o)
+	eng, err := engine.New(model.I3, s, s.WrapConfig(simCfg), sched.NewRandom(6),
+		engine.WithAdversary(adv), engine.WithRecorder(rec))
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	for i := 0; i < 4000; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		jokers, debt := 0, 0
+		for _, st := range eng.Config() {
+			a, ok := st.(*sim.SKnOState)
+			if !ok {
+				t.Fatalf("state %T is not *SKnOState", st)
+			}
+			for _, tok := range a.Queue() {
+				if tok.Kind == sim.JokerToken {
+					jokers++
+				}
+			}
+			debt += a.DebtSize()
+		}
+		if jokers+debt != rec.Omissions() {
+			t.Fatalf("step %d: jokers(%d) + debt(%d) != omissions(%d)",
+				i, jokers, debt, rec.Omissions())
+		}
+	}
+}
+
+// TestSKnOAnonymity checks that the instrumentation origins do not influence
+// projected behaviour: permuting origin tags while keeping the same schedule
+// yields identical projected executions.
+func TestSKnOAnonymity(t *testing.T) {
+	p := protocols.Majority{}
+	simCfg := protocols.MajorityConfig(3, 2)
+	run := func(originOffset int) []string {
+		s := sim.SKnO{P: p, O: 1}
+		cfg := make(pp.Configuration, len(simCfg))
+		for i, st := range simCfg {
+			cfg[i] = s.Wrap(st, i+originOffset)
+		}
+		rec := &trace.Recorder{}
+		eng, err := engine.New(model.I3, s, cfg, sched.NewRandom(11),
+			engine.WithAdversary(adversary.NewBudgeted(12, 0.1, 1)),
+			engine.WithRecorder(rec))
+		if err != nil {
+			t.Fatalf("engine.New: %v", err)
+		}
+		keys := make([]string, 0, 512)
+		for i := 0; i < 2000; i++ {
+			if err := eng.Step(); err != nil {
+				t.Fatalf("step: %v", err)
+			}
+			keys = append(keys, sim.Project(eng.Config()).Key())
+		}
+		return keys
+	}
+	a, b := run(0), run(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("projected executions diverge at step %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

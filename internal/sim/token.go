@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"popsim/internal/pp"
+)
+
+// TokenKind distinguishes the three token species of the SKnO simulator
+// (Section 4.1 of the paper).
+type TokenKind int
+
+// Token kinds.
+const (
+	// AnnounceToken is ⟨q, i⟩: the i-th token of an announcement run for
+	// simulated state q.
+	AnnounceToken TokenKind = iota + 1
+	// ChangeToken is ⟨(q, q′), i⟩: the i-th token of a state-change run,
+	// telling a pending agent in state q that its announcement was
+	// consumed by an agent whose simulated state was q′.
+	ChangeToken
+	// JokerToken is ⟨J⟩: a wildcard minted when an omission is detected.
+	JokerToken
+)
+
+// String implements fmt.Stringer.
+func (k TokenKind) String() string {
+	switch k {
+	case AnnounceToken:
+		return "announce"
+	case ChangeToken:
+		return "change"
+	case JokerToken:
+		return "joker"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Token is one circulating token of the SKnO simulator. Tokens are
+// immutable values.
+type Token struct {
+	Kind TokenKind
+	// Q is the announced state (AnnounceToken) or the pending agent's
+	// state the change is addressed to (ChangeToken).
+	Q pp.State
+	// Via is the consumer's simulated pre-state q′ (ChangeToken only).
+	Via pp.State
+	// Idx is the token's position in its run, 1..o+1.
+	Idx int
+	// Tag is the verification-only provenance label of the consumption
+	// that emitted this change run (ChangeToken only). Protocol logic
+	// never branches on it.
+	Tag string
+}
+
+// Key returns the canonical encoding of the token. The Tag participates in
+// the encoding because it is part of the transmitted content.
+func (t Token) Key() string {
+	var b strings.Builder
+	switch t.Kind {
+	case AnnounceToken:
+		b.WriteString("A:")
+		b.WriteString(t.Q.Key())
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(t.Idx))
+	case ChangeToken:
+		b.WriteString("C:")
+		b.WriteString(t.Q.Key())
+		b.WriteByte('>')
+		b.WriteString(t.Via.Key())
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(t.Idx))
+		b.WriteByte('#')
+		b.WriteString(t.Tag)
+	case JokerToken:
+		b.WriteString("J")
+	}
+	return b.String()
+}
+
+// SlotKey identifies the token's logical slot — the (run-type, index) pair a
+// joker may substitute for — ignoring provenance tags. Debt bookkeeping (the
+// "Rummy rule") is keyed by slots.
+func (t Token) SlotKey() string {
+	switch t.Kind {
+	case AnnounceToken:
+		return "A:" + t.Q.Key() + ":" + strconv.Itoa(t.Idx)
+	case ChangeToken:
+		return "C:" + t.Q.Key() + ">" + t.Via.Key() + ":" + strconv.Itoa(t.Idx)
+	default:
+		return "J"
+	}
+}
+
+// String renders the token.
+func (t Token) String() string { return t.Key() }

@@ -1,0 +1,161 @@
+package sim_test
+
+import (
+	"testing"
+
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sim"
+)
+
+func TestTokenKeys(t *testing.T) {
+	ann := sim.Token{Kind: sim.AnnounceToken, Q: protocols.Consumer, Idx: 2}
+	chg := sim.Token{Kind: sim.ChangeToken, Q: protocols.Consumer, Via: protocols.Producer, Idx: 1, Tag: "3.7"}
+	jok := sim.Token{Kind: sim.JokerToken}
+	if ann.Key() != "A:c:2" {
+		t.Errorf("announce key = %q", ann.Key())
+	}
+	if chg.Key() != "C:c>p:1#3.7" {
+		t.Errorf("change key = %q", chg.Key())
+	}
+	if jok.Key() != "J" {
+		t.Errorf("joker key = %q", jok.Key())
+	}
+}
+
+// TestSlotKeyIgnoresTag: the Rummy debt bookkeeping treats change tokens of
+// equal (q, q', i) as interchangeable, regardless of provenance tags.
+func TestSlotKeyIgnoresTag(t *testing.T) {
+	a := sim.Token{Kind: sim.ChangeToken, Q: protocols.Consumer, Via: protocols.Producer, Idx: 1, Tag: "1.1"}
+	b := sim.Token{Kind: sim.ChangeToken, Q: protocols.Consumer, Via: protocols.Producer, Idx: 1, Tag: "9.9"}
+	if a.SlotKey() != b.SlotKey() {
+		t.Errorf("slot keys differ: %q vs %q", a.SlotKey(), b.SlotKey())
+	}
+	if a.Key() == b.Key() {
+		t.Error("full keys must include the tag")
+	}
+}
+
+func TestTokenKindString(t *testing.T) {
+	for kind, want := range map[sim.TokenKind]string{
+		sim.AnnounceToken: "announce",
+		sim.ChangeToken:   "change",
+		sim.JokerToken:    "joker",
+	} {
+		if kind.String() != want {
+			t.Errorf("%d: %q", kind, kind.String())
+		}
+	}
+}
+
+// TestSKnOAnnounceOnFirstTransmission: an available agent with an empty
+// queue announces when acting as a starter and transmits the first token.
+func TestSKnOAnnounceOnFirstTransmission(t *testing.T) {
+	s := sim.SKnO{P: protocols.Pairing{}, O: 2}
+	a := s.Wrap(protocols.Producer, 0)
+	post, ok := s.Detect(a).(*sim.SKnOState)
+	if !ok {
+		t.Fatal("Detect changed state type")
+	}
+	if post.Mode() != sim.Pending {
+		t.Fatalf("mode = %v, want pending", post.Mode())
+	}
+	q := post.Queue()
+	if len(q) != 2 { // o+1 = 3 announced, head transmitted
+		t.Fatalf("queue length = %d, want 2", len(q))
+	}
+	if q[0].Kind != sim.AnnounceToken || q[0].Idx != 2 {
+		t.Fatalf("head after pop = %v", q[0])
+	}
+	// The original state is untouched (immutability).
+	if a.Mode() != sim.Available || len(a.Queue()) != 0 {
+		t.Fatal("Detect mutated its input")
+	}
+}
+
+// TestSKnOReactorAssemblesRun: feeding o+1 announce tokens makes an
+// available reactor consume the run and apply δ[1].
+func TestSKnOReactorAssemblesRun(t *testing.T) {
+	o := 1
+	s := sim.SKnO{P: protocols.Pairing{}, O: o}
+	producer := s.Wrap(protocols.Producer, 0)
+	consumer := pp.State(s.Wrap(protocols.Consumer, 1))
+	var st pp.State = producer
+	for i := 0; i <= o; i++ {
+		// Reactor reads the head of the starter's (pre) queue.
+		consumer = s.React(st, consumer)
+		st = s.Detect(st)
+	}
+	got := consumer.(*sim.SKnOState)
+	if !pp.Equal(got.Simulated(), protocols.Served) {
+		t.Fatalf("consumer simulated state = %v, want cs", got.Simulated())
+	}
+	// The change run ⟨(p, c), 1..o+1⟩ must now sit in its queue.
+	change := 0
+	for _, tok := range got.Queue() {
+		if tok.Kind == sim.ChangeToken {
+			change++
+			if !pp.Equal(tok.Q, protocols.Producer) || !pp.Equal(tok.Via, protocols.Consumer) {
+				t.Fatalf("change token content %v", tok)
+			}
+		}
+	}
+	if change != o+1 {
+		t.Fatalf("change tokens = %d, want %d", change, o+1)
+	}
+	if got.EventSeq() != 1 {
+		t.Fatalf("event seq = %d, want 1", got.EventSeq())
+	}
+}
+
+// TestSKnORummyRule: receiving a token whose slot is in the debt multiset
+// converts it back into a joker and repays the debt.
+func TestSKnORummyRule(t *testing.T) {
+	o := 1
+	s := sim.SKnO{P: protocols.Pairing{}, O: o}
+	// Build a consumer holding ⟨p,1⟩ plus a joker; consuming the run for p
+	// uses the joker for slot ⟨p,2⟩ and records the debt.
+	consumer := pp.State(s.Wrap(protocols.Consumer, 1))
+	producer := s.Wrap(protocols.Producer, 0)
+	consumer = s.React(producer, consumer)   // receives ⟨p,1⟩; incomplete
+	consumer = s.OnReactorOmission(consumer) // joker arrives; run completes via wildcard
+	got := consumer.(*sim.SKnOState)
+	if !pp.Equal(got.Simulated(), protocols.Served) {
+		t.Fatalf("wildcard consumption failed: %v", got.Simulated())
+	}
+	if got.DebtSize() != 1 {
+		t.Fatalf("debt = %d, want 1", got.DebtSize())
+	}
+	// Now the "late" ⟨p,2⟩ arrives: it must be converted into a joker.
+	late := s.Wrap(protocols.Producer, 2)
+	lateAfter := s.Detect(late).(*sim.SKnOState) // producer announces, pops ⟨p,1⟩
+	consumer = s.React(lateAfter, consumer)      // transmits ⟨p,2⟩
+	got = consumer.(*sim.SKnOState)
+	if got.DebtSize() != 0 {
+		t.Fatalf("debt not repaid: %d", got.DebtSize())
+	}
+	jokers := 0
+	for _, tok := range got.Queue() {
+		if tok.Kind == sim.JokerToken {
+			jokers++
+		}
+	}
+	if jokers != 1 {
+		t.Fatalf("jokers in queue = %d, want 1 (converted late token)", jokers)
+	}
+}
+
+// TestSKnOKeyDeterminism: Key() is stable and distinguishes states.
+func TestSKnOKeyDeterminism(t *testing.T) {
+	s := sim.SKnO{P: protocols.Pairing{}, O: 1}
+	a := s.Wrap(protocols.Producer, 0)
+	if a.Key() != s.Wrap(protocols.Producer, 0).Key() {
+		t.Error("identical states have different keys")
+	}
+	if a.Key() == s.Wrap(protocols.Consumer, 0).Key() {
+		t.Error("different simulated states share a key")
+	}
+	if a.Key() == s.Detect(a).Key() {
+		t.Error("transitioned state shares key with original")
+	}
+}

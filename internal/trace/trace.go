@@ -1,0 +1,68 @@
+// Package trace records population-protocol executions: the interaction
+// sequence, omission counts, and the simulation events emitted by wrapped
+// simulator states. Recorders feed the verifier (package verify) and the
+// reporting layer.
+package trace
+
+import (
+	"popsim/internal/pp"
+	"popsim/internal/verify"
+)
+
+// Recorder accumulates an execution.
+//
+// The zero value records counters and events but not the interaction
+// sequence; set KeepInteractions before the run to retain the full run
+// (needed by replay-style experiments, memory-hungry for long runs).
+type Recorder struct {
+	// KeepInteractions retains the full interaction sequence.
+	KeepInteractions bool
+
+	initial      pp.Configuration
+	interactions pp.Run
+	events       []verify.Event
+	steps        int
+	omissions    int
+}
+
+// Reset clears the recorder and stores the initial configuration.
+func (r *Recorder) Reset(initial pp.Configuration) {
+	r.initial = initial.Clone()
+	r.interactions = nil
+	r.events = nil
+	r.steps = 0
+	r.omissions = 0
+}
+
+// OnInteraction records one applied interaction.
+func (r *Recorder) OnInteraction(it pp.Interaction) {
+	r.steps++
+	if it.Omission.IsOmissive() {
+		r.omissions++
+	}
+	if r.KeepInteractions {
+		r.interactions = append(r.interactions, it)
+	}
+}
+
+// OnEvent records one simulated-state update event.
+func (r *Recorder) OnEvent(ev verify.Event) {
+	r.events = append(r.events, ev)
+}
+
+// Initial returns (a copy of) the initial configuration.
+func (r *Recorder) Initial() pp.Configuration { return r.initial.Clone() }
+
+// Events returns the recorded events (shared slice; callers must not
+// modify).
+func (r *Recorder) Events() []verify.Event { return r.events }
+
+// Interactions returns the recorded run, if KeepInteractions was set.
+func (r *Recorder) Interactions() pp.Run { return r.interactions }
+
+// Steps returns the number of interactions applied (injected omissive ones
+// included).
+func (r *Recorder) Steps() int { return r.steps }
+
+// Omissions returns the number of omissive interactions applied.
+func (r *Recorder) Omissions() int { return r.omissions }

@@ -1,0 +1,63 @@
+package trace_test
+
+import (
+	"testing"
+
+	"popsim/internal/pp"
+	"popsim/internal/trace"
+	"popsim/internal/verify"
+)
+
+func TestRecorderCounters(t *testing.T) {
+	var r trace.Recorder
+	r.Reset(pp.Configuration{pp.Symbol("a"), pp.Symbol("b")})
+	r.OnInteraction(pp.Interaction{Starter: 0, Reactor: 1})
+	r.OnInteraction(pp.Interaction{Starter: 1, Reactor: 0, Omission: pp.OmissionReactor})
+	r.OnInteraction(pp.Interaction{Starter: 0, Reactor: 1, Omission: pp.OmissionBoth})
+	if r.Steps() != 3 {
+		t.Errorf("Steps = %d", r.Steps())
+	}
+	if r.Omissions() != 2 {
+		t.Errorf("Omissions = %d", r.Omissions())
+	}
+}
+
+func TestRecorderKeepInteractions(t *testing.T) {
+	r := trace.Recorder{KeepInteractions: true}
+	r.Reset(pp.Configuration{pp.Symbol("a"), pp.Symbol("b")})
+	it := pp.Interaction{Starter: 0, Reactor: 1}
+	r.OnInteraction(it)
+	if got := r.Interactions(); len(got) != 1 || got[0] != it {
+		t.Errorf("Interactions = %v", got)
+	}
+}
+
+func TestRecorderEvents(t *testing.T) {
+	var r trace.Recorder
+	r.Reset(pp.Configuration{pp.Symbol("a"), pp.Symbol("b")})
+	ev := verify.Event{Index: 3, Agent: 1, Seq: 1, Role: verify.SimReactor,
+		Pre: pp.Symbol("a"), Post: pp.Symbol("b"), PartnerPre: pp.Symbol("c")}
+	r.OnEvent(ev)
+	if got := r.Events(); len(got) != 1 || got[0].Index != 3 {
+		t.Errorf("Events = %v", got)
+	}
+	r.Reset(nil)
+	if len(r.Events()) != 0 {
+		t.Error("Reset did not clear events")
+	}
+}
+
+func TestRecorderInitialIsCopied(t *testing.T) {
+	var r trace.Recorder
+	initial := pp.Configuration{pp.Symbol("a")}
+	r.Reset(initial)
+	initial[0] = pp.Symbol("z")
+	if !pp.Equal(r.Initial()[0], pp.Symbol("a")) {
+		t.Error("Reset stored a shared slice")
+	}
+	got := r.Initial()
+	got[0] = pp.Symbol("y")
+	if !pp.Equal(r.Initial()[0], pp.Symbol("a")) {
+		t.Error("Initial returns a shared slice")
+	}
+}

@@ -1,0 +1,76 @@
+// Package verify implements the formal simulation-correctness machinery of
+// Section 2.4 of the paper: sequences of events (Definition 3), perfect
+// matchings of events into simulated two-way interactions, and validation of
+// the derived execution against the simulated protocol δP (Definition 4).
+package verify
+
+import (
+	"fmt"
+
+	"popsim/internal/pp"
+)
+
+// Role distinguishes the two halves of one simulated two-way interaction.
+type Role int
+
+// Roles.
+const (
+	// SimStarter marks the event of the agent playing the starter of the
+	// simulated interaction: its simulated state changes by δP(...)[0].
+	SimStarter Role = iota + 1
+	// SimReactor marks the event of the agent playing the reactor of the
+	// simulated interaction: its simulated state changes by δP(...)[1].
+	SimReactor
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case SimStarter:
+		return "starter"
+	case SimReactor:
+		return "reactor"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Event records one update of the simulated state of one agent, i.e. one
+// element of the sequence of events E(Γ) of Definition 3.
+//
+// Tag is a provenance label connecting the two halves of the same simulated
+// interaction. Simulators stamp tags from verification-only instrumentation
+// (origin indices and per-agent generation counters); tags are never
+// consulted by protocol logic — a dedicated anonymity test permutes them and
+// asserts unchanged projected behaviour.
+type Event struct {
+	// Index is the position in the run of the physical interaction that
+	// caused this simulated-state update.
+	Index int
+	// Agent is the index of the agent whose simulated state changed.
+	Agent int
+	// Seq is the per-agent event sequence number (1-based).
+	Seq uint64
+	// Role says which side of δP this event applies.
+	Role Role
+	// Pre and Post are the agent's simulated states before and after.
+	Pre, Post pp.State
+	// PartnerPre is the simulated pre-state of the (believed) partner in
+	// the simulated interaction.
+	PartnerPre pp.State
+	// Tag pairs this event with its counterpart event.
+	Tag string
+}
+
+// String renders the event for debugging.
+func (e Event) String() string {
+	return fmt.Sprintf("ev[%d] agent=%d seq=%d role=%v %s->%s with=%s tag=%s",
+		e.Index, e.Agent, e.Seq, e.Role, key(e.Pre), key(e.Post), key(e.PartnerPre), e.Tag)
+}
+
+func key(s pp.State) string {
+	if s == nil {
+		return "<nil>"
+	}
+	return s.Key()
+}

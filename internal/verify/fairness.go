@@ -1,0 +1,75 @@
+package verify
+
+import (
+	"fmt"
+
+	"popsim/internal/pp"
+)
+
+// FairnessProbe checks the global-fairness condition of Section 2.1 on a
+// recorded finite execution of a native two-way protocol, at the granularity
+// of single configurations (the standard GF definition, which the paper's
+// closed-set definition extends and which is equivalent for finitely many
+// states): every configuration that recurs at least minRecurrence times must
+// have every one-interaction successor appear somewhere in the execution.
+//
+// Configurations are compared as multisets (closed sets are
+// permutation-closed). The probe is necessarily approximate — GF is a
+// property of infinite runs — but it reliably catches starved transitions:
+// a scheduler that keeps visiting a configuration while never taking one of
+// its exits fails the probe.
+func FairnessProbe(initial pp.Configuration, run pp.Run, delta DeltaFunc, minRecurrence int) error {
+	if minRecurrence < 1 {
+		minRecurrence = 1
+	}
+	n := len(initial)
+	// Replay, collecting visit counts and a representative (ordered)
+	// configuration per multiset key.
+	visits := make(map[string]int)
+	repr := make(map[string]pp.Configuration)
+	cfg := initial.Clone()
+	record := func() {
+		k := cfg.MultisetKey()
+		visits[k]++
+		if _, ok := repr[k]; !ok {
+			repr[k] = cfg.Clone()
+		}
+	}
+	record()
+	for _, it := range run {
+		if !it.Valid(n) {
+			return fmt.Errorf("fairness probe: invalid interaction %v", it)
+		}
+		if it.Omission.IsOmissive() {
+			return fmt.Errorf("fairness probe: omissive interaction %v (probe is for native runs)", it)
+		}
+		s, r := delta(cfg[it.Starter], cfg[it.Reactor])
+		cfg[it.Starter], cfg[it.Reactor] = s, r
+		record()
+	}
+	// Every frequently-recurring configuration must have all successors
+	// realized somewhere.
+	for k, count := range visits {
+		if count < minRecurrence {
+			continue
+		}
+		c := repr[k]
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				s, r := delta(c[i], c[j])
+				succ := c.Clone()
+				succ[i], succ[j] = s, r
+				sk := succ.MultisetKey()
+				if visits[sk] == 0 {
+					return fmt.Errorf(
+						"fairness probe: configuration {%s} recurs %d times but successor {%s} (via %d→%d) never occurs",
+						k, count, sk, i, j)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sched"
+	"popsim/internal/trace"
+	"popsim/internal/verify"
+)
+
+// TestFairnessProbeRandomScheduler: the seeded uniform-random scheduler
+// satisfies the GF recurrence property on a long majority run.
+func TestFairnessProbeRandomScheduler(t *testing.T) {
+	p := protocols.Majority{}
+	initial := protocols.MajorityConfig(3, 2)
+	rec := trace.Recorder{KeepInteractions: true}
+	eng, err := engine.New(model.TW, p, initial, sched.NewRandom(9), engine.WithRecorder(&rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunSteps(20000); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.FairnessProbe(initial, rec.Interactions(), p.Delta, 10); err != nil {
+		t.Fatalf("random scheduler failed the GF probe: %v", err)
+	}
+}
+
+// starvingScheduler keeps scheduling the same pair forever.
+type starvingScheduler struct{}
+
+func (starvingScheduler) Next(n int) (pp.Interaction, bool) {
+	return pp.Interaction{Starter: 0, Reactor: 1}, true
+}
+
+// TestFairnessProbeCatchesStarvation: a scheduler that never lets the third
+// agent interact starves transitions and must fail the probe.
+func TestFairnessProbeCatchesStarvation(t *testing.T) {
+	p := protocols.LeaderElection{}
+	initial := protocols.LeaderConfig(3)
+	rec := trace.Recorder{KeepInteractions: true}
+	eng, err := engine.New(model.TW, p, initial, starvingScheduler{}, engine.WithRecorder(&rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunSteps(500); err != nil {
+		t.Fatal(err)
+	}
+	err = verify.FairnessProbe(initial, rec.Interactions(), p.Delta, 10)
+	if err == nil {
+		t.Fatal("starving scheduler passed the GF probe")
+	}
+	if !strings.Contains(err.Error(), "never occurs") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestFairnessProbeRejectsOmissiveRuns.
+func TestFairnessProbeRejectsOmissiveRuns(t *testing.T) {
+	p := protocols.Pairing{}
+	initial := protocols.PairingConfig(1, 1)
+	run := pp.Run{{Starter: 0, Reactor: 1, Omission: pp.OmissionBoth}}
+	if err := verify.FairnessProbe(initial, run, p.Delta, 1); err == nil {
+		t.Fatal("omissive run accepted")
+	}
+}
+
+// TestFairnessProbeSweepScheduler: the deterministic sweep scheduler also
+// passes the probe on a symmetric workload (it cycles through all pairs).
+func TestFairnessProbeSweepScheduler(t *testing.T) {
+	p := protocols.Or{}
+	initial := protocols.OrConfig(4, 1)
+	rec := trace.Recorder{KeepInteractions: true}
+	eng, err := engine.New(model.TW, p, initial, sched.NewSweep(), engine.WithRecorder(&rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunSteps(2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.FairnessProbe(initial, rec.Interactions(), p.Delta, 10); err != nil {
+		t.Fatalf("sweep scheduler failed the GF probe on OR: %v", err)
+	}
+}

@@ -1,0 +1,432 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"popsim/internal/pp"
+)
+
+// Pair matches the two halves of one simulated two-way interaction: the
+// SimStarter event (the δP[0] side) and the SimReactor event (the δP[1]
+// side). It is one element of the perfect matching M(E) of Definition 3.
+type Pair struct {
+	// Starter and Reactor index into the event slice passed to Verify.
+	Starter, Reactor int
+}
+
+// SimInteraction is one element of the derived run D of Section 2.4: the
+// simulated two-way interaction reconstructed from a matched pair.
+type SimInteraction struct {
+	// StarterAgent and ReactorAgent are agent indices.
+	StarterAgent, ReactorAgent int
+	// At is the derived-run position key: min of the two event indices.
+	At int
+	// Pre/Post states of both sides.
+	StarterPre, ReactorPre   pp.State
+	StarterPost, ReactorPost pp.State
+}
+
+// Report is the outcome of verifying an execution's event sequence against
+// the simulated protocol.
+type Report struct {
+	// Pairs is the constructed matching.
+	Pairs []Pair
+	// UnmatchedStarters / UnmatchedReactors index events with no partner
+	// in this finite prefix (in-flight simulated interactions).
+	UnmatchedStarters []int
+	UnmatchedReactors []int
+	// DroppedIdentity indexes unmatched events whose transition left the
+	// simulated state unchanged. Definition 3 makes the inclusion of such
+	// events in E(Γ) optional, so they are excluded from E(Γ) rather than
+	// reported as in-flight.
+	DroppedIdentity []int
+	// Errors lists every violation found; a correct simulation prefix
+	// has none.
+	Errors []string
+}
+
+// OK reports whether no violations were found.
+func (r *Report) OK() bool { return len(r.Errors) == 0 }
+
+// Unmatched returns the total number of in-flight events.
+func (r *Report) Unmatched() int {
+	return len(r.UnmatchedStarters) + len(r.UnmatchedReactors)
+}
+
+// Err returns an error summarizing the violations, or nil.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("verify: %d violations, first: %s", len(r.Errors), r.Errors[0])
+}
+
+// DeltaFunc is the simulated protocol's transition function δP.
+type DeltaFunc func(starter, reactor pp.State) (pp.State, pp.State)
+
+// Verify checks that the recorded events form a valid simulation prefix of
+// the protocol δP started from the projected initial configuration — the
+// *literal* requirements of Definitions 3 and 4 of the paper, restricted to
+// a finite prefix:
+//
+//  1. Per-agent consistency: each agent's events form a chain
+//     initial → Pre₁ → Post₁ = Pre₂ → … with Seq increasing by one (this is
+//     what makes Pre/Post snapshots of the C−/C+ configurations).
+//
+//  2. A matching of SimStarter and SimReactor events is constructed; every
+//     pair (ej, ek) must join two *distinct* agents and satisfy
+//     δP(piP(C−j), piP(C−k)) = (piP(C+j), piP(C+k)) — each event taken at
+//     its own snapshot, exactly as Definition 3 demands. The matching is
+//     built per belief-key (the pair of simulated pre-states) FIFO; this
+//     realizes the "swapping" flexibility among anonymous agents used in
+//     the proof of Theorem 4.1.
+//
+// Identity transitions (Pre = Post) are optional in E(Γ) per Definition 3,
+// so unmatched identity events are dropped (DroppedIdentity) rather than
+// reported. Remaining unmatched events are legal on finite prefixes
+// (simulated interactions still in flight) and are reported, not flagged as
+// errors; callers bound them (≤ n for the simulators in this repository).
+//
+// Note that Definition 4 additionally requires the derived execution — the
+// run induced by sorting pairs by min(ej, ek) — to be globally fair; being
+// an execution of P is automatic, since the derived execution applies δP by
+// construction. GF cannot be checked on a finite prefix; experiments check
+// problem-level liveness on the projected configuration instead.
+//
+// VerifyStrict checks a *stronger* property than the paper's definition:
+// that the derived execution additionally reproduces every recorded
+// snapshot under min-placement (validated by Replay).
+func Verify(events []Event, initial pp.Configuration, delta DeltaFunc) *Report {
+	return verify(events, initial, delta, false)
+}
+
+// VerifyStrict is Verify with an additional stability-window constraint on
+// the matching: for every pair, the later event's agent has no other E(Γ)
+// event since before the earlier event. Under this constraint the
+// min-placement derived execution replays every recorded snapshot exactly
+// (checkable with Replay) — a stronger guarantee than Definition 4 asks
+// for. The matching becomes a maximum bipartite *interval* matching per
+// belief-key (an event's interval is the span since its agent's previous
+// E(Γ) event), with unmatched identity events dropped at a fixpoint, which
+// widens windows until convergence.
+func VerifyStrict(events []Event, initial pp.Configuration, delta DeltaFunc) *Report {
+	return verify(events, initial, delta, true)
+}
+
+func verify(events []Event, initial pp.Configuration, delta DeltaFunc, windows bool) *Report {
+	rep := &Report{}
+	checkChains(rep, events, initial)
+	kept := make([]bool, len(events))
+	for i := range kept {
+		kept[i] = true
+		if r := events[i].Role; r != SimStarter && r != SimReactor {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("event %d: invalid role %v", i, r))
+			kept[i] = false
+		}
+	}
+	var prev []int
+	for {
+		prev = prevIndices(events, kept)
+		rep.Pairs, rep.UnmatchedStarters, rep.UnmatchedReactors = nil, nil, nil
+		buildMatching(rep, events, kept, prev, windows)
+		dropped := false
+		filter := func(idxs []int) []int {
+			out := idxs[:0]
+			for _, i := range idxs {
+				if pp.Equal(events[i].Pre, events[i].Post) {
+					kept[i] = false
+					rep.DroppedIdentity = append(rep.DroppedIdentity, i)
+					dropped = true
+					continue
+				}
+				out = append(out, i)
+			}
+			return out
+		}
+		rep.UnmatchedStarters = filter(rep.UnmatchedStarters)
+		rep.UnmatchedReactors = filter(rep.UnmatchedReactors)
+		if !dropped {
+			break
+		}
+	}
+	sort.Ints(rep.DroppedIdentity)
+	checkPairs(rep, events, prev, delta, windows)
+	return rep
+}
+
+// checkChains validates per-agent event chains (sequence contiguity, index
+// monotonicity, pre/post continuity from the initial configuration).
+func checkChains(rep *Report, events []Event, initial pp.Configuration) {
+	byAgent := make(map[int][]int)
+	for i, e := range events {
+		byAgent[e.Agent] = append(byAgent[e.Agent], i)
+	}
+	for agent, idxs := range byAgent {
+		sort.Slice(idxs, func(a, b int) bool { return events[idxs[a]].Seq < events[idxs[b]].Seq })
+		if agent < 0 || agent >= len(initial) {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("event for out-of-range agent %d", agent))
+			continue
+		}
+		prevState := initial[agent]
+		prevIdx := -1
+		for k, i := range idxs {
+			e := events[i]
+			if e.Seq != uint64(k+1) {
+				rep.Errors = append(rep.Errors,
+					fmt.Sprintf("agent %d: event seq %d at position %d, want %d", agent, e.Seq, k, k+1))
+			}
+			if e.Index <= prevIdx {
+				rep.Errors = append(rep.Errors,
+					fmt.Sprintf("agent %d: event seq %d has index %d not after previous index %d",
+						agent, e.Seq, e.Index, prevIdx))
+			}
+			if !pp.Equal(e.Pre, prevState) {
+				rep.Errors = append(rep.Errors,
+					fmt.Sprintf("agent %d: event seq %d pre-state %s, want %s",
+						agent, e.Seq, key(e.Pre), key(prevState)))
+			}
+			prevState = e.Post
+			prevIdx = e.Index
+		}
+	}
+}
+
+// prevIndices computes, for each kept event, the Index of the same agent's
+// previous kept event (−1 if none).
+func prevIndices(events []Event, kept []bool) []int {
+	prev := make([]int, len(events))
+	for i := range prev {
+		prev[i] = -1
+	}
+	byAgent := make(map[int][]int)
+	for i := range events {
+		if kept[i] {
+			byAgent[events[i].Agent] = append(byAgent[events[i].Agent], i)
+		}
+	}
+	for _, idxs := range byAgent {
+		sort.Slice(idxs, func(a, b int) bool { return events[idxs[a]].Seq < events[idxs[b]].Seq })
+		prevIdx := -1
+		for _, i := range idxs {
+			prev[i] = prevIdx
+			prevIdx = events[i].Index
+		}
+	}
+	return prev
+}
+
+// buildMatching constructs the maximum per-key interval matching described
+// in the Verify documentation. Event i's interval is (prev[i], Index_i];
+// compatibility of a starter and a reactor event is interval intersection.
+// Greedy over events sorted by right endpoint, always consuming the
+// compatible opposite event with the smallest right endpoint, is optimal
+// (standard exchange argument).
+func buildMatching(rep *Report, events []Event, kept []bool, prev []int, windows bool) {
+	type item struct {
+		ev      int
+		agent   int
+		left    int // exclusive
+		right   int // inclusive
+		starter bool
+	}
+	groups := make(map[string][]item)
+	for i, e := range events {
+		if !kept[i] {
+			continue
+		}
+		var k string
+		if e.Role == SimStarter {
+			k = key(e.Pre) + "&" + key(e.PartnerPre)
+		} else {
+			k = key(e.PartnerPre) + "&" + key(e.Pre)
+		}
+		groups[k] = append(groups[k], item{
+			ev:      i,
+			agent:   e.Agent,
+			left:    prev[i],
+			right:   e.Index,
+			starter: e.Role == SimStarter,
+		})
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		items := groups[k]
+		sort.Slice(items, func(a, b int) bool { return items[a].right < items[b].right })
+		var sPool, rPool []item // kept in arrival (right-endpoint) order
+		take := func(pool []item, left, agent int) ([]item, item, bool) {
+			for p, cand := range pool {
+				if windows && cand.right <= left {
+					continue
+				}
+				if cand.agent != agent {
+					return append(pool[:p:p], pool[p+1:]...), cand, true
+				}
+			}
+			return pool, item{}, false
+		}
+		for _, it := range items {
+			opp := &rPool
+			if !it.starter {
+				opp = &sPool
+			}
+			rest, partner, ok := take(*opp, it.left, it.agent)
+			if !ok {
+				if it.starter {
+					sPool = append(sPool, it)
+				} else {
+					rPool = append(rPool, it)
+				}
+				continue
+			}
+			*opp = rest
+			pair := Pair{Starter: it.ev, Reactor: partner.ev}
+			if !it.starter {
+				pair = Pair{Starter: partner.ev, Reactor: it.ev}
+			}
+			rep.Pairs = append(rep.Pairs, pair)
+		}
+		for _, it := range sPool {
+			rep.UnmatchedStarters = append(rep.UnmatchedStarters, it.ev)
+		}
+		for _, it := range rPool {
+			rep.UnmatchedReactors = append(rep.UnmatchedReactors, it.ev)
+		}
+	}
+	sort.Ints(rep.UnmatchedStarters)
+	sort.Ints(rep.UnmatchedReactors)
+}
+
+// checkPairs validates δP-consistency, belief cross-consistency, agent
+// distinctness and — in strict mode — the stability-window condition for
+// every matched pair.
+func checkPairs(rep *Report, events []Event, prev []int, delta DeltaFunc, windows bool) {
+	for _, pr := range rep.Pairs {
+		es, er := events[pr.Starter], events[pr.Reactor]
+		if es.Agent == er.Agent {
+			rep.Errors = append(rep.Errors,
+				fmt.Sprintf("pair (%d,%d): both events belong to agent %d", pr.Starter, pr.Reactor, es.Agent))
+			continue
+		}
+		if !pp.Equal(es.PartnerPre, er.Pre) || !pp.Equal(er.PartnerPre, es.Pre) {
+			rep.Errors = append(rep.Errors,
+				fmt.Sprintf("pair (%d,%d): inconsistent beliefs: starter %s with %s vs reactor %s with %s",
+					pr.Starter, pr.Reactor, key(es.Pre), key(es.PartnerPre), key(er.Pre), key(er.PartnerPre)))
+			continue
+		}
+		wantS, wantR := delta(es.Pre, er.Pre)
+		if !pp.Equal(es.Post, wantS) || !pp.Equal(er.Post, wantR) {
+			rep.Errors = append(rep.Errors,
+				fmt.Sprintf("pair (%d,%d): δ(%s,%s) = (%s,%s) but events record (%s,%s)",
+					pr.Starter, pr.Reactor, key(es.Pre), key(er.Pre),
+					key(wantS), key(wantR), key(es.Post), key(er.Post)))
+		}
+		if !windows {
+			continue
+		}
+		earlier, later := pr.Starter, pr.Reactor
+		if events[later].Index < events[earlier].Index {
+			earlier, later = later, earlier
+		}
+		if prev[later] >= events[earlier].Index {
+			rep.Errors = append(rep.Errors,
+				fmt.Sprintf("pair (%d,%d): agent %d had an event at %d, inside the pair's window ending at %d",
+					pr.Starter, pr.Reactor, events[later].Agent, prev[later], events[earlier].Index))
+		}
+	}
+}
+
+// DerivedRun reconstructs the derived run of Section 2.4 from a verified
+// report: the matched simulated interactions sorted by min(e_j, e_k).
+func DerivedRun(rep *Report, events []Event) []SimInteraction {
+	out := make([]SimInteraction, 0, len(rep.Pairs))
+	for _, pr := range rep.Pairs {
+		es, er := events[pr.Starter], events[pr.Reactor]
+		at := es.Index
+		if er.Index < at {
+			at = er.Index
+		}
+		out = append(out, SimInteraction{
+			StarterAgent: es.Agent,
+			ReactorAgent: er.Agent,
+			At:           at,
+			StarterPre:   es.Pre,
+			ReactorPre:   er.Pre,
+			StarterPost:  es.Post,
+			ReactorPost:  er.Post,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Replay executes the derived run from the projected initial configuration
+// under δP and reports the first divergence, if any. It is the authoritative
+// end-to-end check that the derived execution is an execution of P
+// (Definition 4): every simulated interaction must find both agents in
+// exactly the pre-states the events recorded.
+//
+// Unmatched (in-flight) events are applied as one-sided updates at their own
+// position, reflecting that their pair completes beyond this prefix.
+func Replay(rep *Report, events []Event, initial pp.Configuration, delta DeltaFunc) error {
+	type step struct {
+		at    int
+		seq   uint64
+		apply func(cfg pp.Configuration) error
+	}
+	steps := make([]step, 0, len(rep.Pairs)+rep.Unmatched())
+	for _, pr := range rep.Pairs {
+		es, er := events[pr.Starter], events[pr.Reactor]
+		at := es.Index
+		if er.Index < at {
+			at = er.Index
+		}
+		steps = append(steps, step{at: at, seq: es.Seq, apply: func(cfg pp.Configuration) error {
+			if !pp.Equal(cfg[es.Agent], es.Pre) {
+				return fmt.Errorf("replay: agent %d at %d: state %s, pair expects %s",
+					es.Agent, at, key(cfg[es.Agent]), key(es.Pre))
+			}
+			if !pp.Equal(cfg[er.Agent], er.Pre) {
+				return fmt.Errorf("replay: agent %d at %d: state %s, pair expects %s",
+					er.Agent, at, key(cfg[er.Agent]), key(er.Pre))
+			}
+			ns, nr := delta(cfg[es.Agent], cfg[er.Agent])
+			cfg[es.Agent], cfg[er.Agent] = ns, nr
+			return nil
+		}})
+	}
+	oneSided := func(i int) step {
+		e := events[i]
+		return step{at: e.Index, seq: e.Seq, apply: func(cfg pp.Configuration) error {
+			if !pp.Equal(cfg[e.Agent], e.Pre) {
+				return fmt.Errorf("replay: agent %d at %d (in-flight): state %s, event expects %s",
+					e.Agent, e.Index, key(cfg[e.Agent]), key(e.Pre))
+			}
+			cfg[e.Agent] = e.Post
+			return nil
+		}}
+	}
+	for _, i := range rep.UnmatchedStarters {
+		steps = append(steps, oneSided(i))
+	}
+	for _, i := range rep.UnmatchedReactors {
+		steps = append(steps, oneSided(i))
+	}
+	sort.Slice(steps, func(i, j int) bool {
+		if steps[i].at != steps[j].at {
+			return steps[i].at < steps[j].at
+		}
+		return steps[i].seq < steps[j].seq
+	})
+	cfg := initial.Clone()
+	for _, st := range steps {
+		if err := st.apply(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/verify"
+)
+
+// pairDelta is δ of the Pairing protocol.
+func pairDelta(s, r pp.State) (pp.State, pp.State) { return protocols.Pairing{}.Delta(s, r) }
+
+// ev builds an event.
+func ev(idx, agent int, seq uint64, role verify.Role, pre, post, partner pp.State) verify.Event {
+	return verify.Event{Index: idx, Agent: agent, Seq: seq, Role: role, Pre: pre, Post: post, PartnerPre: partner}
+}
+
+func TestVerifyEmptyIsOK(t *testing.T) {
+	rep := verify.Verify(nil, protocols.PairingConfig(1, 1), pairDelta)
+	if !rep.OK() || rep.Err() != nil {
+		t.Fatalf("empty verification failed: %v", rep.Err())
+	}
+}
+
+// TestVerifyHappyPair: one complete simulated interaction (c,p)→(cs,⊥),
+// reactor half first (the SKnO pattern).
+func TestVerifyHappyPair(t *testing.T) {
+	initial := pp.Configuration{protocols.Consumer, protocols.Producer}
+	events := []verify.Event{
+		// Agent 1 (producer) plays the simulated *reactor*: δ(c,p)[1]=⊥.
+		ev(5, 1, 1, verify.SimReactor, protocols.Producer, protocols.Spent, protocols.Consumer),
+		// Agent 0 (consumer) completes as simulated starter: δ(c,p)[0]=cs.
+		ev(9, 0, 1, verify.SimStarter, protocols.Consumer, protocols.Served, protocols.Producer),
+	}
+	rep := verify.Verify(events, initial, pairDelta)
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pairs) != 1 || rep.Unmatched() != 0 {
+		t.Fatalf("pairs=%d unmatched=%d", len(rep.Pairs), rep.Unmatched())
+	}
+	if err := verify.Replay(rep, events, initial, pairDelta); err != nil {
+		t.Fatal(err)
+	}
+	run := verify.DerivedRun(rep, events)
+	if len(run) != 1 || run[0].At != 5 || run[0].StarterAgent != 0 || run[0].ReactorAgent != 1 {
+		t.Fatalf("derived run %+v", run)
+	}
+}
+
+func TestVerifyDetectsWrongPre(t *testing.T) {
+	initial := pp.Configuration{protocols.Consumer, protocols.Producer}
+	events := []verify.Event{
+		// Claims the producer was in state c initially — chain break.
+		ev(5, 1, 1, verify.SimReactor, protocols.Consumer, protocols.Spent, protocols.Consumer),
+	}
+	rep := verify.Verify(events, initial, pairDelta)
+	if rep.OK() {
+		t.Fatal("wrong pre-state accepted")
+	}
+}
+
+func TestVerifyDetectsNonDeltaTransition(t *testing.T) {
+	initial := pp.Configuration{protocols.Consumer, protocols.Producer}
+	events := []verify.Event{
+		// (c,p) must give the reactor ⊥, not cs.
+		ev(5, 1, 1, verify.SimReactor, protocols.Producer, protocols.Served, protocols.Consumer),
+		ev(9, 0, 1, verify.SimStarter, protocols.Consumer, protocols.Served, protocols.Producer),
+	}
+	rep := verify.Verify(events, initial, pairDelta)
+	if rep.OK() {
+		t.Fatal("non-δ transition accepted")
+	}
+	found := false
+	for _, e := range rep.Errors {
+		if strings.Contains(e, "δ(") || strings.Contains(e, "pre-state") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unexpected error set: %v", rep.Errors)
+	}
+}
+
+// TestVerifyStrictWindowHandling: in strict mode, a pair whose later agent
+// had an event between the two halves is rejected unless an alternative
+// matching (or identity-dropping) resolves it.
+func TestVerifyStrictWindowHandling(t *testing.T) {
+	initial := pp.Configuration{protocols.Consumer, protocols.Producer, protocols.Producer}
+	events := []verify.Event{
+		// Consumption by agent 1 at 5 believing partner c.
+		ev(5, 1, 1, verify.SimReactor, protocols.Producer, protocols.Spent, protocols.Consumer),
+		// Agent 0 changes state at 7 via another pair's half... then
+		// "completes" at 9 — but its state change at 7 sits inside the
+		// window (5, 9).
+		ev(7, 0, 1, verify.SimStarter, protocols.Consumer, protocols.Served, protocols.Producer),
+		ev(9, 0, 2, verify.SimStarter, protocols.Served, protocols.Served, protocols.Producer),
+	}
+	rep := verify.VerifyStrict(events, initial, pairDelta)
+	// Event at 7 pairs with the consumption at 5 (compatible); event at 9
+	// is δ(cs,p)=(cs,p) identity and unmatched → dropped. No errors.
+	if err := rep.Err(); err != nil {
+		t.Fatalf("unexpected: %v", err)
+	}
+	if len(rep.Pairs) != 1 {
+		t.Fatalf("pairs = %d, want 1", len(rep.Pairs))
+	}
+	if len(rep.DroppedIdentity) != 1 {
+		t.Fatalf("dropped = %v, want 1 identity event", rep.DroppedIdentity)
+	}
+}
+
+// TestVerifyRelaxedAcceptsOutOfWindowSwap: Definition 3 does not constrain
+// pair placement windows; the relaxed verifier accepts a matching whose
+// strict form would need replay-exactness, while VerifyStrict matches fewer
+// pairs on the same input.
+func TestVerifyRelaxedAcceptsOutOfWindowSwap(t *testing.T) {
+	// Agent 1 consumes an announcement of c at 5 (δ(c,p)[1] = ⊥) whose
+	// completion by agent 0 only happens at 30 — after agent 0 already
+	// performed another, unrelated simulated step at 20 (as reactor of
+	// δ(c,c), identity, kept because it is matched with a starter half).
+	initial := pp.Configuration{protocols.Consumer, protocols.Producer, protocols.Consumer}
+	events := []verify.Event{
+		ev(5, 1, 1, verify.SimReactor, protocols.Producer, protocols.Spent, protocols.Consumer),
+		// agent 2 and agent 0 do a (c,c) identity interaction.
+		ev(18, 2, 1, verify.SimStarter, protocols.Consumer, protocols.Consumer, protocols.Consumer),
+		ev(20, 0, 1, verify.SimReactor, protocols.Consumer, protocols.Consumer, protocols.Consumer),
+		// agent 0 completes the pairing with δ(c,p)[0] = cs at 30.
+		ev(30, 0, 2, verify.SimStarter, protocols.Consumer, protocols.Served, protocols.Producer),
+	}
+	rep := verify.Verify(events, initial, pairDelta)
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pairs) != 2 || rep.Unmatched() != 0 {
+		t.Fatalf("relaxed: pairs=%d unmatched=%d", len(rep.Pairs), rep.Unmatched())
+	}
+}
+
+// TestVerifyInFlight: a lone non-identity half is reported unmatched, not
+// erroneous.
+func TestVerifyInFlight(t *testing.T) {
+	initial := pp.Configuration{protocols.Consumer, protocols.Producer}
+	events := []verify.Event{
+		ev(5, 1, 1, verify.SimReactor, protocols.Producer, protocols.Spent, protocols.Consumer),
+	}
+	rep := verify.Verify(events, initial, pairDelta)
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.UnmatchedReactors) != 1 || len(rep.Pairs) != 0 {
+		t.Fatalf("pairs=%d unmatchedR=%d", len(rep.Pairs), len(rep.UnmatchedReactors))
+	}
+	if err := verify.Replay(rep, events, initial, pairDelta); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifySwapMatching: two concurrent simulated interactions with
+// identical belief keys must be matched crosswise when the straight
+// assignment violates the windows — the "swapping" argument of Theorem 4.1.
+func TestVerifySwapMatching(t *testing.T) {
+	// Agents: 0, 2 consumers; 1, 3 producers.
+	initial := pp.Configuration{protocols.Consumer, protocols.Producer, protocols.Consumer, protocols.Producer}
+	events := []verify.Event{
+		ev(1, 1, 1, verify.SimReactor, protocols.Producer, protocols.Spent, protocols.Consumer),
+		ev(2, 3, 1, verify.SimReactor, protocols.Producer, protocols.Spent, protocols.Consumer),
+		ev(3, 0, 1, verify.SimStarter, protocols.Consumer, protocols.Served, protocols.Producer),
+		ev(4, 2, 1, verify.SimStarter, protocols.Consumer, protocols.Served, protocols.Producer),
+	}
+	rep := verify.Verify(events, initial, pairDelta)
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pairs) != 2 || rep.Unmatched() != 0 {
+		t.Fatalf("pairs=%d unmatched=%d", len(rep.Pairs), rep.Unmatched())
+	}
+	if err := verify.Replay(rep, events, initial, pairDelta); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifySelfPairingRejected: an agent cannot simulate an interaction
+// with itself; with no alternative partner the events stay unmatched.
+func TestVerifySelfPairingRejected(t *testing.T) {
+	initial := pp.Configuration{protocols.Consumer, protocols.Producer}
+	events := []verify.Event{
+		// Agent 0 is a consumer that first "consumes" (reactor half,
+		// δ(p,c)[1] = cs) and later "completes" (starter half) — but
+		// both halves belong to agent 0.
+		ev(3, 0, 1, verify.SimReactor, protocols.Consumer, protocols.Served, protocols.Producer),
+		ev(8, 0, 2, verify.SimStarter, protocols.Served, protocols.Served, protocols.Producer),
+	}
+	rep := verify.Verify(events, initial, pairDelta)
+	for _, pr := range rep.Pairs {
+		if events[pr.Starter].Agent == events[pr.Reactor].Agent {
+			t.Fatal("self-pairing constructed")
+		}
+	}
+}
+
+// TestVerifySeqGapRejected: missing sequence numbers are chain errors.
+func TestVerifySeqGapRejected(t *testing.T) {
+	initial := pp.Configuration{protocols.Consumer, protocols.Producer}
+	events := []verify.Event{
+		ev(5, 1, 2, verify.SimReactor, protocols.Producer, protocols.Spent, protocols.Consumer),
+	}
+	rep := verify.Verify(events, initial, pairDelta)
+	if rep.OK() {
+		t.Fatal("sequence gap accepted")
+	}
+}
+
+// TestVerifyOutOfRangeAgent.
+func TestVerifyOutOfRangeAgent(t *testing.T) {
+	initial := pp.Configuration{protocols.Consumer, protocols.Producer}
+	events := []verify.Event{
+		ev(5, 7, 1, verify.SimReactor, protocols.Producer, protocols.Spent, protocols.Consumer),
+	}
+	if verify.Verify(events, initial, pairDelta).OK() {
+		t.Fatal("out-of-range agent accepted")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if verify.SimStarter.String() != "starter" || verify.SimReactor.String() != "reactor" {
+		t.Error("role strings")
+	}
+	if verify.Role(99).String() == "" {
+		t.Error("unknown role string empty")
+	}
+}

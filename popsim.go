@@ -1,0 +1,289 @@
+// Package popsim is a library for building, running, breaking and verifying
+// population-protocol simulations, reproducing Di Luna, Flocchini, Izumi,
+// Izumi, Santoro & Viglietta, "On the Power of Weaker Pairwise Interaction:
+// Fault-Tolerant Simulation of Population Protocols" (ICDCS 2017,
+// arXiv:1610.09435).
+//
+// It provides:
+//
+//   - the ten interaction models of the paper (TW, T1–T3, IT, IO, I1–I4)
+//     with their omission-fault transition relations;
+//   - the omission adversaries UO, NO and NO1, and the constructive
+//     adversaries of the impossibility proofs (Lemma 1, Theorems 3.1–3.3);
+//   - the two-way protocol simulators SKnO (token/joker, Theorem 4.1 and
+//     Corollary 1), SID (ID-locking, Theorem 4.5) and Nn+SID (naming,
+//     Theorem 4.6);
+//   - a verifier for the paper's formal simulation correctness notion
+//     (event sequences, perfect matchings, derived executions —
+//     Definitions 3 and 4);
+//   - a library of classical protocols (pairing, majority, leader election,
+//     threshold counting, modulo counting, OR) used as workloads.
+//
+// The facade in this package re-exports the pieces a typical user needs;
+// power users can reach the sub-packages directly. Quickstart:
+//
+//	sys, err := popsim.NewSystem(popsim.SystemSpec{
+//		Model:    popsim.IO,
+//		Simulate: popsim.SID(protocolOfYourChoice),
+//		Initial:  initialStates,
+//		Seed:     1,
+//	})
+//	err = sys.RunUntil(pred, 100_000)
+//	report := sys.VerifySimulation()
+//
+// See examples/ for complete programs and cmd/experiments for the
+// reproduction harness that regenerates every figure and theorem of the
+// paper.
+package popsim
+
+import (
+	"errors"
+
+	"popsim/internal/adversary"
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+	"popsim/internal/trace"
+	"popsim/internal/verify"
+)
+
+// Re-exported core types.
+type (
+	// State is an immutable agent state; see pp.State.
+	State = pp.State
+	// Symbol is a named constant state.
+	Symbol = pp.Symbol
+	// Configuration is the tuple of all agents' states.
+	Configuration = pp.Configuration
+	// Interaction is one ordered meeting of two agents.
+	Interaction = pp.Interaction
+	// Run is a sequence of interactions.
+	Run = pp.Run
+	// OmissionSide says which side(s) of an interaction lost information.
+	OmissionSide = pp.OmissionSide
+	// TwoWayProtocol is a standard two-way population protocol.
+	TwoWayProtocol = pp.TwoWay
+	// OneWayProtocol is a one-way (IT/IO-style) protocol.
+	OneWayProtocol = pp.OneWay
+	// Model is an interaction model kind.
+	Model = model.Kind
+	// Adversary injects omissive interactions.
+	Adversary = adversary.Adversary
+	// Scheduler produces the interaction sequence.
+	Scheduler = sched.Scheduler
+	// VerifyReport is the outcome of simulation verification.
+	VerifyReport = verify.Report
+)
+
+// The ten interaction models (Figure 1 of the paper).
+const (
+	TW = model.TW
+	T1 = model.T1
+	T2 = model.T2
+	T3 = model.T3
+	IT = model.IT
+	IO = model.IO
+	I1 = model.I1
+	I2 = model.I2
+	I3 = model.I3
+	I4 = model.I4
+)
+
+// Omission sides.
+const (
+	OmissionNone    = pp.OmissionNone
+	OmissionStarter = pp.OmissionStarter
+	OmissionReactor = pp.OmissionReactor
+	OmissionBoth    = pp.OmissionBoth
+)
+
+// Simulator is a configured wrapper protocol: it wraps a two-way protocol
+// into a protocol for a weaker model and knows how to build wrapped initial
+// configurations.
+type Simulator struct {
+	// Protocol is the wrapper protocol to hand to the engine: a
+	// OneWayProtocol for the one-way models, or its TwoWayEmbedded form
+	// for the two-way omissive models.
+	Protocol any
+	// Wrap builds the wrapped initial configuration from the simulated
+	// one.
+	Wrap func(Configuration) Configuration
+	// Delta is δP of the simulated protocol, for verification.
+	Delta verify.DeltaFunc
+}
+
+// TwoWayEmbedded converts the simulator's one-way wrapper protocol into a
+// two-way protocol (fs = g, fr = f), so it can run under TW and T1–T3; see
+// pp.TwoWayEmbed for the omission-hook semantics.
+func (s Simulator) TwoWayEmbedded() Simulator {
+	ow, ok := s.Protocol.(pp.OneWay)
+	if !ok {
+		return s
+	}
+	return Simulator{Protocol: pp.TwoWayEmbed{OW: ow}, Wrap: s.Wrap, Delta: s.Delta}
+}
+
+// SKnO returns the token/joker simulator of Section 4.1 for protocol p with
+// a promised bound o on the number of omissions (Theorem 4.1; with o = 0
+// under IT it is the simulator of Corollary 1).
+func SKnO(p TwoWayProtocol, o int) Simulator {
+	s := sim.SKnO{P: p, O: o}
+	return Simulator{Protocol: s, Wrap: s.WrapConfig, Delta: p.Delta}
+}
+
+// SID returns the ID-locking simulator of Section 4.2 for protocol p
+// (Theorem 4.5). Wrap assigns IDs 1..n in configuration order.
+func SID(p TwoWayProtocol) Simulator {
+	s := sim.SID{P: p}
+	return Simulator{Protocol: s, Wrap: s.WrapConfig, Delta: p.Delta}
+}
+
+// Naming returns the Nn+SID simulator of Section 4.3 for protocol p and
+// known population size n (Theorem 4.6).
+func Naming(p TwoWayProtocol, n int) Simulator {
+	s := sim.Naming{P: p, N: n}
+	return Simulator{Protocol: s, Wrap: s.WrapConfig, Delta: p.Delta}
+}
+
+// RandomScheduler returns the seeded uniform-random scheduler (globally fair
+// with probability 1).
+func RandomScheduler(seed int64) Scheduler { return sched.NewRandom(seed) }
+
+// ScriptScheduler replays a fixed run, then delegates to cont (may be nil).
+func ScriptScheduler(run Run, cont Scheduler) Scheduler { return sched.NewScript(run, cont) }
+
+// UOAdversary returns the malignant unbounded omission adversary
+// (Definition 1).
+func UOAdversary(seed int64, rate float64, maxBurst int, sides ...OmissionSide) Adversary {
+	return adversary.NewUO(seed, rate, maxBurst, sides...)
+}
+
+// BudgetedAdversary returns a UO-style adversary inserting at most budget
+// omissions — the "knowledge on omissions" promise of Section 4.1.
+func BudgetedAdversary(seed int64, rate float64, budget int, sides ...OmissionSide) Adversary {
+	return adversary.NewBudgeted(seed, rate, budget, sides...)
+}
+
+// NO1Adversary returns the single-omission adversary of Definition 2.
+func NO1Adversary(at int, mk func(n int) Interaction) Adversary {
+	return adversary.NewNO1(at, mk)
+}
+
+// SystemSpec configures a System.
+type SystemSpec struct {
+	// Model is the interaction model to run under.
+	Model Model
+	// Simulate wraps a two-way protocol for the weak model. Exactly one
+	// of Simulate and Protocol must be set.
+	Simulate *Simulator
+	// Protocol runs a protocol natively (TwoWayProtocol for two-way
+	// models, OneWayProtocol for one-way models).
+	Protocol any
+	// Initial is the (simulated) initial configuration.
+	Initial Configuration
+	// Seed drives the default random scheduler.
+	Seed int64
+	// Scheduler overrides the default random scheduler.
+	Scheduler Scheduler
+	// Adversary optionally injects omissions.
+	Adversary Adversary
+}
+
+// System is a runnable population-protocol system.
+type System struct {
+	eng  *engine.Engine
+	rec  *trace.Recorder
+	spec SystemSpec
+}
+
+// ErrSpec reports an invalid SystemSpec.
+var ErrSpec = errors.New("popsim: invalid system spec")
+
+// NewSystem assembles a system from a spec.
+func NewSystem(spec SystemSpec) (*System, error) {
+	if (spec.Simulate == nil) == (spec.Protocol == nil) {
+		return nil, errors.Join(ErrSpec, errors.New("set exactly one of Simulate and Protocol"))
+	}
+	sch := spec.Scheduler
+	if sch == nil {
+		sch = sched.NewRandom(spec.Seed)
+	}
+	protocol := spec.Protocol
+	initial := spec.Initial
+	if spec.Simulate != nil {
+		protocol = spec.Simulate.Protocol
+		initial = spec.Simulate.Wrap(spec.Initial)
+	}
+	rec := &trace.Recorder{}
+	opts := []engine.Option{engine.WithRecorder(rec)}
+	if spec.Adversary != nil {
+		opts = append(opts, engine.WithAdversary(spec.Adversary))
+	}
+	eng, err := engine.New(spec.Model, protocol, initial, sch, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &System{eng: eng, rec: rec, spec: spec}, nil
+}
+
+// Step applies one scheduled interaction (plus injected omissions).
+func (s *System) Step() error { return s.eng.Step() }
+
+// RunSteps applies k scheduled interactions.
+func (s *System) RunSteps(k int) error { return s.eng.RunSteps(k) }
+
+// RunUntil steps until pred holds on the *simulated* (projected)
+// configuration or the horizon expires; reports whether pred was met.
+func (s *System) RunUntil(pred func(Configuration) bool, horizon int) (bool, error) {
+	return s.eng.RunUntil(func(c Configuration) bool { return pred(sim.Project(c)) }, horizon)
+}
+
+// Config returns the raw (wrapped) configuration.
+func (s *System) Config() Configuration { return s.eng.Config() }
+
+// Projected returns the simulated configuration piP(C).
+func (s *System) Projected() Configuration { return sim.Project(s.eng.Config()) }
+
+// Steps returns the number of interactions applied.
+func (s *System) Steps() int { return s.eng.Steps() }
+
+// Omissions returns the number of omissive interactions applied.
+func (s *System) Omissions() int { return s.rec.Omissions() }
+
+// SimulatedSteps returns the number of simulated-state update events.
+func (s *System) SimulatedSteps() int { return len(s.rec.Events()) }
+
+// VerifySimulation checks the recorded execution against the paper's
+// simulation correctness notion (Definitions 3–4): it builds the event
+// sequence E(Γ) and a perfect matching of simulated-state updates, with
+// every pair δP-consistent. Only meaningful for systems built with
+// Simulate.
+func (s *System) VerifySimulation() (*VerifyReport, error) {
+	if s.spec.Simulate == nil {
+		return nil, errors.Join(ErrSpec, errors.New("VerifySimulation requires a simulator system"))
+	}
+	rep := verify.Verify(s.rec.Events(), s.spec.Initial, s.spec.Simulate.Delta)
+	return rep, rep.Err()
+}
+
+// VerifySimulationStrict additionally constrains the matching so that the
+// min-placement derived execution reproduces every recorded snapshot, and
+// replays it under δP — a stronger guarantee than Definition 4 requires.
+// SID executions always satisfy it; SKnO executions usually do, but
+// protocols with one-sided identity transitions may legally fail the strict
+// form while passing VerifySimulation.
+func (s *System) VerifySimulationStrict() (*VerifyReport, error) {
+	if s.spec.Simulate == nil {
+		return nil, errors.Join(ErrSpec, errors.New("VerifySimulationStrict requires a simulator system"))
+	}
+	rep := verify.VerifyStrict(s.rec.Events(), s.spec.Initial, s.spec.Simulate.Delta)
+	if err := rep.Err(); err != nil {
+		return rep, err
+	}
+	if err := verify.Replay(rep, s.rec.Events(), s.spec.Initial, s.spec.Simulate.Delta); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}

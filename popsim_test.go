@@ -1,0 +1,129 @@
+package popsim_test
+
+import (
+	"errors"
+	"testing"
+
+	"popsim"
+	"popsim/internal/protocols"
+)
+
+func TestFacadeSKnOEndToEnd(t *testing.T) {
+	s := popsim.SKnO(protocols.Pairing{}, 1)
+	sys, err := popsim.NewSystem(popsim.SystemSpec{
+		Model:     popsim.I3,
+		Simulate:  &s,
+		Initial:   protocols.PairingConfig(2, 2),
+		Seed:      7,
+		Adversary: popsim.BudgetedAdversary(8, 0.05, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := sys.RunUntil(func(c popsim.Configuration) bool {
+		return protocols.PairingDone(c, 2, 2)
+	}, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatalf("pairing not completed after %d steps", sys.Steps())
+	}
+	rep, err := sys.VerifySimulation()
+	if err != nil {
+		t.Fatalf("verification: %v", err)
+	}
+	if len(rep.Pairs) == 0 {
+		t.Fatal("no simulated interactions")
+	}
+	if sys.SimulatedSteps() == 0 || sys.Omissions() > 1 {
+		t.Fatalf("events=%d omissions=%d", sys.SimulatedSteps(), sys.Omissions())
+	}
+	// The strict (replay-exact) level also holds for this workload.
+	if _, err := sys.VerifySimulationStrict(); err != nil {
+		t.Fatalf("strict verification: %v", err)
+	}
+}
+
+func TestFacadeSIDAndNaming(t *testing.T) {
+	for name, mk := range map[string]func() popsim.Simulator{
+		"sid":    func() popsim.Simulator { return popsim.SID(protocols.Majority{}) },
+		"naming": func() popsim.Simulator { return popsim.Naming(protocols.Majority{}, 6) },
+	} {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			sys, err := popsim.NewSystem(popsim.SystemSpec{
+				Model:    popsim.IO,
+				Simulate: &s,
+				Initial:  protocols.MajorityConfig(4, 2),
+				Seed:     3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			done, err := sys.RunUntil(func(c popsim.Configuration) bool {
+				return protocols.MajorityConverged(c, "A")
+			}, 600000)
+			if err != nil || !done {
+				t.Fatalf("done=%v err=%v", done, err)
+			}
+			if _, err := sys.VerifySimulation(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFacadeNativeProtocol(t *testing.T) {
+	sys, err := popsim.NewSystem(popsim.SystemSpec{
+		Model:    popsim.TW,
+		Protocol: protocols.LeaderElection{},
+		Initial:  protocols.LeaderConfig(8),
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := sys.RunUntil(protocols.LeaderElected, 100000)
+	if err != nil || !done {
+		t.Fatalf("done=%v err=%v", done, err)
+	}
+	if _, err := sys.VerifySimulation(); !errors.Is(err, popsim.ErrSpec) {
+		t.Fatalf("VerifySimulation on native system: err = %v, want ErrSpec", err)
+	}
+}
+
+func TestFacadeSpecValidation(t *testing.T) {
+	_, err := popsim.NewSystem(popsim.SystemSpec{Model: popsim.TW, Initial: protocols.LeaderConfig(4)})
+	if !errors.Is(err, popsim.ErrSpec) {
+		t.Fatalf("neither Simulate nor Protocol: err = %v", err)
+	}
+	s := popsim.SID(protocols.Pairing{})
+	_, err = popsim.NewSystem(popsim.SystemSpec{
+		Model: popsim.TW, Simulate: &s, Protocol: protocols.Pairing{},
+		Initial: protocols.PairingConfig(1, 1),
+	})
+	if !errors.Is(err, popsim.ErrSpec) {
+		t.Fatalf("both Simulate and Protocol: err = %v", err)
+	}
+}
+
+func TestFacadeScriptedScheduler(t *testing.T) {
+	run := popsim.Run{{Starter: 0, Reactor: 1}}
+	sys, err := popsim.NewSystem(popsim.SystemSpec{
+		Model:     popsim.TW,
+		Protocol:  protocols.Pairing{},
+		Initial:   protocols.PairingConfig(1, 1),
+		Scheduler: popsim.ScriptScheduler(run, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunSteps(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Projected().Count(protocols.Served); got != 1 {
+		t.Fatalf("served = %d, want 1", got)
+	}
+}
