@@ -231,6 +231,90 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineThroughputBatch measures the interned-state batched fast
+// path (StepBatch) on the same workload as BenchmarkEngineThroughput: same
+// protocol, population, model and seed — and, by the batching contract, the
+// exact same interaction schedule.
+func BenchmarkEngineThroughputBatch(b *testing.B) {
+	cfgs := protocols.MajorityConfig(32, 32)
+	eng, err := engine.New(model.TW, protocols.Majority{}, cfgs, sched.NewRandom(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.StepBatch(1); err != nil { // warm the transition cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := eng.StepBatch(b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEngineThroughputLarge scales the throughput workload to large
+// populations, slow path vs batched fast path. The dense-ID representation
+// keeps the batch path's working set at 4 bytes per agent, so the gap widens
+// with n.
+func BenchmarkEngineThroughputLarge(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		n := n
+		b.Run(fmt.Sprintf("slow/n=%d", n), func(b *testing.B) {
+			eng, err := engine.New(model.TW, protocols.Majority{}, protocols.MajorityConfig(n/2, n/2), sched.NewRandom(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("batch/n=%d", n), func(b *testing.B) {
+			eng, err := engine.New(model.TW, protocols.Majority{}, protocols.MajorityConfig(n/2, n/2), sched.NewRandom(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.StepBatch(1); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, err := eng.StepBatch(b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkRunUntilConvergence compares full convergence runs — the shape of
+// every experiment in this repo — stepwise with a per-step predicate scan
+// against batched with the predicate evaluated every 64 interactions.
+func BenchmarkRunUntilConvergence(b *testing.B) {
+	const n = 256
+	done := func(c pp.Configuration) bool { return protocols.MajorityConverged(c, "A") }
+	b.Run("slow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng, err := engine.New(model.TW, protocols.Majority{}, protocols.MajorityConfig(n/2+8, n/2-8), sched.NewRandom(int64(i+1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ok, err := eng.RunUntil(done, 50_000_000); err != nil || !ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng, err := engine.New(model.TW, protocols.Majority{}, protocols.MajorityConfig(n/2+8, n/2-8), sched.NewRandom(int64(i+1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ok, err := eng.RunUntilEvery(done, 64, 50_000_000); err != nil || !ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+}
+
 // BenchmarkSlowdown compares native TW against the two simulators on the
 // same workload, per *simulated* step (the PERF experiment).
 func BenchmarkSlowdown(b *testing.B) {

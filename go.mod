@@ -1,0 +1,3 @@
+module popsim
+
+go 1.24.0

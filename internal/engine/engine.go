@@ -37,6 +37,8 @@ type Engine struct {
 
 	steps    int // interactions applied, injected ones included
 	schedIdx int // scheduled interactions consumed
+
+	fast *fastPath // lazily-built batched execution state (fast.go)
 }
 
 // Option configures an Engine.
@@ -87,7 +89,10 @@ func New(k model.Kind, p any, initial pp.Configuration, s sched.Scheduler, opts 
 
 // Config returns the current configuration (shared; treat as read-only —
 // states themselves are immutable).
-func (e *Engine) Config() pp.Configuration { return e.cfg }
+func (e *Engine) Config() pp.Configuration {
+	e.materialize()
+	return e.cfg
+}
 
 // Recorder returns the engine's trace recorder.
 func (e *Engine) Recorder() *trace.Recorder { return e.rec }
@@ -142,6 +147,11 @@ func (e *Engine) emitEvent(idx, agent int, before, after pp.State) {
 // interactions the adversary injects at this point, then the scheduled
 // interaction itself. Returns ErrExhausted when the scheduler is done.
 func (e *Engine) Step() error {
+	e.materialize()
+	if e.fast != nil {
+		// Stepwise mutation of e.cfg invalidates the ID mirror.
+		e.fast.idsValid = false
+	}
 	next, ok := e.sch.Next(len(e.cfg))
 	if !ok {
 		return ErrExhausted
@@ -176,6 +186,7 @@ func (e *Engine) RunSteps(k int) error {
 // or maxScheduled scheduled interactions have been consumed. It returns true
 // if the predicate was met.
 func (e *Engine) RunUntil(pred func(pp.Configuration) bool, maxScheduled int) (bool, error) {
+	e.materialize()
 	if pred(e.cfg) {
 		return true, nil
 	}

@@ -1,0 +1,268 @@
+package engine_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"popsim/internal/adversary"
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+	"popsim/internal/trace"
+)
+
+// equivCase is one (protocol, model, adversary) system to equivalence-test.
+type equivCase struct {
+	name     string
+	kind     model.Kind
+	protocol any
+	cfg      pp.Configuration
+	adv      func() adversary.Adversary // fresh instance per engine; nil = none
+}
+
+// equivCases enumerates every protocol in internal/protocols under every
+// interaction model (one-way models via the standard OneWayAdapter
+// embedding), with a budgeted adversary on the omissive models, plus the
+// three simulators on their native models.
+func equivCases() []equivCase {
+	protos := []struct {
+		name string
+		p    pp.TwoWay
+		cfg  pp.Configuration
+	}{
+		{"pairing", protocols.Pairing{}, protocols.PairingConfig(4, 3)},
+		{"majority", protocols.Majority{}, protocols.MajorityConfig(5, 3)},
+		{"leader", protocols.LeaderElection{}, protocols.LeaderConfig(7)},
+		{"or", protocols.Or{}, protocols.OrConfig(6, 2)},
+		{"modulo", protocols.Modulo{M: 3}, protocols.ModuloConfig(6, 4)},
+	}
+	var cases []equivCase
+	for _, kind := range model.Kinds() {
+		for _, pr := range protos {
+			var protocol any = pr.p
+			if kind.OneWay() {
+				protocol = pp.OneWayAdapter{P: pr.p}
+			}
+			var adv func() adversary.Adversary
+			if kind.Omissive() {
+				adv = func() adversary.Adversary { return adversary.NewBudgeted(11, 0.05, 9) }
+			}
+			cases = append(cases, equivCase{
+				name:     fmt.Sprintf("%s/%s", kind, pr.name),
+				kind:     kind,
+				protocol: protocol,
+				cfg:      pr.cfg,
+				adv:      adv,
+			})
+		}
+	}
+	// Simulators: wrapped states exercise the event plumbing and the
+	// fast path's state-space bailout.
+	skno0 := sim.SKnO{P: protocols.Pairing{}, O: 0}
+	cases = append(cases, equivCase{
+		name: "IT/skno-o0", kind: model.IT, protocol: skno0,
+		cfg: skno0.WrapConfig(protocols.PairingConfig(2, 2)),
+	})
+	skno1 := sim.SKnO{P: protocols.Majority{}, O: 1}
+	cases = append(cases, equivCase{
+		name: "I3/skno-o1", kind: model.I3, protocol: skno1,
+		cfg: skno1.WrapConfig(protocols.MajorityConfig(3, 2)),
+		adv: func() adversary.Adversary { return adversary.NewBudgeted(5, 0.03, 1) },
+	})
+	cases = append(cases, equivCase{
+		name: "I4/skno-o1", kind: model.I4, protocol: skno1,
+		cfg: skno1.WrapConfig(protocols.MajorityConfig(3, 2)),
+		adv: func() adversary.Adversary { return adversary.NewBudgeted(6, 0.03, 1) },
+	})
+	sid := sim.SID{P: protocols.Majority{}}
+	cases = append(cases, equivCase{
+		name: "IO/sid", kind: model.IO, protocol: sid,
+		cfg: sid.WrapConfig(protocols.MajorityConfig(4, 3)),
+	})
+	nam := sim.Naming{P: protocols.Or{}, N: 5}
+	cases = append(cases, equivCase{
+		name: "IO/naming", kind: model.IO, protocol: nam,
+		cfg: nam.WrapConfig(protocols.OrConfig(5, 1)),
+	})
+	return cases
+}
+
+// runSlow executes total scheduled steps through Step.
+func runSlow(t *testing.T, c equivCase, seed int64, total int) (*engine.Engine, *trace.Recorder) {
+	t.Helper()
+	rec := &trace.Recorder{KeepInteractions: true}
+	opts := []engine.Option{engine.WithRecorder(rec)}
+	if c.adv != nil {
+		opts = append(opts, engine.WithAdversary(c.adv()))
+	}
+	eng, err := engine.New(c.kind, c.protocol, c.cfg, sched.NewRandom(seed), opts...)
+	if err != nil {
+		t.Fatalf("%s: %v", c.name, err)
+	}
+	if err := eng.RunSteps(total); err != nil {
+		t.Fatalf("%s: slow run: %v", c.name, err)
+	}
+	return eng, rec
+}
+
+// TestStepBatchEquivalence runs the same seed through the stepwise engine
+// and the batched fast path (in uneven chunks, with a few interleaved Step
+// calls to exercise the ID-vector/configuration synchronization) and asserts
+// bit-identical executions: step counts, final configurations, recorded
+// interaction sequences and simulation events.
+func TestStepBatchEquivalence(t *testing.T) {
+	const seed, total = 42, 2500
+	for _, c := range equivCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			slowEng, slowRec := runSlow(t, c, seed, total)
+
+			rec := &trace.Recorder{KeepInteractions: true}
+			opts := []engine.Option{engine.WithRecorder(rec)}
+			if c.adv != nil {
+				opts = append(opts, engine.WithAdversary(c.adv()))
+			}
+			eng, err := engine.New(c.kind, c.protocol, c.cfg, sched.NewRandom(seed), opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Uneven chunks + interleaved stepwise calls.
+			chunks := []int{1, 7, 64, 501, 3, 1000}
+			consumed := 0
+			for i := 0; consumed < total; i++ {
+				k := chunks[i%len(chunks)]
+				if k > total-consumed {
+					k = total - consumed
+				}
+				applied, err := eng.StepBatch(k)
+				if err != nil {
+					t.Fatalf("StepBatch: %v", err)
+				}
+				consumed += applied
+				if i%3 == 0 && consumed < total {
+					if err := eng.Step(); err != nil {
+						t.Fatalf("interleaved Step: %v", err)
+					}
+					consumed++
+				}
+			}
+
+			if got, want := eng.Steps(), slowEng.Steps(); got != want {
+				t.Fatalf("steps: batch %d, slow %d", got, want)
+			}
+			if got, want := eng.Config().Key(), slowEng.Config().Key(); got != want {
+				t.Fatalf("final configuration diverged:\nbatch %s\nslow  %s", got, want)
+			}
+			if got, want := rec.Steps(), slowRec.Steps(); got != want {
+				t.Fatalf("recorder steps: batch %d, slow %d", got, want)
+			}
+			if got, want := rec.Omissions(), slowRec.Omissions(); got != want {
+				t.Fatalf("recorder omissions: batch %d, slow %d", got, want)
+			}
+			if got, want := rec.Interactions(), slowRec.Interactions(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("interaction runs diverged (len %d vs %d)", len(got), len(want))
+			}
+			if got, want := rec.Events(), slowRec.Events(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("event sequences diverged (len %d vs %d)", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestStepBatchEquivalenceLean exercises the call-free lean loop (no
+// adversary, no interaction retention — the configuration the throughput
+// benchmarks run) and asserts the executions still match the stepwise
+// engine: step counts, final configurations, recorder counters and events.
+func TestStepBatchEquivalenceLean(t *testing.T) {
+	const seed, total = 97, 4000
+	for _, c := range equivCases() {
+		if c.adv != nil {
+			continue // lean loop requires the absent adversary
+		}
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			slowRec := &trace.Recorder{}
+			slowEng, err := engine.New(c.kind, c.protocol, c.cfg, sched.NewRandom(seed), engine.WithRecorder(slowRec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := slowEng.RunSteps(total); err != nil {
+				t.Fatal(err)
+			}
+			rec := &trace.Recorder{}
+			eng, err := engine.New(c.kind, c.protocol, c.cfg, sched.NewRandom(seed), engine.WithRecorder(rec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for consumed := 0; consumed < total; {
+				applied, err := eng.StepBatch(total - consumed)
+				if err != nil {
+					t.Fatalf("StepBatch: %v", err)
+				}
+				consumed += applied
+			}
+			if got, want := eng.Steps(), slowEng.Steps(); got != want {
+				t.Fatalf("steps: batch %d, slow %d", got, want)
+			}
+			if got, want := eng.Config().Key(), slowEng.Config().Key(); got != want {
+				t.Fatalf("final configuration diverged:\nbatch %s\nslow  %s", got, want)
+			}
+			if got, want := rec.Steps(), slowRec.Steps(); got != want {
+				t.Fatalf("recorder steps: batch %d, slow %d", got, want)
+			}
+			if got, want := rec.Events(), slowRec.Events(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("event sequences diverged (len %d vs %d)", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestRunUntilEveryMatchesRunUntil checks that the batched convergence
+// driver reaches the same converged configuration as the stepwise one (the
+// convergence *point* may differ by up to `every` steps, by design).
+func TestRunUntilEveryMatchesRunUntil(t *testing.T) {
+	done := func(c pp.Configuration) bool { return protocols.MajorityConverged(c, "A") }
+	mk := func(seed int64) *engine.Engine {
+		eng, err := engine.New(model.TW, protocols.Majority{}, protocols.MajorityConfig(9, 7), sched.NewRandom(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		slow := mk(seed)
+		okSlow, err := slow.RunUntil(done, 1_000_000)
+		if err != nil || !okSlow {
+			t.Fatalf("seed %d: slow ok=%v err=%v", seed, okSlow, err)
+		}
+		fast := mk(seed)
+		okFast, err := fast.RunUntilEvery(done, 64, 1_000_000)
+		if err != nil || !okFast {
+			t.Fatalf("seed %d: batch ok=%v err=%v", seed, okFast, err)
+		}
+		if !done(fast.Config()) {
+			t.Fatalf("seed %d: batched run not converged", seed)
+		}
+		if fast.Steps() < slow.Steps() {
+			t.Fatalf("seed %d: batched converged earlier (%d) than stepwise (%d)?", seed, fast.Steps(), slow.Steps())
+		}
+	}
+}
+
+// TestStepBatchExhaustion checks ErrExhausted propagation for scripted
+// schedulers (which cannot batch and fall back to Step).
+func TestStepBatchExhaustion(t *testing.T) {
+	run := pp.Run{{Starter: 0, Reactor: 1}, {Starter: 1, Reactor: 0}}
+	eng, err := engine.New(model.TW, protocols.Majority{}, protocols.MajorityConfig(1, 1), sched.NewScript(run, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := eng.StepBatch(5)
+	if applied != 2 || err == nil {
+		t.Fatalf("StepBatch = (%d, %v), want (2, ErrExhausted)", applied, err)
+	}
+}

@@ -1,0 +1,370 @@
+// Batched fast path: the engine mirrors the configuration as a vector of
+// dense interned-state IDs (pp.Interner), evaluates the transition relation
+// through a memo table (model.TransitionCache), and consumes interactions in
+// bulk from batching schedulers (sched.Batcher). Executions are identical to
+// the stepwise path for the same seed — same schedule, same states, same
+// recorded trace — only cheaper: δ is evaluated once per distinct state
+// pair, pp.State values are only materialized at observation boundaries, and
+// the per-interaction cost collapses to a few array operations.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"popsim/internal/adversary"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+)
+
+// Aux bits memoized per cached transition: whether the starter/reactor
+// result advanced its simulation-event sequence relative to the input state,
+// i.e. whether applying the transition must forward an event to the trace
+// recorder. Precomputing this keeps state inspection out of the batch loop.
+const (
+	auxStarterEvent uint8 = 1 << 0
+	auxReactorEvent uint8 = 1 << 1
+)
+
+const (
+	// maxFastStates bounds the interned state space before StepBatch
+	// abandons the fast path for good: simulator state spaces with
+	// per-agent counters (SKnO generation counters, SID lock tags) grow
+	// without bound and would thrash the transition cache, so beyond this
+	// many distinct states the slow path is the faster path.
+	maxFastStates = 1024
+	// maxBatchChunk caps one NextBatch request, bounding the scheduler's
+	// reusable buffer.
+	maxBatchChunk = 1024
+)
+
+// fastPath is the engine's dense-ID execution state.
+type fastPath struct {
+	in      *pp.Interner
+	cache   *model.TransitionCache
+	batcher sched.Batcher
+	ids     []uint32 // dense mirror of the configuration
+	noAdv   bool     // adversary is adversary.None: skip Inject entirely
+
+	idsValid bool // ids mirror the logical configuration
+	cfgStale bool // e.cfg lags behind ids
+	disabled bool // fast path permanently unavailable
+}
+
+// eventAux is the cache AuxFunc: it mirrors Engine.emitEvent's detection of
+// simulated-state updates, memoized per transition.
+func eventAux(s, r, ns, nr pp.State) uint8 {
+	var aux uint8
+	if eventAdvanced(s, ns) {
+		aux |= auxStarterEvent
+	}
+	if eventAdvanced(r, nr) {
+		aux |= auxReactorEvent
+	}
+	return aux
+}
+
+func eventAdvanced(before, after pp.State) bool {
+	wa, ok := after.(sim.Wrapped)
+	if !ok {
+		return false
+	}
+	var prev uint64
+	if wb, ok := before.(sim.Wrapped); ok {
+		prev = wb.EventSeq()
+	}
+	return wa.EventSeq() != prev
+}
+
+// ensureFast lazily builds the fast-path state. It returns nil when the
+// scheduler cannot batch (then StepBatch degrades to repeated Step).
+func (e *Engine) ensureFast() *fastPath {
+	if e.fast != nil {
+		return e.fast
+	}
+	bt, ok := e.sch.(sched.Batcher)
+	if !ok {
+		e.fast = &fastPath{disabled: true}
+		return e.fast
+	}
+	_, noAdv := e.adv.(adversary.None)
+	in := pp.NewInterner()
+	cache := model.NewTransitionCache(e.kind, e.protocol, in, eventAux)
+	// Cap the dense table at 256² entries (512 KB): a state space blowing
+	// past that is almost certainly an unbounded simulator run heading for
+	// the maxFastStates bailout, and the 256..1024 band still works through
+	// the cache's overflow map. Without the cap a single chunk of a
+	// SKnO/SID run would grow-and-copy the table to 8 MB before bailing.
+	cache.SetMaxStride(256)
+	e.fast = &fastPath{
+		in:      in,
+		cache:   cache,
+		batcher: bt,
+		ids:     make([]uint32, len(e.cfg)),
+		noAdv:   noAdv,
+	}
+	return e.fast
+}
+
+// materialize refreshes e.cfg from the ID vector after batched stepping.
+func (e *Engine) materialize() {
+	f := e.fast
+	if f == nil || !f.cfgStale {
+		return
+	}
+	e.cfg = f.in.Materialize(f.ids, e.cfg)
+	f.cfgStale = false
+}
+
+// disableFast abandons the fast path permanently, leaving e.cfg
+// authoritative and releasing the interner, transition table and ID vector.
+func (e *Engine) disableFast() {
+	e.materialize()
+	f := e.fast
+	f.disabled = true
+	f.in, f.cache, f.batcher, f.ids = nil, nil, nil, nil
+}
+
+// stepSlow applies k scheduled interactions through Step.
+func (e *Engine) stepSlow(k int) (int, error) {
+	for i := 0; i < k; i++ {
+		if err := e.Step(); err != nil {
+			return i, err
+		}
+	}
+	return k, nil
+}
+
+// StepBatch consumes up to k scheduled interactions (plus whatever the
+// adversary injects) through the dense-ID fast path. Executions are
+// seed-identical to k Step calls; only the cost differs. (One carve-out:
+// components drawing auxiliary randomness from the scheduler itself via
+// sched.Random.Intn observe a different stream position under batching,
+// since schedules are pre-drawn in chunks — see the Intn doc; the in-repo
+// adversaries carry their own sources and are unaffected.) The fast path
+// requires a batching scheduler and a state space that stays small (finite
+// protocols); otherwise StepBatch transparently falls back to Step — so it
+// is always safe to call. It returns the number of scheduled interactions
+// consumed, with ErrExhausted when the scheduler ran out early.
+func (e *Engine) StepBatch(k int) (int, error) {
+	if k <= 0 {
+		return 0, nil
+	}
+	f := e.ensureFast()
+	if f.disabled {
+		return e.stepSlow(k)
+	}
+	if !f.idsValid {
+		e.materialize()
+		f.ids = f.in.InternConfig(e.cfg, f.ids[:0])
+		f.idsValid = true
+	}
+	if f.in.Len() > maxFastStates {
+		e.disableFast()
+		return e.stepSlow(k)
+	}
+	n := len(f.ids)
+	lean := f.noAdv && !e.rec.KeepInteractions
+	consumed := 0
+	for consumed < k {
+		chunk := k - consumed
+		if chunk > maxBatchChunk {
+			chunk = maxBatchChunk
+		}
+		batch := f.batcher.NextBatch(n, chunk)
+		if len(batch) == 0 {
+			return consumed, ErrExhausted
+		}
+		var err error
+		if lean {
+			err = e.applyBatchLean(f, batch)
+		} else {
+			err = e.applyBatchGeneral(f, batch)
+		}
+		if err != nil {
+			return consumed, err
+		}
+		consumed += len(batch)
+		if f.in.Len() > maxFastStates {
+			e.disableFast()
+			rest, err := e.stepSlow(k - consumed)
+			return consumed + rest, err
+		}
+	}
+	return consumed, nil
+}
+
+// applyBatchLean is the hot loop: no adversary, no interaction retention.
+// The inner loop is deliberately call-free — cache misses and event-emitting
+// transitions drop out to the handler below — so the compiler keeps the loop
+// state in registers; per interaction the steady-state cost is one
+// dense-table load, two ID loads, two ID stores and a counter.
+func (e *Engine) applyBatchLean(f *fastPath, batch []pp.Interaction) error {
+	ids := f.ids
+	cache := f.cache
+	tab, stride := cache.Dense()
+	st64 := uint64(stride)
+	base := e.steps // steps == base+i throughout: one scheduled interaction each
+	i := 0
+	for i < len(batch) {
+		for ; i < len(batch); i++ {
+			si, ri := batch[i].Starter, batch[i].Reactor
+			s, r := ids[si], ids[ri]
+			// stride is a power of two, so one compare covers both IDs.
+			if s|r >= stride {
+				break
+			}
+			ent := tab[uint64(s)*st64+uint64(r)]
+			if !model.EntryLean(ent) {
+				break
+			}
+			ids[si] = model.EntryStarter(ent)
+			ids[ri] = model.EntryReactor(ent)
+		}
+		if i >= len(batch) {
+			break
+		}
+		// Exceptional interaction: uncached (evaluate δ and refresh the
+		// possibly-regrown table) or one that emits simulation events.
+		it := batch[i]
+		s, r := ids[it.Starter], ids[it.Reactor]
+		ent, err := cache.Apply(s, r, pp.OmissionNone)
+		if err != nil {
+			// Terminal: account for the i interactions actually applied
+			// so engine, recorder and adversary indices stay consistent.
+			e.steps = base + i
+			e.schedIdx += i
+			e.rec.AddSteps(i, 0)
+			f.cfgStale = true
+			return fmt.Errorf("apply %v: %w", it, err)
+		}
+		tab, stride = cache.Dense()
+		st64 = uint64(stride)
+		ids[it.Starter] = model.EntryStarter(ent)
+		ids[it.Reactor] = model.EntryReactor(ent)
+		if aux := model.EntryAux(ent); aux != 0 {
+			e.emitFastEvents(f, it, ent, aux, base+i)
+		}
+		i++
+	}
+	e.steps = base + len(batch)
+	e.schedIdx += len(batch)
+	e.rec.AddSteps(len(batch), 0)
+	f.cfgStale = true
+	return nil
+}
+
+// applyBatchGeneral is the batched loop with adversary injections and/or
+// interaction retention: still cached and ID-based, but with the per-step
+// bookkeeping of the slow path.
+func (e *Engine) applyBatchGeneral(f *fastPath, batch []pp.Interaction) error {
+	n := len(f.ids)
+	for _, it := range batch {
+		for _, om := range e.adv.Inject(e.schedIdx, it, n) {
+			if !om.Omission.IsOmissive() {
+				f.cfgStale = true
+				return fmt.Errorf("%w: adversary injected non-omissive %v", ErrConfig, om)
+			}
+			if err := e.applyFastOne(f, om); err != nil {
+				return err
+			}
+		}
+		e.schedIdx++
+		if err := e.applyFastOne(f, it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyFastOne applies one interaction on the ID vector, mirroring
+// Engine.apply.
+func (e *Engine) applyFastOne(f *fastPath, it pp.Interaction) error {
+	if !it.Valid(len(f.ids)) {
+		f.cfgStale = true
+		return fmt.Errorf("%w: interaction %v for n=%d", ErrConfig, it, len(f.ids))
+	}
+	s, r := f.ids[it.Starter], f.ids[it.Reactor]
+	ent, err := f.cache.Apply(s, r, it.Omission)
+	if err != nil {
+		f.cfgStale = true
+		return fmt.Errorf("apply %v: %w", it, err)
+	}
+	f.ids[it.Starter] = model.EntryStarter(ent)
+	f.ids[it.Reactor] = model.EntryReactor(ent)
+	idx := e.steps
+	e.steps++
+	e.rec.OnInteraction(it)
+	if aux := model.EntryAux(ent); aux != 0 {
+		e.emitFastEvents(f, it, ent, aux, idx)
+	}
+	f.cfgStale = true
+	return nil
+}
+
+// emitFastEvents forwards the simulated-state events of one cached
+// transition, mirroring Engine.emitEvent (starter first, then reactor).
+func (e *Engine) emitFastEvents(f *fastPath, it pp.Interaction, ent uint64, aux uint8, idx int) {
+	if aux&auxStarterEvent != 0 {
+		ev := f.in.State(model.EntryStarter(ent)).(sim.Wrapped).LastEvent()
+		ev.Index = idx
+		ev.Agent = it.Starter
+		e.rec.OnEvent(ev)
+	}
+	if aux&auxReactorEvent != 0 {
+		ev := f.in.State(model.EntryReactor(ent)).(sim.Wrapped).LastEvent()
+		ev.Index = idx
+		ev.Agent = it.Reactor
+		e.rec.OnEvent(ev)
+	}
+}
+
+// RunStepsBatch is RunSteps over the fast path: it performs k scheduled
+// steps (plus adversary injections), stopping early without error if the
+// scheduler exhausts.
+func (e *Engine) RunStepsBatch(k int) error {
+	_, err := e.StepBatch(k)
+	if errors.Is(err, ErrExhausted) {
+		return nil
+	}
+	return err
+}
+
+// RunUntilEvery steps the engine through the fast path until pred holds for
+// the current configuration or maxScheduled scheduled interactions have been
+// consumed, evaluating pred only every `every` scheduled interactions
+// (and once up front). Sparse convergence checks are what make batching pay:
+// predicates scan the whole configuration, so checking per step makes every
+// step Θ(n). Unlike RunUntil, the reported convergence point is therefore
+// only `every`-step accurate. every ≤ 1 checks after every step.
+func (e *Engine) RunUntilEvery(pred func(pp.Configuration) bool, every, maxScheduled int) (bool, error) {
+	if every < 1 {
+		every = 1
+	}
+	e.materialize()
+	if pred(e.cfg) {
+		return true, nil
+	}
+	consumed := 0
+	for consumed < maxScheduled {
+		chunk := maxScheduled - consumed
+		if chunk > every {
+			chunk = every
+		}
+		applied, err := e.StepBatch(chunk)
+		consumed += applied
+		e.materialize()
+		if err != nil {
+			if errors.Is(err, ErrExhausted) {
+				return pred(e.cfg), nil
+			}
+			return false, err
+		}
+		if pred(e.cfg) {
+			return true, nil
+		}
+	}
+	return false, nil
+}

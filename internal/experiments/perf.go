@@ -56,6 +56,25 @@ func Perf(cfg Config) (*Result, error) {
 				float64(el.Nanoseconds())/float64(max(1, rec.Steps())))
 			check(res, ok, "native TW n=%d converged", n)
 		}
+		// Native TW through the interned-state batched fast path: the same
+		// seed replays the same schedule, with the convergence predicate
+		// evaluated every 64 interactions instead of every one.
+		{
+			start := time.Now()
+			rec := &trace.Recorder{}
+			eng, err := engine.New(model.TW, w.proto, simCfg, sched.NewRandom(cfg.Seed), engine.WithRecorder(rec))
+			if err != nil {
+				return nil, err
+			}
+			ok, err := eng.RunUntilEvery(w.done(n), 64, 10_000_000)
+			if err != nil {
+				return nil, err
+			}
+			el := time.Since(start)
+			tbl.AddRow("native TW (batch)", n, rec.Steps(), rec.Steps(), 1.0, el.Round(time.Microsecond),
+				float64(el.Nanoseconds())/float64(max(1, rec.Steps())))
+			check(res, ok, "native TW batch n=%d converged", n)
+		}
 		// SKnO in I3 with one tolerated omission.
 		{
 			s := sim.SKnO{P: w.proto, O: 1}

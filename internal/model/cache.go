@@ -1,0 +1,208 @@
+package model
+
+import (
+	"fmt"
+
+	"popsim/internal/pp"
+)
+
+// Transition-cache entry encoding: a cached transition packs both interned
+// result IDs and a caller-defined auxiliary byte into one uint64, so the
+// engine's hot loop reads a single machine word per interaction:
+//
+//	bits 63..36  starter result ID (28 bits)
+//	bits 35..8   reactor result ID (28 bits)
+//	bits  7..0   aux byte; bit 7 is the presence marker, bits 6..0 are
+//	             available to the AuxFunc
+//
+// A packed entry is never zero (the presence bit is always set), so zero
+// doubles as the empty marker in the dense table.
+const (
+	entryIDBits         = 28
+	entryIDMask         = 1<<entryIDBits - 1
+	entryAuxMask uint8  = 1<<7 - 1
+	entryPresent uint64 = 1 << 7
+)
+
+// EntryStarter extracts the starter's interned result ID from a packed
+// transition entry. (The shift leaves exactly the 28 ID bits — no mask.)
+func EntryStarter(e uint64) uint32 { return uint32(e >> 36) }
+
+// EntryReactor extracts the reactor's interned result ID.
+func EntryReactor(e uint64) uint32 { return uint32(e>>8) & entryIDMask }
+
+// EntryAux extracts the auxiliary byte computed by the cache's AuxFunc.
+func EntryAux(e uint64) uint8 { return uint8(e) & entryAuxMask }
+
+// EntryLean reports whether e is a present entry with a zero aux byte — the
+// fully-cached, no-side-effect case batch loops stay on. Its negation covers
+// both "absent" and "aux set" in one compare.
+func EntryLean(e uint64) bool { return uint8(e) == uint8(entryPresent) }
+
+func packEntry(ns, nr uint32, aux uint8) uint64 {
+	return uint64(ns)<<36 | uint64(nr)<<8 | uint64(aux&entryAuxMask) | entryPresent
+}
+
+// AuxFunc computes a small per-transition annotation (≤ 7 bits) from the
+// four states of a cached transition, memoized alongside the result IDs.
+// The engine uses it to precompute whether a transition emits simulation
+// events, so the hot loop never inspects states.
+type AuxFunc func(s, r, ns, nr pp.State) uint8
+
+// TransitionCache memoizes the transition relation of one (model, protocol)
+// pair over interned state IDs: δ is evaluated at most once per distinct
+// (starter, reactor, omission) triple instead of once per interaction.
+//
+// Non-omissive transitions — the overwhelmingly common case under benign
+// schedules — live in a dense stride×stride table indexed by the ID pair;
+// omissive transitions and any traffic beyond the dense capacity live in an
+// overflow map. The cache stays correct for unbounded state spaces (entries
+// just stop fitting the dense table); callers that need the dense fast path
+// to stay profitable should watch Interner.Len and fall back to direct Apply
+// when the space keeps growing. Not safe for concurrent use.
+type TransitionCache struct {
+	kind     Kind
+	protocol any
+	in       *pp.Interner
+	aux      AuxFunc
+
+	stride    uint32
+	dense     []uint64
+	maxStride uint32
+	overflow  map[uint64]uint64
+}
+
+// DefaultMaxStride bounds the dense table: state spaces wider than this keep
+// working through the overflow map, at map-lookup speed.
+const DefaultMaxStride = 1024
+
+// NewTransitionCache builds a cache for protocol p under model k, interning
+// states through in. aux may be nil.
+func NewTransitionCache(k Kind, p any, in *pp.Interner, aux AuxFunc) *TransitionCache {
+	return &TransitionCache{
+		kind:      k,
+		protocol:  p,
+		in:        in,
+		aux:       aux,
+		maxStride: DefaultMaxStride,
+		overflow:  make(map[uint64]uint64),
+	}
+}
+
+// SetMaxStride bounds the dense table at n×n entries (n is rounded up to a
+// power of two and clamped to [16, DefaultMaxStride]). Call before first use;
+// entries beyond the bound live in the overflow map.
+func (c *TransitionCache) SetMaxStride(n uint32) {
+	m := uint32(16)
+	for m < n && m < DefaultMaxStride {
+		m *= 2
+	}
+	c.maxStride = m
+}
+
+// Interner returns the cache's interner.
+func (c *TransitionCache) Interner() *pp.Interner { return c.in }
+
+// Dense exposes the non-omissive dense table and its stride for direct
+// indexing by hot loops: for sID, rID < stride, the packed entry (zero if
+// absent) is table[sID*stride+rID]. The stride is always a power of two, so
+// the index is equivalently sID<<log2(stride) | rID. The slice is
+// invalidated by any Apply call that grows the table; re-fetch after misses.
+func (c *TransitionCache) Dense() ([]uint64, uint32) { return c.dense, c.stride }
+
+// Lookup returns the cached non-omissive transition entry for (sID, rID),
+// if present.
+func (c *TransitionCache) Lookup(sID, rID uint32) (uint64, bool) {
+	if sID < c.stride && rID < c.stride {
+		e := c.dense[uint64(sID)*uint64(c.stride)+uint64(rID)]
+		return e, e != 0
+	}
+	e, ok := c.overflow[omKey(sID, rID, pp.OmissionNone)]
+	return e, ok
+}
+
+// omKey packs a cache key for the overflow map. IDs are 28 bits by the entry
+// encoding, so the packed key is collision-free.
+func omKey(sID, rID uint32, om pp.OmissionSide) uint64 {
+	return uint64(sID)<<36 | uint64(rID)<<8 | uint64(om)
+}
+
+// Apply returns the packed transition entry for (sID, rID, om), evaluating
+// the model's transition relation and memoizing it on first sight. Errors
+// from the underlying Apply (e.g. an omissive interaction under a
+// non-omissive model) are returned verbatim and never cached.
+func (c *TransitionCache) Apply(sID, rID uint32, om pp.OmissionSide) (uint64, error) {
+	if om == pp.OmissionNone {
+		if e, ok := c.Lookup(sID, rID); ok {
+			return e, nil
+		}
+	} else if e, ok := c.overflow[omKey(sID, rID, om)]; ok {
+		return e, nil
+	}
+	s, r := c.in.State(sID), c.in.State(rID)
+	ns, nr, err := Apply(c.kind, c.protocol, s, r, om)
+	if err != nil {
+		return 0, err
+	}
+	nsID, nrID := c.in.Intern(ns), c.in.Intern(nr)
+	var aux uint8
+	if c.aux != nil {
+		aux = c.aux(s, r, ns, nr)
+	}
+	if nsID > entryIDMask || nrID > entryIDMask {
+		// Beyond the packable 28-bit ID range the entry encoding cannot
+		// represent the result. 2^28 distinct states exceed any workload
+		// the dense path is meant for — callers monitoring Interner.Len
+		// bail far earlier — so fail loudly rather than pack a corrupt
+		// entry.
+		return 0, fmt.Errorf("model: transition cache overflow: %d interned states exceed the %d-bit ID range", c.in.Len(), entryIDBits)
+	}
+	e := packEntry(nsID, nrID, aux)
+	c.store(sID, rID, om, e)
+	return e, nil
+}
+
+// store files a computed entry, growing the dense table as the interner
+// grows (up to maxStride; beyond that the overflow map takes over).
+func (c *TransitionCache) store(sID, rID uint32, om pp.OmissionSide, e uint64) {
+	if om != pp.OmissionNone {
+		c.overflow[omKey(sID, rID, om)] = e
+		return
+	}
+	if sID >= c.stride || rID >= c.stride {
+		c.growDense()
+	}
+	if sID < c.stride && rID < c.stride {
+		c.dense[uint64(sID)*uint64(c.stride)+uint64(rID)] = e
+		return
+	}
+	c.overflow[omKey(sID, rID, pp.OmissionNone)] = e
+}
+
+// growDense resizes the dense table to cover every ID interned so far,
+// re-indexing existing entries.
+func (c *TransitionCache) growDense() {
+	need := uint32(c.in.Len())
+	if need <= c.stride || c.stride >= c.maxStride {
+		return
+	}
+	stride := c.stride
+	if stride == 0 {
+		stride = 16
+	}
+	for stride < need {
+		stride *= 2
+	}
+	if stride > c.maxStride {
+		stride = c.maxStride
+	}
+	if stride <= c.stride {
+		return
+	}
+	dense := make([]uint64, uint64(stride)*uint64(stride))
+	for s := uint32(0); s < c.stride; s++ {
+		old := c.dense[uint64(s)*uint64(c.stride) : uint64(s+1)*uint64(c.stride)]
+		copy(dense[uint64(s)*uint64(stride):], old)
+	}
+	c.dense, c.stride = dense, stride
+}

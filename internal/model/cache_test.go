@@ -1,0 +1,147 @@
+package model_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+)
+
+// TestTransitionCacheMatchesApply: every (state pair, omission side) of the
+// majority protocol under every model agrees with direct Apply, on repeated
+// lookups (cold and cached).
+func TestTransitionCacheMatchesApply(t *testing.T) {
+	states := []pp.State{protocols.StrongA, protocols.StrongB, protocols.WeakA, protocols.WeakB}
+	oms := []pp.OmissionSide{pp.OmissionNone, pp.OmissionStarter, pp.OmissionReactor, pp.OmissionBoth}
+	for _, kind := range model.Kinds() {
+		var protocol any = protocols.Majority{}
+		if kind.OneWay() {
+			protocol = pp.OneWayAdapter{P: protocols.Majority{}}
+		}
+		in := pp.NewInterner()
+		cache := model.NewTransitionCache(kind, protocol, in, nil)
+		for round := 0; round < 2; round++ { // second round hits the memo
+			for _, s := range states {
+				for _, r := range states {
+					for _, om := range oms {
+						sID, rID := in.Intern(s), in.Intern(r)
+						wantS, wantR, wantErr := model.Apply(kind, protocol, s, r, om)
+						ent, err := cache.Apply(sID, rID, om)
+						if (err != nil) != (wantErr != nil) {
+							t.Fatalf("%v (%v,%v,%v): err %v, want %v", kind, s, r, om, err, wantErr)
+						}
+						if err != nil {
+							continue
+						}
+						gotS := in.State(model.EntryStarter(ent))
+						gotR := in.State(model.EntryReactor(ent))
+						if !pp.Equal(gotS, wantS) || !pp.Equal(gotR, wantR) {
+							t.Fatalf("%v (%v,%v,%v): got (%v,%v) want (%v,%v)",
+								kind, s, r, om, gotS, gotR, wantS, wantR)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTransitionCacheErrorsNotCached: an omissive interaction under a
+// non-omissive model errors through the cache exactly as through Apply.
+func TestTransitionCacheErrorsNotCached(t *testing.T) {
+	in := pp.NewInterner()
+	cache := model.NewTransitionCache(model.TW, protocols.Majority{}, in, nil)
+	s := in.Intern(protocols.StrongA)
+	for i := 0; i < 2; i++ {
+		if _, err := cache.Apply(s, s, pp.OmissionBoth); !errors.Is(err, model.ErrOmissionNotAllowed) {
+			t.Fatalf("round %d: err = %v, want ErrOmissionNotAllowed", i, err)
+		}
+	}
+}
+
+// TestTransitionCacheAux: the aux hook is evaluated once per transition and
+// its value is memoized in the entry.
+func TestTransitionCacheAux(t *testing.T) {
+	in := pp.NewInterner()
+	calls := 0
+	cache := model.NewTransitionCache(model.TW, protocols.Majority{}, in, func(s, r, ns, nr pp.State) uint8 {
+		calls++
+		return 0x5a & 0x7f
+	})
+	a, b := in.Intern(protocols.StrongA), in.Intern(protocols.StrongB)
+	e1, err := cache.Apply(a, b, pp.OmissionNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := cache.Apply(a, b, pp.OmissionNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("aux evaluated %d times, want 1", calls)
+	}
+	if model.EntryAux(e1) != 0x5a || e1 != e2 {
+		t.Fatalf("aux not memoized: %x vs %x", e1, e2)
+	}
+	if model.EntryLean(e1) {
+		t.Fatal("entry with aux bits must not be lean")
+	}
+}
+
+// TestTransitionCacheBeyondDense: state spaces wider than the dense table
+// stay correct through the overflow map.
+func TestTransitionCacheBeyondDense(t *testing.T) {
+	// A protocol with an unbounded state space: states are counters.
+	proto := pp.Func{
+		ProtocolName: "counter",
+		Transition: func(s, r pp.State) (pp.State, pp.State) {
+			return pp.Symbol(s.Key() + "+"), r
+		},
+	}
+	in := pp.NewInterner()
+	cache := model.NewTransitionCache(model.TW, proto, in, nil)
+	id := in.Intern(pp.Symbol("c"))
+	other := in.Intern(pp.Symbol("z"))
+	// Drive well past DefaultMaxStride distinct states.
+	for i := 0; i < model.DefaultMaxStride+50; i++ {
+		ent, err := cache.Apply(id, other, pp.OmissionNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id = model.EntryStarter(ent)
+		if got := model.EntryReactor(ent); got != other {
+			t.Fatalf("step %d: reactor changed to %d", i, got)
+		}
+	}
+	want := "c"
+	for i := 0; i < model.DefaultMaxStride+50; i++ {
+		want += "+"
+	}
+	if got := in.State(id).Key(); got != want {
+		t.Fatalf("final state key = %q (len %d), want len %d", got[:20]+"...", len(got), len(want))
+	}
+}
+
+// TestEntryPacking: pack/extract roundtrip at the ID-width limits.
+func TestEntryPacking(t *testing.T) {
+	// Build entries through the cache against a protocol that returns
+	// specific states, then check the extractors.
+	in := pp.NewInterner()
+	cache := model.NewTransitionCache(model.TW, protocols.Majority{}, in, nil)
+	a, b := in.Intern(protocols.StrongA), in.Intern(protocols.StrongB)
+	ent, err := cache.Apply(a, b, pp.OmissionNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (A,B) -> (a,b): both results are fresh states.
+	ns, nr := model.EntryStarter(ent), model.EntryReactor(ent)
+	if fmt.Sprint(in.State(ns)) != "a" || fmt.Sprint(in.State(nr)) != "b" {
+		t.Fatalf("unpacked (%v,%v)", in.State(ns), in.State(nr))
+	}
+	if !model.EntryLean(ent) {
+		t.Fatal("aux-free entry should be lean")
+	}
+}

@@ -1,0 +1,65 @@
+package pp
+
+// Interner assigns dense uint32 identifiers to states, keyed by their
+// canonical Key encoding: two states receive the same ID if and only if they
+// are Equal. Dense IDs let hot paths (the engine's batched stepping, the
+// transition cache of package model) replace repeated Key construction and
+// string comparison with integer indexing.
+//
+// IDs are allocated in first-sight order starting at 0 and are never
+// reclaimed, so an Interner's memory grows with the number of *distinct*
+// states it has seen — bounded for finite-state protocols, unbounded for
+// simulator state spaces with per-agent counters (callers bound the fast
+// path themselves; see engine.StepBatch). Not safe for concurrent use.
+type Interner struct {
+	ids    map[string]uint32
+	states []State
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]uint32, 64)}
+}
+
+// Intern returns the dense ID for s, allocating a fresh one on first sight.
+// The first state interned with a given key becomes the canonical
+// representative returned by State.
+func (in *Interner) Intern(s State) uint32 {
+	k := s.Key()
+	if id, ok := in.ids[k]; ok {
+		return id
+	}
+	id := uint32(len(in.states))
+	in.ids[k] = id
+	in.states = append(in.states, s)
+	return id
+}
+
+// State returns the canonical representative for id. It panics for IDs never
+// returned by Intern.
+func (in *Interner) State(id uint32) State { return in.states[id] }
+
+// Len returns the number of distinct states interned so far.
+func (in *Interner) Len() int { return len(in.states) }
+
+// InternConfig appends the dense IDs of c's states to dst and returns the
+// extended slice.
+func (in *Interner) InternConfig(c Configuration, dst []uint32) []uint32 {
+	for _, s := range c {
+		dst = append(dst, in.Intern(s))
+	}
+	return dst
+}
+
+// Materialize writes the canonical states behind ids into dst (allocating if
+// dst is too short) and returns it.
+func (in *Interner) Materialize(ids []uint32, dst Configuration) Configuration {
+	if cap(dst) < len(ids) {
+		dst = make(Configuration, len(ids))
+	}
+	dst = dst[:len(ids)]
+	for i, id := range ids {
+		dst[i] = in.states[id]
+	}
+	return dst
+}

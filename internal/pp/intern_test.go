@@ -1,0 +1,58 @@
+package pp_test
+
+import (
+	"testing"
+
+	"popsim/internal/pp"
+)
+
+func TestInternerDenseIDs(t *testing.T) {
+	in := pp.NewInterner()
+	a := in.Intern(pp.Symbol("a"))
+	b := in.Intern(pp.Symbol("b"))
+	if a != 0 || b != 1 {
+		t.Fatalf("IDs not dense-from-zero: a=%d b=%d", a, b)
+	}
+	if got := in.Intern(pp.Symbol("a")); got != a {
+		t.Fatalf("re-intern of equal state: got %d want %d", got, a)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", in.Len())
+	}
+	if !pp.Equal(in.State(a), pp.Symbol("a")) || !pp.Equal(in.State(b), pp.Symbol("b")) {
+		t.Fatal("State roundtrip broken")
+	}
+}
+
+func TestInternerCanonicalRepresentative(t *testing.T) {
+	// Two distinct values with equal keys intern to the same ID, and the
+	// first one seen stays the representative.
+	in := pp.NewInterner()
+	first := pp.Symbol("x")
+	id := in.Intern(first)
+	if got := in.Intern(pp.Symbol("x")); got != id {
+		t.Fatalf("equal-key states got different IDs: %d vs %d", got, id)
+	}
+	if in.State(id) != pp.State(first) {
+		t.Fatal("representative is not the first-interned state")
+	}
+}
+
+func TestInternerConfigRoundtrip(t *testing.T) {
+	in := pp.NewInterner()
+	cfg := pp.Configuration{pp.Symbol("a"), pp.Symbol("b"), pp.Symbol("a")}
+	ids := in.InternConfig(cfg, nil)
+	if len(ids) != 3 || ids[0] != ids[2] || ids[0] == ids[1] {
+		t.Fatalf("unexpected IDs %v", ids)
+	}
+	out := in.Materialize(ids, nil)
+	if out.Key() != cfg.Key() {
+		t.Fatalf("roundtrip key mismatch: %q vs %q", out.Key(), cfg.Key())
+	}
+	// Materialize into a reusable buffer.
+	buf := make(pp.Configuration, 3)
+	out2 := in.Materialize(ids, buf)
+	if &out2[0] != &buf[0] {
+		t.Fatal("Materialize did not reuse the buffer")
+	}
+}

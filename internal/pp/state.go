@@ -65,6 +65,15 @@ func (c Configuration) Clone() Configuration {
 // Key returns a canonical encoding of the ordered configuration.
 func (c Configuration) Key() string {
 	var b strings.Builder
+	size := len(c) // separators
+	for _, s := range c {
+		if s == nil {
+			size += len("<nil>")
+			continue
+		}
+		size += len(s.Key())
+	}
+	b.Grow(size)
 	for i, s := range c {
 		if i > 0 {
 			b.WriteByte('|')

@@ -1,0 +1,40 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkNextBatch measures the per-interaction cost of the batched
+// scheduler alone (n = 64, the engine-throughput workload) at several chunk
+// sizes.
+func BenchmarkNextBatch(b *testing.B) {
+	for _, chunk := range []int{256, 1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("chunk=%d", chunk), func(b *testing.B) {
+			s := NewRandom(1)
+			var sink int
+			b.ResetTimer()
+			for done := 0; done < b.N; {
+				k := b.N - done
+				if k > chunk {
+					k = chunk
+				}
+				batch := s.NextBatch(64, k)
+				sink += batch[0].Starter
+				done += k
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkNext measures the stepwise scheduler for comparison.
+func BenchmarkNext(b *testing.B) {
+	s := NewRandom(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		it, _ := s.Next(64)
+		sink += it.Starter
+	}
+	_ = sink
+}

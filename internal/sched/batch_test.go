@@ -1,0 +1,138 @@
+package sched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"popsim/internal/pp"
+	"popsim/internal/sched"
+)
+
+// TestRandomStreamMatchesMathRand guards the inlined lagged-Fibonacci ring:
+// Random must produce exactly the schedule the historical rand.Rand-based
+// implementation produced for the same seed, across population sizes that
+// exercise the power-of-two shortcut, the rejection loop, and the Int63n
+// fallback.
+func TestRandomStreamMatchesMathRand(t *testing.T) {
+	for _, seed := range []int64{0, 1, 7, 42, -3, 1 << 40} {
+		s := sched.NewRandom(seed)
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 5000; i++ {
+			n := 2 + i%97
+			a := r.Intn(n)
+			b := r.Intn(n - 1)
+			if b >= a {
+				b++
+			}
+			want := pp.Interaction{Starter: a, Reactor: b}
+			got, ok := s.Next(n)
+			if !ok || got != want {
+				t.Fatalf("seed %d step %d (n=%d): got %v want %v", seed, i, n, got, want)
+			}
+		}
+		// Intn must share the stream too (adversarial constructions rely
+		// on it), including the Int63n path for huge n.
+		for _, n := range []int{1, 2, 63, 64, 1 << 20, 1<<31 - 1, 1 << 31, 1<<62 + 3} {
+			if got, want := s.Intn(n), r.Intn(n); got != want {
+				t.Fatalf("seed %d Intn(%d): got %d want %d", seed, n, got, want)
+			}
+		}
+	}
+}
+
+// TestRandomNextBatchMatchesNext: consuming batches (of uneven sizes,
+// interleaved with stepwise Next and Intn calls) replays byte-identical
+// schedules per seed.
+func TestRandomNextBatchMatchesNext(t *testing.T) {
+	for _, seed := range []int64{1, 9, 1234} {
+		// Populations covering: pow2 n (pow2 fast loop incl. wrap and
+		// rejection handling), non-pow2 n with pow2 n-1, generic n.
+		for _, n := range []int{2, 3, 5, 16, 64, 65, 100, 4096} {
+			batched := sched.NewRandom(seed)
+			stepwise := sched.NewRandom(seed)
+			sizes := []int{1, 3, 1024, 7, 613, 64, 2048}
+			for round, k := range sizes {
+				batch := batched.NextBatch(n, k)
+				if len(batch) != k {
+					t.Fatalf("n=%d: NextBatch returned %d of %d", n, len(batch), k)
+				}
+				for j, got := range batch {
+					want, _ := stepwise.Next(n)
+					if got != want {
+						t.Fatalf("seed %d n=%d round %d pos %d: got %v want %v", seed, n, round, j, got, want)
+					}
+					if !got.Valid(n) || got.Omission.IsOmissive() {
+						t.Fatalf("invalid batched interaction %v", got)
+					}
+				}
+				// Interleave stepwise draws on both streams.
+				gi, _ := batched.Next(n)
+				wi, _ := stepwise.Next(n)
+				if gi != wi {
+					t.Fatalf("seed %d n=%d round %d: interleaved Next diverged", seed, n, round)
+				}
+				if g, w := batched.Intn(17), stepwise.Intn(17); g != w {
+					t.Fatalf("seed %d n=%d round %d: interleaved Intn diverged", seed, n, round)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomNextBatchLongHaul pushes one stream far past several ring
+// revolutions (607 draws per revolution) in a single batch, then checks
+// stepwise agreement afterwards.
+func TestRandomNextBatchLongHaul(t *testing.T) {
+	a, b := sched.NewRandom(77), sched.NewRandom(77)
+	const n, k = 64, 50_000
+	batch := a.NextBatch(n, k)
+	if len(batch) != k {
+		t.Fatalf("NextBatch returned %d of %d", len(batch), k)
+	}
+	for i, got := range batch {
+		want, _ := b.Next(n)
+		if got != want {
+			t.Fatalf("pos %d: got %v want %v", i, got, want)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		ga, _ := a.Next(n)
+		gb, _ := b.Next(n)
+		if ga != gb {
+			t.Fatalf("post-batch step %d diverged", i)
+		}
+	}
+}
+
+// TestSweepNextBatchMatchesNext: the deterministic sweep batches the same
+// round-robin stream.
+func TestSweepNextBatchMatchesNext(t *testing.T) {
+	batched, stepwise := sched.NewSweep(), sched.NewSweep()
+	const n = 7
+	for _, k := range []int{1, 5, 42, 100} {
+		batch := batched.NextBatch(n, k)
+		if len(batch) != k {
+			t.Fatalf("NextBatch returned %d of %d", len(batch), k)
+		}
+		for j, got := range batch {
+			want, _ := stepwise.Next(n)
+			if got != want {
+				t.Fatalf("k=%d pos %d: got %v want %v", k, j, got, want)
+			}
+		}
+	}
+}
+
+// TestNextBatchEdgeCases: out-of-range arguments yield empty batches.
+func TestNextBatchEdgeCases(t *testing.T) {
+	s := sched.NewRandom(1)
+	if got := s.NextBatch(1, 10); len(got) != 0 {
+		t.Errorf("n=1: got %d interactions", len(got))
+	}
+	if got := s.NextBatch(10, 0); len(got) != 0 {
+		t.Errorf("k=0: got %d interactions", len(got))
+	}
+	if got := sched.NewSweep().NextBatch(1, 10); len(got) != 0 {
+		t.Errorf("sweep n=1: got %d interactions", len(got))
+	}
+}

@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// lfRing continues the exact output stream of math/rand's default source
+// (the additive lagged-Fibonacci generator x[i] = x[i-607] + x[i-273] over
+// uint64) with the generator state held inline, so draws can be inlined into
+// batch loops without the interface-call and wrapper overhead of
+// rand.(*Rand).
+//
+// Bootstrapping exploits the fact that the source's internal vector *is* its
+// last 607 outputs: NewSource(seed) is created once and one full ring of
+// Uint64 outputs is pulled from it, after which the recurrence is continued
+// locally. The stream is therefore byte-identical to rand.New(
+// rand.NewSource(seed)) by construction; TestRandomStreamMatchesMathRand
+// guards the equivalence against any future math/rand change.
+type lfRing struct {
+	vec  [rngLen]uint64
+	feed int // slot holding the output from rngLen draws ago (next write)
+	tap  int // slot holding the output from rngTap draws ago
+
+	// boot delegates the first rngLen draws to the real math/rand source
+	// (whose outputs are recorded into vec) so the stream starts at
+	// position zero; once the ring holds one full revolution of outputs
+	// the recurrence continues the stream locally and boot is dropped.
+	boot  rand.Source64
+	nboot int
+}
+
+const (
+	rngLen = 607
+	rngTap = 273
+
+	int31Mask = 1<<31 - 1
+	int63Mask = 1<<63 - 1
+)
+
+// seed initializes the ring to produce rand.NewSource(seed)'s stream.
+func (g *lfRing) seed(seed int64) {
+	g.boot = rand.NewSource(seed).(rand.Source64)
+	g.nboot = 0
+}
+
+// warm reports whether the ring has taken over from the bootstrap source;
+// batch loops operate on the ring directly and must only run warm.
+func (g *lfRing) warm() bool { return g.boot == nil }
+
+// next returns the next raw 64-bit output (rngSource.Uint64).
+func (g *lfRing) next() uint64 {
+	if g.boot != nil {
+		x := g.boot.Uint64()
+		g.vec[g.nboot] = x
+		g.nboot++
+		if g.nboot == rngLen {
+			// vec[i] holds output o_i; the next output is
+			// o_607 = o_0 + o_334 (o_{i-607} + o_{i-273}), written
+			// over the oldest slot.
+			g.boot = nil
+			g.feed = 0
+			g.tap = rngLen - rngTap
+		}
+		return x
+	}
+	f, t := g.feed, g.tap
+	x := g.vec[f] + g.vec[t]
+	g.vec[f] = x
+	f++
+	if f == rngLen {
+		f = 0
+	}
+	t++
+	if t == rngLen {
+		t = 0
+	}
+	g.feed, g.tap = f, t
+	return x
+}
+
+// int31 mirrors rand.(*Rand).Int31: the top 31 bits of a 63-bit draw.
+func (g *lfRing) int31() int32 {
+	return int32(g.next()>>32) & int31Mask
+}
+
+// int63 mirrors rand.(*Rand).Int63.
+func (g *lfRing) int63() int64 {
+	return int64(g.next() & int63Mask)
+}
+
+// int31n mirrors rand.(*Rand).Int31n exactly, including its power-of-two
+// shortcut and rejection loop, so the consumed stream matches.
+func (g *lfRing) int31n(n int32) int32 {
+	if n&(n-1) == 0 { // n is a power of two
+		return g.int31() & (n - 1)
+	}
+	maxv := int32((1 << 31) - 1 - (1<<31)%uint32(n))
+	v := g.int31()
+	for v > maxv {
+		v = g.int31()
+	}
+	return v % n
+}
+
+// int63n mirrors rand.(*Rand).Int63n exactly.
+func (g *lfRing) int63n(n int64) int64 {
+	if n&(n-1) == 0 {
+		return g.int63() & (n - 1)
+	}
+	maxv := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := g.int63()
+	for v > maxv {
+		v = g.int63()
+	}
+	return v % n
+}
+
+// intn mirrors rand.(*Rand).Intn.
+func (g *lfRing) intn(n int) int {
+	if n <= 0 {
+		panic("sched: Intn with non-positive n")
+	}
+	if n <= int31Mask {
+		return int(g.int31n(int32(n)))
+	}
+	return int(g.int63n(int64(n)))
+}
+
+// fastMod returns v % d given magic = ^uint64(0)/uint64(d) + 1
+// (Lemire–Kaser fastmod): exact for all 32-bit v and d, and cheaper than a
+// hardware divide in the batch loop.
+func fastMod(v uint32, magic uint64, d uint32) uint32 {
+	hi, _ := bits.Mul64(magic*uint64(v), uint64(d))
+	return uint32(hi)
+}

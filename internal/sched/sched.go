@@ -10,8 +10,6 @@
 package sched
 
 import (
-	"math/rand"
-
 	"popsim/internal/pp"
 )
 
@@ -26,17 +24,38 @@ type Scheduler interface {
 	Next(n int) (pp.Interaction, bool)
 }
 
-// Random is a seeded uniform-random scheduler: every ordered pair of
-// distinct agents is equally likely at every step. Replayable via its seed.
-type Random struct {
-	rng *rand.Rand
+// Batcher is an optional Scheduler extension that produces interactions in
+// bulk for the engine's batched fast path. NextBatch returns up to k
+// interactions for a population of n ≥ 2 agents, drawn from the same stream
+// as Next: consuming one batch of k is indistinguishable from k successive
+// Next calls, so batched and stepwise executions of the same seed replay the
+// same schedule. Batches are always non-omissive — like Next for these
+// schedulers, omissions enter executions only through the adversary layer —
+// and the engine's lean batch loop relies on that. The returned slice is
+// owned by the scheduler and is only valid until the next NextBatch call;
+// it is empty only when the scheduler is exhausted or the arguments are out
+// of range (n < 2, k ≤ 0).
+type Batcher interface {
+	Scheduler
+	NextBatch(n, k int) []pp.Interaction
 }
 
-var _ Scheduler = (*Random)(nil)
+// Random is a seeded uniform-random scheduler: every ordered pair of
+// distinct agents is equally likely at every step. Replayable via its seed.
+// The underlying generator continues math/rand's stream for the seed (see
+// lfRing), so schedules are identical to historical rand.Rand-based runs.
+type Random struct {
+	rng lfRing
+	buf []pp.Interaction
+}
+
+var _ Batcher = (*Random)(nil)
 
 // NewRandom returns a uniform-random scheduler with the given seed.
 func NewRandom(seed int64) *Random {
-	return &Random{rng: rand.New(rand.NewSource(seed))}
+	s := &Random{}
+	s.rng.seed(seed)
+	return s
 }
 
 // Next implements Scheduler.
@@ -44,18 +63,227 @@ func (s *Random) Next(n int) (pp.Interaction, bool) {
 	if n < 2 {
 		return pp.Interaction{}, false
 	}
-	a := s.rng.Intn(n)
-	b := s.rng.Intn(n - 1)
+	a := s.rng.intn(n)
+	b := s.rng.intn(n - 1)
 	if b >= a {
 		b++
 	}
 	return pp.Interaction{Starter: a, Reactor: b}, true
 }
 
+// NextBatch implements Batcher: it fills an internal buffer with k
+// interactions using the inlined generator, consuming exactly the draws that
+// k Next calls would.
+func (s *Random) NextBatch(n, k int) []pp.Interaction {
+	if n < 2 || k <= 0 {
+		return nil
+	}
+	if cap(s.buf) < k {
+		s.buf = make([]pp.Interaction, k)
+	}
+	buf := s.buf[:k]
+	// Stepwise prologue while the generator is still bootstrapping (its
+	// first rngLen draws), and for populations beyond Int31n; the inlined
+	// fill loops require a warm ring.
+	i := 0
+	for ; i < k && !s.rng.warm(); i++ {
+		buf[i], _ = s.Next(n)
+	}
+	if i < k {
+		if n <= int31Mask {
+			s.fillBatch31(buf[i:], int32(n))
+		} else {
+			for ; i < k; i++ {
+				buf[i], _ = s.Next(n)
+			}
+		}
+	}
+	return buf
+}
+
+// fillBatch31 is the hot batch loop for populations that fit Int31n. The
+// ring step and the Int31n arithmetic are inlined manually (with the modulo
+// replaced by an exact fastmod), keeping the per-interaction cost near the
+// raw generator cost while consuming the identical stream.
+//
+// The power-of-two population case — where the first draw is a single
+// mask — gets a dedicated call-free loop; rejection-sampling retries
+// (probability < n/2³¹ per draw) fall back to the generic stepwise path for
+// one interaction. Buffer writes are partial on purpose: Omission is zero in
+// a fresh buffer and no fill loop ever sets it, so it stays zero across
+// buffer reuse.
+func (s *Random) fillBatch31(buf []pp.Interaction, n int32) {
+	if n&(n-1) == 0 {
+		s.fillBatchPow2(buf, n)
+		return
+	}
+	maxA := int32((1 << 31) - 1 - (1<<31)%uint32(n))
+	maxB := int32((1 << 31) - 1 - (1<<31)%uint32(n-1))
+	magicA := ^uint64(0)/uint64(n) + 1
+	magicB := ^uint64(0)/uint64(n-1) + 1
+	bPow2 := (n-1)&(n-2) == 0
+	vec := &s.rng.vec
+	// uint cursors reduced mod rngLen up front let the compiler prove
+	// f, t < rngLen and drop the bounds checks inside the loop.
+	f, t := uint(s.rng.feed)%rngLen, uint(s.rng.tap)%rngLen
+	for i := range buf {
+		x := vec[f] + vec[t]
+		vec[f] = x
+		f++
+		if f == rngLen {
+			f = 0
+		}
+		t++
+		if t == rngLen {
+			t = 0
+		}
+		v := int32(x>>32) & int31Mask
+		for v > maxA {
+			x = vec[f] + vec[t]
+			vec[f] = x
+			f++
+			if f == rngLen {
+				f = 0
+			}
+			t++
+			if t == rngLen {
+				t = 0
+			}
+			v = int32(x>>32) & int31Mask
+		}
+		a := int32(fastMod(uint32(v), magicA, uint32(n)))
+		x = vec[f] + vec[t]
+		vec[f] = x
+		f++
+		if f == rngLen {
+			f = 0
+		}
+		t++
+		if t == rngLen {
+			t = 0
+		}
+		v = int32(x>>32) & int31Mask
+		var b int32
+		if bPow2 {
+			b = v & (n - 2)
+		} else {
+			for v > maxB {
+				x = vec[f] + vec[t]
+				vec[f] = x
+				f++
+				if f == rngLen {
+					f = 0
+				}
+				t++
+				if t == rngLen {
+					t = 0
+				}
+				v = int32(x>>32) & int31Mask
+			}
+			b = int32(fastMod(uint32(v), magicB, uint32(n-1)))
+		}
+		if b >= a {
+			b++
+		}
+		buf[i].Starter = int(a)
+		buf[i].Reactor = int(b)
+	}
+	s.rng.feed, s.rng.tap = int(f), int(t)
+}
+
+// fillBatchPow2 fills buf for a power-of-two population: draw a is
+// int31() & (n-1), draw b is int31n(n-1). The two draws per interaction are
+// unrolled behind a single ring-boundary test, so the common case runs
+// without cursor-wrap branches; wrap-straddling interactions (two per ring
+// revolution) and rejection retries (probability (2³¹ mod (n-1))/2³¹ per
+// draw) fall back to the stepwise generator for one interaction.
+func (s *Random) fillBatchPow2(buf []pp.Interaction, n int32) {
+	maxB := int32((1 << 31) - 1 - (1<<31)%uint32(n-1))
+	magicB := ^uint64(0)/uint64(n-1) + 1
+	vec := &s.rng.vec
+	i := 0
+	for i < len(buf) {
+		f, t := uint(s.rng.feed)%rngLen, uint(s.rng.tap)%rngLen
+		// Unrolled two interactions (four draws) per iteration behind a
+		// single ring-boundary test; rejections break out to the stepwise
+		// tail below.
+		for i+2 <= len(buf) {
+			if f+4 > rngLen || t+4 > rngLen {
+				break
+			}
+			x := vec[f] + vec[t]
+			vec[f] = x
+			a0 := int32(x>>32) & (n - 1)
+			x = vec[f+1] + vec[t+1]
+			vec[f+1] = x
+			v0 := int32(x>>32) & int31Mask
+			x = vec[f+2] + vec[t+2]
+			vec[f+2] = x
+			a1 := int32(x>>32) & (n - 1)
+			x = vec[f+3] + vec[t+3]
+			vec[f+3] = x
+			v1 := int32(x>>32) & int31Mask
+			if v0 > maxB || v1 > maxB {
+				// Rejection: undo the four eager ring writes (the step
+				// x = vec[f]+vec[t] is exactly invertible; the write
+				// ranges f..f+3 and t..t+3 never overlap) so the
+				// stepwise tail redraws the identical stream with the
+				// retry consuming the right values.
+				vec[f] -= vec[t]
+				vec[f+1] -= vec[t+1]
+				vec[f+2] -= vec[t+2]
+				vec[f+3] -= vec[t+3]
+				break
+			}
+			f += 4
+			t += 4
+			b0 := int32(fastMod(uint32(v0), magicB, uint32(n-1)))
+			if b0 >= a0 {
+				b0++
+			}
+			b1 := int32(fastMod(uint32(v1), magicB, uint32(n-1)))
+			if b1 >= a1 {
+				b1++
+			}
+			buf[i].Starter = int(a0)
+			buf[i].Reactor = int(b0)
+			buf[i+1].Starter = int(a1)
+			buf[i+1].Reactor = int(b1)
+			i += 2
+		}
+		// Tail / wrap / rejection: a couple of interactions through the
+		// stepwise generator, then re-enter the fast loop. Note the
+		// rejection break above happens before any draw is committed, so
+		// the stepwise path re-draws the identical values.
+		s.rng.feed, s.rng.tap = int(f%rngLen), int(t%rngLen)
+		stop := i + 2
+		if stop > len(buf) {
+			stop = len(buf)
+		}
+		for ; i < stop; i++ {
+			a := int32(s.rng.int31()) & (n - 1)
+			v := s.rng.int31()
+			for v > maxB {
+				v = s.rng.int31()
+			}
+			b := int32(fastMod(uint32(v), magicB, uint32(n-1)))
+			if b >= a {
+				b++
+			}
+			buf[i].Starter = int(a)
+			buf[i].Reactor = int(b)
+		}
+	}
+}
+
 // Intn exposes the scheduler's random stream for auxiliary randomized
 // choices that must replay together with the schedule (e.g. adversarial
-// coin flips tied to the same seed).
-func (s *Random) Intn(n int) int { return s.rng.Intn(n) }
+// coin flips tied to the same seed). Because batched execution pre-draws
+// whole chunks of the schedule, Intn interleaved with NextBatch consumes a
+// different stream position than with stepwise Next — components that need
+// auxiliary draws during a batched run must carry their own seeded source
+// (as the adversaries in package adversary do) rather than share this one.
+func (s *Random) Intn(n int) int { return s.rng.intn(n) }
 
 // Sweep deterministically enumerates all ordered pairs (i, j), i ≠ j, in
 // round-robin order, forever. Every pair occurs once per round of
@@ -63,9 +291,10 @@ func (s *Random) Intn(n int) int { return s.rng.Intn(n) }
 // smoke tests (it is *not* globally fair in general).
 type Sweep struct {
 	i, j int
+	buf  []pp.Interaction
 }
 
-var _ Scheduler = (*Sweep)(nil)
+var _ Batcher = (*Sweep)(nil)
 
 // NewSweep returns a fresh round-robin pair enumerator.
 func NewSweep() *Sweep { return &Sweep{} }
@@ -93,6 +322,22 @@ func (s *Sweep) Next(n int) (pp.Interaction, bool) {
 		}
 		s.j++
 	}
+}
+
+// NextBatch implements Batcher: k interactions in round-robin order, same
+// stream as Next.
+func (s *Sweep) NextBatch(n, k int) []pp.Interaction {
+	if n < 2 || k <= 0 {
+		return nil
+	}
+	if cap(s.buf) < k {
+		s.buf = make([]pp.Interaction, k)
+	}
+	buf := s.buf[:k]
+	for i := range buf {
+		buf[i], _ = s.Next(n)
+	}
+	return buf
 }
 
 // Script replays a fixed, finite sequence of interactions — including their

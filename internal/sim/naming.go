@@ -59,6 +59,9 @@ type NamingState struct {
 	n     int
 	sim   pp.State  // simulated initial state, authoritative until started
 	inner *SIDState // non-nil once start_sim(my_id) ran
+
+	// key memoizes the canonical Key (cleared on clone).
+	key string
 }
 
 var (
@@ -99,9 +102,25 @@ func (a *NamingState) LastEvent() verify.Event {
 	return verify.Event{}
 }
 
-// Key implements pp.State.
+// Key implements pp.State. Memoized on first call.
+// Memoization is unsynchronized: first calls must not race (executions are
+// single-goroutine; share states across goroutines only after keying them).
 func (a *NamingState) Key() string {
+	if a.key == "" {
+		a.key = a.buildKey()
+	}
+	return a.key
+}
+
+func (a *NamingState) buildKey() string {
 	var b strings.Builder
+	size := 40
+	if a.inner != nil {
+		size += len(a.inner.Key())
+	} else {
+		size += len(a.sim.Key())
+	}
+	b.Grow(size)
 	b.WriteString("nam{")
 	b.WriteString(strconv.Itoa(a.myID))
 	b.WriteByte(';')
@@ -132,6 +151,7 @@ func (a *NamingState) MemoryBytes() int {
 // and shared until replaced).
 func (a *NamingState) clone() *NamingState {
 	cp := *a
+	cp.key = "" // the clone is about to be mutated
 	return &cp
 }
 

@@ -95,6 +95,9 @@ type SIDState struct {
 
 	gen       uint64
 	lastEvent verify.Event
+
+	// key memoizes the canonical Key (cleared on clone).
+	key string
 }
 
 var (
@@ -121,9 +124,23 @@ func (a *SIDState) Mode() SIDMode { return a.mode }
 func (a *SIDState) PartnerID() int { return a.otherID }
 
 // Key implements pp.State (event cache excluded; gen included because it is
-// stamped into lock tags read by partners).
+// stamped into lock tags read by partners). Memoized on first call.
+// Memoization is unsynchronized: first calls must not race (executions are
+// single-goroutine; share states across goroutines only after keying them).
 func (a *SIDState) Key() string {
+	if a.key == "" {
+		a.key = a.buildKey()
+	}
+	return a.key
+}
+
+func (a *SIDState) buildKey() string {
 	var b strings.Builder
+	size := 48 + len(a.sim.Key()) + len(a.lockTag)
+	if a.otherSim != nil {
+		size += len(a.otherSim.Key())
+	}
+	b.Grow(size)
 	b.WriteString("sid{")
 	b.WriteString(strconv.Itoa(a.id))
 	b.WriteByte(';')
@@ -167,6 +184,7 @@ func bitsLen(v int) int {
 // clone returns a copy ready for mutation.
 func (a *SIDState) clone() *SIDState {
 	cp := *a
+	cp.key = "" // the clone is about to be mutated
 	return &cp
 }
 

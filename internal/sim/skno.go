@@ -107,6 +107,11 @@ type SKnOState struct {
 	origin    int
 	gen       uint64
 	lastEvent verify.Event
+
+	// key memoizes the canonical Key: states are immutable once
+	// published, so the encoding is computed at most once per state
+	// instead of once per comparison. clone deliberately drops it.
+	key string
 }
 
 var (
@@ -140,9 +145,26 @@ func (a *SKnOState) DebtSize() int {
 
 // Key implements pp.State. The event cache is excluded (it never influences
 // behaviour); origin and gen are included because they are stamped into
-// transmitted change tokens.
+// transmitted change tokens. The encoding is memoized on first call.
+// Memoization is unsynchronized: first calls must not race (executions are
+// single-goroutine; share states across goroutines only after keying them).
 func (a *SKnOState) Key() string {
+	if a.key == "" {
+		a.key = a.buildKey()
+	}
+	return a.key
+}
+
+func (a *SKnOState) buildKey() string {
 	var b strings.Builder
+	size := 48 + len(a.sim.Key())
+	for _, t := range a.sending {
+		size += len(t.Key()) + 1
+	}
+	for k := range a.debt {
+		size += len(k) + 8
+	}
+	b.Grow(size)
 	b.WriteString("skno{")
 	b.WriteString(a.sim.Key())
 	b.WriteByte(';')
@@ -191,6 +213,7 @@ func (a *SKnOState) MemoryBytes() int {
 
 // clone returns a deep copy ready for mutation.
 func (a *SKnOState) clone() *SKnOState {
+	// key is intentionally not copied: the clone is about to be mutated.
 	cp := &SKnOState{
 		sim:       a.sim,
 		mode:      a.mode,
@@ -212,7 +235,7 @@ func (a *SKnOState) clone() *SKnOState {
 func (s SKnO) announceRun(q pp.State) []Token {
 	run := make([]Token, 0, s.runLen())
 	for i := 1; i <= s.runLen(); i++ {
-		run = append(run, Token{Kind: AnnounceToken, Q: q, Idx: i})
+		run = append(run, Token{Kind: AnnounceToken, Q: q, Idx: i}.Memoized())
 	}
 	return run
 }
@@ -222,7 +245,7 @@ func (s SKnO) announceRun(q pp.State) []Token {
 func (s SKnO) changeRun(q, via pp.State, tag string) []Token {
 	run := make([]Token, 0, s.runLen())
 	for i := 1; i <= s.runLen(); i++ {
-		run = append(run, Token{Kind: ChangeToken, Q: q, Via: via, Idx: i, Tag: tag})
+		run = append(run, Token{Kind: ChangeToken, Q: q, Via: via, Idx: i, Tag: tag}.Memoized())
 	}
 	return run
 }
@@ -231,7 +254,7 @@ func (s SKnO) changeRun(q, via pp.State, tag string) []Token {
 // mirroring Detect: the head of the queue after the (possible) announcement.
 func (s SKnO) transmittedToken(st *SKnOState) (Token, bool) {
 	if st.mode == Available && len(st.sending) == 0 {
-		return Token{Kind: AnnounceToken, Q: st.sim, Idx: 1}, true
+		return Token{Kind: AnnounceToken, Q: st.sim, Idx: 1}.Memoized(), true
 	}
 	if len(st.sending) > 0 {
 		return st.sending[0], true
@@ -285,7 +308,7 @@ func (s SKnO) OnReactorOmission(reactor pp.State) pp.State {
 		return reactor
 	}
 	cp := ra.clone()
-	cp.sending = append(cp.sending, Token{Kind: JokerToken})
+	cp.sending = append(cp.sending, jokerTok)
 	s.settle(cp)
 	return cp
 }
@@ -301,10 +324,13 @@ func (s SKnO) OnStarterOmission(starter pp.State) pp.State {
 		return starter
 	}
 	cp := sa.clone()
-	cp.sending = append(cp.sending, Token{Kind: JokerToken})
+	cp.sending = append(cp.sending, jokerTok)
 	s.settle(cp)
 	return cp
 }
+
+// jokerTok is the (memoized) wildcard token.
+var jokerTok = Token{Kind: JokerToken}.Memoized()
 
 // receive enqueues a received token, applying the Rummy rule: if the token's
 // slot is in the debt multiset, the token is converted back into a joker and
@@ -317,7 +343,7 @@ func (s SKnO) receive(a *SKnOState, tok Token) {
 			if a.debt[slot] == 0 {
 				delete(a.debt, slot)
 			}
-			a.sending = append(a.sending, Token{Kind: JokerToken})
+			a.sending = append(a.sending, jokerTok)
 			return
 		}
 	}

@@ -54,12 +54,34 @@ type Token struct {
 	// that emitted this change run (ChangeToken only). Protocol logic
 	// never branches on it.
 	Tag string
+
+	// key memoizes the canonical encoding (see Memoized). Copies of a
+	// memoized token share the key for free; zero-value tokens fall back
+	// to computing it per call.
+	key string
+}
+
+// Memoized returns a copy of t with its canonical Key precomputed, so Key
+// calls on the copy — and on every further copy of it — are allocation-free.
+// Token constructors on hot paths (announcement and state-change runs)
+// memoize at build time.
+func (t Token) Memoized() Token {
+	t.key = t.buildKey()
+	return t
 }
 
 // Key returns the canonical encoding of the token. The Tag participates in
 // the encoding because it is part of the transmitted content.
 func (t Token) Key() string {
+	if t.key != "" {
+		return t.key
+	}
+	return t.buildKey()
+}
+
+func (t Token) buildKey() string {
 	var b strings.Builder
+	b.Grow(8 + keyLen(t.Q) + keyLen(t.Via) + len(t.Tag))
 	switch t.Kind {
 	case AnnounceToken:
 		b.WriteString("A:")
@@ -79,6 +101,14 @@ func (t Token) Key() string {
 		b.WriteString("J")
 	}
 	return b.String()
+}
+
+// keyLen returns the key length of a possibly-nil state.
+func keyLen(s pp.State) int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Key())
 }
 
 // SlotKey identifies the token's logical slot — the (run-type, index) pair a

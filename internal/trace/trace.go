@@ -25,13 +25,26 @@ type Recorder struct {
 	omissions    int
 }
 
-// Reset clears the recorder and stores the initial configuration.
+// Reset clears the recorder and stores the initial configuration. Buffer
+// capacity is retained across Resets so that recorders reused between runs
+// (benchmark iterations, batched engines) stop re-growing their slices;
+// callers that keep slices returned by Events or Interactions across a Reset
+// must copy them first.
 func (r *Recorder) Reset(initial pp.Configuration) {
-	r.initial = initial.Clone()
-	r.interactions = nil
-	r.events = nil
+	r.initial = append(r.initial[:0], initial...)
+	r.interactions = r.interactions[:0]
+	r.events = r.events[:0]
 	r.steps = 0
 	r.omissions = 0
+}
+
+// AddSteps bulk-records n applied interactions, om of them omissive, without
+// retaining the interactions themselves. The engine's batch loop uses it in
+// place of n OnInteraction calls when KeepInteractions is off; the resulting
+// counters are identical.
+func (r *Recorder) AddSteps(n, om int) {
+	r.steps += n
+	r.omissions += om
 }
 
 // OnInteraction records one applied interaction.

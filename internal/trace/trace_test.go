@@ -47,6 +47,39 @@ func TestRecorderEvents(t *testing.T) {
 	}
 }
 
+func TestRecorderResetKeepsCapacity(t *testing.T) {
+	r := trace.Recorder{KeepInteractions: true}
+	r.Reset(pp.Configuration{pp.Symbol("a"), pp.Symbol("b")})
+	for i := 0; i < 100; i++ {
+		r.OnInteraction(pp.Interaction{Starter: 0, Reactor: 1})
+		r.OnEvent(verify.Event{Index: i})
+	}
+	r.Reset(pp.Configuration{pp.Symbol("a"), pp.Symbol("b")})
+	if r.Steps() != 0 || r.Omissions() != 0 || len(r.Interactions()) != 0 || len(r.Events()) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	// The backing arrays must be reused: appending one element after Reset
+	// must not reallocate.
+	r.OnInteraction(pp.Interaction{Starter: 1, Reactor: 0})
+	if got := cap(r.Interactions()); got < 100 {
+		t.Errorf("interaction capacity dropped to %d after Reset", got)
+	}
+	r.OnEvent(verify.Event{Index: 0})
+	if got := cap(r.Events()); got < 100 {
+		t.Errorf("event capacity dropped to %d after Reset", got)
+	}
+}
+
+func TestRecorderAddSteps(t *testing.T) {
+	var r trace.Recorder
+	r.Reset(pp.Configuration{pp.Symbol("a"), pp.Symbol("b")})
+	r.OnInteraction(pp.Interaction{Starter: 0, Reactor: 1, Omission: pp.OmissionBoth})
+	r.AddSteps(10, 2)
+	if r.Steps() != 11 || r.Omissions() != 3 {
+		t.Errorf("Steps=%d Omissions=%d, want 11, 3", r.Steps(), r.Omissions())
+	}
+}
+
 func TestRecorderInitialIsCopied(t *testing.T) {
 	var r trace.Recorder
 	initial := pp.Configuration{pp.Symbol("a")}

@@ -234,10 +234,29 @@ func (s *System) Step() error { return s.eng.Step() }
 // RunSteps applies k scheduled interactions.
 func (s *System) RunSteps(k int) error { return s.eng.RunSteps(k) }
 
+// StepBatch applies up to k scheduled interactions through the engine's
+// dense-ID batched fast path (seed-identical to k Step calls, much cheaper
+// for finite-state protocols). It returns the number of scheduled
+// interactions consumed.
+func (s *System) StepBatch(k int) (int, error) { return s.eng.StepBatch(k) }
+
+// RunStepsBatch applies k scheduled interactions through the fast path,
+// stopping early without error if the scheduler exhausts.
+func (s *System) RunStepsBatch(k int) error { return s.eng.RunStepsBatch(k) }
+
 // RunUntil steps until pred holds on the *simulated* (projected)
 // configuration or the horizon expires; reports whether pred was met.
 func (s *System) RunUntil(pred func(Configuration) bool, horizon int) (bool, error) {
 	return s.eng.RunUntil(func(c Configuration) bool { return pred(sim.Project(c)) }, horizon)
+}
+
+// RunUntilEvery is RunUntil over the batched fast path, evaluating the
+// (projected) predicate only every `every` scheduled interactions: the
+// natural mode for large populations, where per-step predicate scans
+// dominate the run time. The reported convergence point is `every`-step
+// accurate.
+func (s *System) RunUntilEvery(pred func(Configuration) bool, every, horizon int) (bool, error) {
+	return s.eng.RunUntilEvery(func(c Configuration) bool { return pred(sim.Project(c)) }, every, horizon)
 }
 
 // Config returns the raw (wrapped) configuration.
