@@ -3,13 +3,17 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-quick] [-csv DIR] [IDs...]
+//	experiments [-seed N] [-quick] [-workers K] [-csv DIR] [IDs...]
 //
-// With no IDs, all experiments run in order. Exit status 1 if any claim
-// fails to reproduce.
+// With no IDs, all experiments run in order. The full reproduction runs
+// multi-core: experiments fan out across a bounded worker pool and their
+// internal sweeps fan out again (every cell keeps its own seed, so results
+// are identical at any worker count). Exit status 1 if any claim fails to
+// reproduce.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +21,7 @@ import (
 	"strings"
 
 	"popsim/internal/experiments"
+	"popsim/internal/par"
 )
 
 func main() {
@@ -30,10 +35,14 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "random seed for all runs")
 	quick := fs.Bool("quick", false, "reduced sweeps (smoke mode)")
+	workers := fs.Int("workers", 0, "per-level worker bound (0 = GOMAXPROCS): experiments fan out on one pool of this size, and each experiment's sweep on another, so up to workers² cells run concurrently")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be ≥ 0, got %d", *workers)
 	}
 	if *list {
 		for _, e := range experiments.All() {
@@ -48,23 +57,58 @@ func run(args []string) error {
 			ids = append(ids, e.ID)
 		}
 	}
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
-	failed := 0
-	for _, id := range ids {
-		res, out, err := experiments.Run(strings.ToUpper(id), cfg)
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
+
+	// Fan the experiments themselves across the pool (their sweeps fan out
+	// again internally); outputs are collected per slot and printed in the
+	// requested order, so the report reads identically at any parallelism.
+	// Timing-sensitive experiments (PERF measures wall-clock ns/step) are
+	// held back and run alone afterwards, so their tables are never
+	// contaminated by CPU contention from concurrent experiments.
+	type outcome struct {
+		res *experiments.Result
+		out string
+	}
+	outcomes := make([]outcome, len(ids))
+	var pooled, timed []int
+	for i, id := range ids {
+		if strings.EqualFold(id, "PERF") {
+			timed = append(timed, i)
+		} else {
+			pooled = append(pooled, i)
+		}
+	}
+	runOne := func(i int) error {
+		res, out, err := experiments.Run(strings.ToUpper(ids[i]), cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Print(out)
-		if !res.Pass {
+		outcomes[i] = outcome{res: res, out: out}
+		return nil
+	}
+	err := par.ForEach(context.Background(), len(pooled), *workers, func(i int) error {
+		return runOne(pooled[i])
+	})
+	if err != nil {
+		return err
+	}
+	for _, i := range timed {
+		if err := runOne(i); err != nil {
+			return err
+		}
+	}
+	failed := 0
+	for _, oc := range outcomes {
+		fmt.Print(oc.out)
+		if !oc.res.Pass {
 			failed++
 		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				return err
 			}
-			for i, t := range res.Tables {
-				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(res.ID), i+1)
+			for i, t := range oc.res.Tables {
+				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(oc.res.ID), i+1)
 				if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(t.CSV()), 0o644); err != nil {
 					return err
 				}

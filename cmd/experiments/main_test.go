@@ -38,3 +38,29 @@ func TestRunUnknownID(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 }
+
+func TestRunWorkersFlag(t *testing.T) {
+	// The pooled path must produce the same report at any worker count.
+	if err := run([]string{"-quick", "-seed", "7", "-workers", "3", "THM45", "FIG1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-seed", "7", "-workers", "1", "THM45"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "-2"},         // negative pool bound
+		{"-seed", "notanumber"},    // flag parse error
+		{"-quick", "maybe"},        // flag parse error
+		{"-unknown-flag"},          // unknown flag
+		{"-workers", "x", "FIG1"},  // non-integer pool bound
+		{"-quick", "FIG1", "NOPE"}, // unknown experiment id among valid ones
+	} {
+		args := args
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

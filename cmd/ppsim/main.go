@@ -10,9 +10,12 @@
 //	      -omission-rate 0.05 -omission-budget 2            # Theorem 4.1
 //	ppsim -protocol leader -sim sid -model IO -n 8          # Theorem 4.5
 //	ppsim -protocol majority -sim naming -model IO -n 8     # Theorem 4.6
+//	ppsim -protocol majority -n 100000 -shards 4            # multi-core run
+//	ppsim -protocol majority -n 1000 -runs 50               # seed ensemble
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -95,8 +98,17 @@ func run(args []string) error {
 	horizon := fs.Int("horizon", 2_000_000, "max scheduled interactions")
 	omRate := fs.Float64("omission-rate", 0, "adversary omission rate per scheduled interaction")
 	omBudget := fs.Int("omission-budget", -1, "adversary omission budget (-1 = unbounded)")
+	shards := fs.Int("shards", 0, "run sharded on P worker shards (multi-core; native protocols, no adversary)")
+	runs := fs.Int("runs", 0, "run an ensemble of this many seeds (seed, seed+1, …) and print aggregates")
+	workers := fs.Int("workers", 0, "ensemble worker pool bound (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards < 0 || *runs < 0 || *workers < 0 {
+		return fmt.Errorf("-shards, -runs and -workers must be ≥ 0")
+	}
+	if *shards > 0 && *runs > 0 {
+		return fmt.Errorf("-shards and -runs are mutually exclusive")
 	}
 
 	w, err := workloadByName(*protoName)
@@ -141,12 +153,73 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown simulator %q (skno|sid|naming)", *simName)
 	}
+	// Ensemble mode: fan the spec across -runs seeds on the worker pool.
+	// The seed list is explicit so -seed 0 is honored literally (the
+	// BaseSeed field treats 0 as unset).
+	if *runs > 0 {
+		seeds := make([]int64, *runs)
+		for i := range seeds {
+			seeds[i] = *seed + int64(i)
+		}
+		es := popsim.EnsembleSpec{
+			Spec:    spec,
+			Seeds:   seeds,
+			Workers: *workers,
+			Until:   w.done(*n),
+			Horizon: *horizon,
+		}
+		if *omRate > 0 {
+			rate, budget := *omRate, *omBudget
+			es.AdversaryFor = func(s int64) popsim.Adversary {
+				if budget >= 0 {
+					return popsim.BudgetedAdversary(s+1, rate, budget)
+				}
+				return popsim.UOAdversary(s+1, rate, 1)
+			}
+		}
+		res, err := popsim.RunEnsemble(context.Background(), es)
+		if err != nil {
+			return err
+		}
+		for _, r := range res.Runs {
+			if r.Err != nil {
+				return fmt.Errorf("seed %d: %w", r.Seed, r.Err)
+			}
+		}
+		fmt.Printf("protocol=%s sim=%s model=%v n=%d runs=%d\n", *protoName, orNative(*simName), kind, *n, *runs)
+		fmt.Printf("converged=%d/%d success-rate=%.2f mean-steps=%.0f p50=%.0f p90=%.0f\n",
+			res.Converged, len(res.Runs), res.SuccessRate, res.MeanSteps, res.StepsP50, res.StepsP90)
+		if res.Converged < len(res.Runs) {
+			return fmt.Errorf("%d run(s) did not converge within %d interactions", len(res.Runs)-res.Converged, *horizon)
+		}
+		return nil
+	}
+
 	if *omRate > 0 {
 		if *omBudget >= 0 {
 			spec.Adversary = popsim.BudgetedAdversary(*seed+1, *omRate, *omBudget)
 		} else {
 			spec.Adversary = popsim.UOAdversary(*seed+1, *omRate, 1)
 		}
+	}
+
+	// Sharded mode: one run on P worker shards (count-based observation;
+	// simulators and adversaries stay on the sequential engine).
+	if *shards > 0 {
+		sys, err := popsim.NewSystem(spec)
+		if err != nil {
+			return err
+		}
+		res, err := sys.RunSharded(popsim.ShardedOptions{Shards: *shards}, w.done(*n), 0, *horizon)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("protocol=%s sim=%s model=%v n=%d shards=%d\n", *protoName, orNative(*simName), kind, *n, *shards)
+		fmt.Printf("steps=%d converged=%v\n", res.Steps, res.Converged)
+		if !res.Converged {
+			return fmt.Errorf("did not converge within %d interactions", *horizon)
+		}
+		return nil
 	}
 
 	sys, err := popsim.NewSystem(spec)

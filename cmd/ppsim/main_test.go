@@ -59,3 +59,66 @@ func TestWorkloadByName(t *testing.T) {
 		t.Error("unknown workload accepted")
 	}
 }
+
+func TestRunSharded(t *testing.T) {
+	if err := run([]string{"-protocol", "majority", "-n", "300", "-shards", "2", "-seed", "4",
+		"-horizon", "5000000"}); err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+}
+
+func TestRunEnsembleMode(t *testing.T) {
+	if err := run([]string{"-protocol", "or", "-n", "64", "-runs", "4", "-seed", "9",
+		"-horizon", "1000000"}); err != nil {
+		t.Fatalf("ensemble run: %v", err)
+	}
+	// With a per-run adversary factory.
+	if err := run([]string{"-protocol", "pairing", "-sim", "skno", "-o", "1", "-model", "I3",
+		"-n", "4", "-runs", "3", "-seed", "11", "-omission-rate", "0.05", "-omission-budget", "1",
+		"-horizon", "2000000"}); err != nil {
+		t.Fatalf("ensemble with adversary: %v", err)
+	}
+}
+
+func TestRunRejectsBadParallelFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-shards", "-1"},
+		{"-runs", "-2"},
+		{"-workers", "-1"},
+		{"-shards", "2", "-runs", "2"},       // mutually exclusive
+		{"-seed", "notanumber"},              // flag parse error
+		{"-n", "x"},                          // flag parse error
+		{"-horizon", "true"},                 // flag parse error
+		{"-no-such-flag"},                    // unknown flag
+		{"-protocol", "majority", "-n", "1"}, // population too small
+	} {
+		args := args
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunShardedRejectsAdversary(t *testing.T) {
+	// Sharded mode cannot host an omission adversary; the facade must
+	// refuse rather than silently drop the faults.
+	err := run([]string{"-protocol", "majority", "-n", "100", "-shards", "2", "-omission-rate", "0.1"})
+	if err == nil {
+		t.Fatal("sharded run with adversary accepted")
+	}
+}
+
+func TestRunNonConvergenceIsAnError(t *testing.T) {
+	// A horizon far too small must surface as a non-convergence error, in
+	// all three modes.
+	for _, args := range [][]string{
+		{"-protocol", "leader", "-n", "64", "-horizon", "10"},
+		{"-protocol", "leader", "-n", "64", "-horizon", "10", "-shards", "2"},
+		{"-protocol", "leader", "-n", "64", "-horizon", "10", "-runs", "2"},
+	} {
+		args := args
+		if err := run(args); err == nil {
+			t.Errorf("args %v: non-convergence not reported", args)
+		}
+	}
+}

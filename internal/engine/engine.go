@@ -38,6 +38,10 @@ type Engine struct {
 	steps    int // interactions applied, injected ones included
 	schedIdx int // scheduled interactions consumed
 
+	maxFastStates int  // interned-state bound before the fast path bails
+	maxBatchChunk int  // cap on one NextBatch request
+	fastLimitsSet bool // WithFastLimits was called (widens the dense table)
+
 	fast *fastPath // lazily-built batched execution state (fast.go)
 }
 
@@ -52,6 +56,28 @@ func WithAdversary(a adversary.Adversary) Option {
 // WithRecorder installs a trace recorder (default: a fresh private one).
 func WithRecorder(r *trace.Recorder) Option {
 	return func(e *Engine) { e.rec = r }
+}
+
+// WithFastLimits overrides the batched fast path's tuning limits:
+// maxStates bounds the interned state space before StepBatch abandons the
+// fast path for good (large finite-state protocols need more than the
+// default before they stop being cache-friendly), and maxChunk caps one
+// scheduler NextBatch request (bounding the reusable batch buffer).
+// Non-positive values keep the defaults (DefaultMaxFastStates,
+// DefaultMaxBatchChunk). The transition table's dense region is widened to
+// cover maxStates up to model.DefaultMaxStride (1024) states; beyond that
+// the extra states stay on the fast path but are served from the cache's
+// overflow map at map-lookup speed. Call before the first Step/StepBatch.
+func WithFastLimits(maxStates, maxChunk int) Option {
+	return func(e *Engine) {
+		if maxStates > 0 {
+			e.maxFastStates = maxStates
+			e.fastLimitsSet = true
+		}
+		if maxChunk > 0 {
+			e.maxBatchChunk = maxChunk
+		}
+	}
 }
 
 // New builds an engine for protocol p under interaction model k, starting
@@ -71,11 +97,13 @@ func New(k model.Kind, p any, initial pp.Configuration, s sched.Scheduler, opts 
 		return nil, fmt.Errorf("%w: model %v needs a pp.TwoWay protocol", ErrConfig, k)
 	}
 	e := &Engine{
-		kind:     k,
-		protocol: p,
-		cfg:      initial.Clone(),
-		sch:      s,
-		adv:      adversary.None{},
+		kind:          k,
+		protocol:      p,
+		cfg:           initial.Clone(),
+		sch:           s,
+		adv:           adversary.None{},
+		maxFastStates: DefaultMaxFastStates,
+		maxBatchChunk: DefaultMaxBatchChunk,
 	}
 	for _, o := range opts {
 		o(e)

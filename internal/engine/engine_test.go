@@ -142,3 +142,36 @@ func TestTraceRecorder(t *testing.T) {
 		t.Fatal("Reset did not clear counters")
 	}
 }
+
+// TestWithFastLimits: a tiny MaxFastStates forces the batched path onto the
+// slow fallback without changing the execution (same seed, same final
+// configuration), and a raised bound keeps a wider state space on the fast
+// path. Modulo(17) has 2·17 = 34 reachable interned states.
+func TestWithFastLimits(t *testing.T) {
+	p := protocols.Modulo{M: 17}
+	cfg := protocols.ModuloConfig(24, 13)
+	run := func(opts ...engine.Option) *engine.Engine {
+		eng, err := engine.New(model.TW, p, cfg, sched.NewRandom(9), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.RunStepsBatch(4000); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	plain := run()
+	tiny := run(engine.WithFastLimits(4, 0))
+	big := run(engine.WithFastLimits(4096, 2048))
+	if got, want := tiny.Config().Key(), plain.Config().Key(); got != want {
+		t.Fatalf("tiny-limit run diverged:\n%s\n%s", got, want)
+	}
+	if got, want := big.Config().Key(), plain.Config().Key(); got != want {
+		t.Fatalf("raised-limit run diverged:\n%s\n%s", got, want)
+	}
+	// Non-positive values keep the defaults (and must not zero the limits).
+	def := run(engine.WithFastLimits(0, -1))
+	if got, want := def.Config().Key(), plain.Config().Key(); got != want {
+		t.Fatalf("default-limit run diverged:\n%s\n%s", got, want)
+	}
+}

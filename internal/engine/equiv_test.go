@@ -240,7 +240,7 @@ func TestRunUntilEveryMatchesRunUntil(t *testing.T) {
 			t.Fatalf("seed %d: slow ok=%v err=%v", seed, okSlow, err)
 		}
 		fast := mk(seed)
-		okFast, err := fast.RunUntilEvery(done, 64, 1_000_000)
+		hit, okFast, err := fast.RunUntilEvery(done, 64, 1_000_000)
 		if err != nil || !okFast {
 			t.Fatalf("seed %d: batch ok=%v err=%v", seed, okFast, err)
 		}
@@ -250,6 +250,81 @@ func TestRunUntilEveryMatchesRunUntil(t *testing.T) {
 		if fast.Steps() < slow.Steps() {
 			t.Fatalf("seed %d: batched converged earlier (%d) than stepwise (%d)?", seed, fast.Steps(), slow.Steps())
 		}
+		// Same seed ⇒ same schedule ⇒ the bisected hitting time must equal
+		// the stepwise convergence point exactly.
+		if hit != slow.Steps() {
+			t.Fatalf("seed %d: bisected hitting time %d != stepwise %d", seed, hit, slow.Steps())
+		}
+	}
+}
+
+// TestRunUntilEveryExactHit sweeps `every` and protocols: the bisected
+// hitting time must be invariant in `every` and equal to the stepwise
+// RunUntil convergence point for the same seed.
+func TestRunUntilEveryExactHit(t *testing.T) {
+	cases := []struct {
+		name  string
+		proto pp.TwoWay
+		cfg   pp.Configuration
+		done  func(pp.Configuration) bool
+	}{
+		{"majority", protocols.Majority{}, protocols.MajorityConfig(9, 7),
+			func(c pp.Configuration) bool { return protocols.MajorityConverged(c, "A") }},
+		{"leader", protocols.LeaderElection{}, protocols.LeaderConfig(12), protocols.LeaderElected},
+		{"or", protocols.Or{}, protocols.OrConfig(10, 1),
+			func(c pp.Configuration) bool { return protocols.OrConverged(c, protocols.One) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				slow, err := engine.New(model.TW, c.proto, c.cfg, sched.NewRandom(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ok, err := slow.RunUntil(c.done, 1_000_000)
+				if err != nil || !ok {
+					t.Fatalf("seed %d: stepwise ok=%v err=%v", seed, ok, err)
+				}
+				want := slow.Steps()
+				for _, every := range []int{1, 7, 64, 1000} {
+					fast, err := engine.New(model.TW, c.proto, c.cfg, sched.NewRandom(seed))
+					if err != nil {
+						t.Fatal(err)
+					}
+					hit, ok, err := fast.RunUntilEvery(c.done, every, 1_000_000)
+					if err != nil || !ok {
+						t.Fatalf("seed %d every %d: ok=%v err=%v", seed, every, ok, err)
+					}
+					if hit != want {
+						t.Errorf("seed %d every %d: hit %d, want %d", seed, every, hit, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunUntilEveryGranularWithAdversary: off the lean path (an adversary is
+// installed) the hitting time legitimately stays `every`-step granular — it
+// must still be within `every` of a chunk boundary and the predicate must
+// hold at return.
+func TestRunUntilEveryGranularWithAdversary(t *testing.T) {
+	done := func(c pp.Configuration) bool { return protocols.MajorityConverged(c, "A") }
+	eng, err := engine.New(model.T3, protocols.Majority{}, protocols.MajorityConfig(9, 7),
+		sched.NewRandom(3), engine.WithAdversary(adversary.NewUO(4, 0.01, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, ok, err := eng.RunUntilEvery(done, 64, 1_000_000)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if hit%64 != 0 {
+		t.Fatalf("granular hit %d not a chunk boundary", hit)
+	}
+	if !done(eng.Config()) {
+		t.Fatal("predicate does not hold at return")
 	}
 }
 

@@ -29,15 +29,17 @@ const (
 )
 
 const (
-	// maxFastStates bounds the interned state space before StepBatch
+	// DefaultMaxFastStates bounds the interned state space before StepBatch
 	// abandons the fast path for good: simulator state spaces with
 	// per-agent counters (SKnO generation counters, SID lock tags) grow
 	// without bound and would thrash the transition cache, so beyond this
-	// many distinct states the slow path is the faster path.
-	maxFastStates = 1024
-	// maxBatchChunk caps one NextBatch request, bounding the scheduler's
-	// reusable buffer.
-	maxBatchChunk = 1024
+	// many distinct states the slow path is the faster path. Large
+	// finite-state protocols can raise the bound per engine through
+	// WithFastLimits (per system through popsim.SystemSpec.MaxFastStates).
+	DefaultMaxFastStates = 1024
+	// DefaultMaxBatchChunk caps one NextBatch request, bounding the
+	// scheduler's reusable buffer. Overridable through WithFastLimits.
+	DefaultMaxBatchChunk = 1024
 )
 
 // fastPath is the engine's dense-ID execution state.
@@ -51,6 +53,17 @@ type fastPath struct {
 	idsValid bool // ids mirror the logical configuration
 	cfgStale bool // e.cfg lags behind ids
 	disabled bool // fast path permanently unavailable
+
+	// Chunk instrumentation for RunUntilEvery's exact-hitting-time
+	// bisection: while logChunk is set, the lean batch loop appends every
+	// applied interaction to chunkLog, and snap holds the ID vector as of
+	// the chunk start.
+	logChunk bool
+	chunkLog []pp.Interaction
+	snap     []uint32
+
+	bisectIDs []uint32          // scratch ID vector for bisection replays
+	bisectCfg pp.Configuration // scratch configuration for bisection probes
 }
 
 // eventAux is the cache AuxFunc: it mirrors Engine.emitEvent's detection of
@@ -97,7 +110,15 @@ func (e *Engine) ensureFast() *fastPath {
 	// the maxFastStates bailout, and the 256..1024 band still works through
 	// the cache's overflow map. Without the cap a single chunk of a
 	// SKnO/SID run would grow-and-copy the table to 8 MB before bailing.
-	cache.SetMaxStride(256)
+	// Only an engine explicitly tuned for a wider finite state space
+	// (WithFastLimits) gets a dense table sized to match — up to the
+	// cache's own DefaultMaxStride; beyond that the overflow map serves
+	// the remainder.
+	stride := uint32(256)
+	if e.fastLimitsSet && e.maxFastStates > 256 {
+		stride = uint32(e.maxFastStates)
+	}
+	cache.SetMaxStride(stride)
 	e.fast = &fastPath{
 		in:      in,
 		cache:   cache,
@@ -125,6 +146,8 @@ func (e *Engine) disableFast() {
 	f := e.fast
 	f.disabled = true
 	f.in, f.cache, f.batcher, f.ids = nil, nil, nil, nil
+	f.logChunk, f.chunkLog, f.snap = false, nil, nil
+	f.bisectIDs, f.bisectCfg = nil, nil
 }
 
 // stepSlow applies k scheduled interactions through Step.
@@ -161,7 +184,7 @@ func (e *Engine) StepBatch(k int) (int, error) {
 		f.ids = f.in.InternConfig(e.cfg, f.ids[:0])
 		f.idsValid = true
 	}
-	if f.in.Len() > maxFastStates {
+	if f.in.Len() > e.maxFastStates {
 		e.disableFast()
 		return e.stepSlow(k)
 	}
@@ -170,8 +193,8 @@ func (e *Engine) StepBatch(k int) (int, error) {
 	consumed := 0
 	for consumed < k {
 		chunk := k - consumed
-		if chunk > maxBatchChunk {
-			chunk = maxBatchChunk
+		if chunk > e.maxBatchChunk {
+			chunk = e.maxBatchChunk
 		}
 		batch := f.batcher.NextBatch(n, chunk)
 		if len(batch) == 0 {
@@ -187,7 +210,7 @@ func (e *Engine) StepBatch(k int) (int, error) {
 			return consumed, err
 		}
 		consumed += len(batch)
-		if f.in.Len() > maxFastStates {
+		if f.in.Len() > e.maxFastStates {
 			e.disableFast()
 			rest, err := e.stepSlow(k - consumed)
 			return consumed + rest, err
@@ -202,6 +225,9 @@ func (e *Engine) StepBatch(k int) (int, error) {
 // state in registers; per interaction the steady-state cost is one
 // dense-table load, two ID loads, two ID stores and a counter.
 func (e *Engine) applyBatchLean(f *fastPath, batch []pp.Interaction) error {
+	if f.logChunk {
+		f.chunkLog = append(f.chunkLog, batch...)
+	}
 	ids := f.ids
 	cache := f.cache
 	tab, stride := cache.Dense()
@@ -337,15 +363,26 @@ func (e *Engine) RunStepsBatch(k int) error {
 // consumed, evaluating pred only every `every` scheduled interactions
 // (and once up front). Sparse convergence checks are what make batching pay:
 // predicates scan the whole configuration, so checking per step makes every
-// step Θ(n). Unlike RunUntil, the reported convergence point is therefore
-// only `every`-step accurate. every ≤ 1 checks after every step.
-func (e *Engine) RunUntilEvery(pred func(pp.Configuration) bool, every, maxScheduled int) (bool, error) {
+// step Θ(n). every ≤ 1 checks after every step.
+//
+// The returned step count is the number of scheduled interactions this call
+// consumed up to and including the first one after which pred held (0 when
+// pred held on entry), or the total consumed when ok is false. On the lean
+// fast path (batching scheduler, no adversary, no interaction retention) the
+// hitting time is exact even for every > 1: the chunk in which the predicate
+// flipped is bisected by replaying prefixes of its recorded interactions
+// against a snapshot of the chunk-start ID vector — exact for the absorbing
+// (once true, stays true) convergence predicates this driver is meant for.
+// Off the lean path the count stays `every`-step granular. Either way the
+// engine itself always ends at the last chunk boundary, keeping its
+// scheduler stream position consistent with Steps().
+func (e *Engine) RunUntilEvery(pred func(pp.Configuration) bool, every, maxScheduled int) (int, bool, error) {
 	if every < 1 {
 		every = 1
 	}
 	e.materialize()
 	if pred(e.cfg) {
-		return true, nil
+		return 0, true, nil
 	}
 	consumed := 0
 	for consumed < maxScheduled {
@@ -353,18 +390,95 @@ func (e *Engine) RunUntilEvery(pred func(pp.Configuration) bool, every, maxSched
 		if chunk > every {
 			chunk = every
 		}
+		// Arming costs an O(n) ID snapshot per chunk — worth it only when a
+		// chunk can actually hide more than one candidate hitting step.
+		armed := chunk > 1 && e.armChunkLog()
 		applied, err := e.StepBatch(chunk)
+		exact := e.disarmChunkLog(applied)
 		consumed += applied
 		e.materialize()
-		if err != nil {
-			if errors.Is(err, ErrExhausted) {
-				return pred(e.cfg), nil
-			}
-			return false, err
+		if err != nil && !errors.Is(err, ErrExhausted) {
+			return consumed, false, err
 		}
 		if pred(e.cfg) {
-			return true, nil
+			hit := consumed
+			if armed && exact && applied > 1 {
+				hit = consumed - applied + e.bisectChunk(pred, applied)
+			}
+			return hit, true, nil
+		}
+		if err != nil { // exhausted, predicate still false
+			return consumed, false, nil
 		}
 	}
-	return false, nil
+	return consumed, false, nil
+}
+
+// armChunkLog prepares the lean fast path to record the next StepBatch
+// chunk for exact-hitting-time bisection: it snapshots the ID vector and
+// turns on interaction logging. It reports false when the engine cannot
+// bisect — no batching fast path, an adversary installed, or interaction
+// retention on — in which case nothing is recorded.
+func (e *Engine) armChunkLog() bool {
+	f := e.ensureFast()
+	if f.disabled || !f.noAdv || e.rec.KeepInteractions {
+		return false
+	}
+	if !f.idsValid {
+		e.materialize()
+		f.ids = f.in.InternConfig(e.cfg, f.ids[:0])
+		f.idsValid = true
+	}
+	if f.in.Len() > e.maxFastStates {
+		return false // StepBatch is about to disable the fast path
+	}
+	f.snap = append(f.snap[:0], f.ids...)
+	f.chunkLog = f.chunkLog[:0]
+	f.logChunk = true
+	return true
+}
+
+// disarmChunkLog stops chunk recording and reports whether the log
+// faithfully covers all `applied` interactions (the fast path stayed
+// enabled for the whole chunk, so the snapshot + log can replay it).
+func (e *Engine) disarmChunkLog(applied int) bool {
+	f := e.fast
+	if f == nil || f.disabled {
+		return false
+	}
+	ok := f.logChunk && len(f.chunkLog) == applied
+	f.logChunk = false
+	return ok
+}
+
+// bisectChunk finds the exact hitting step within the just-applied chunk:
+// pred was false on the chunk-start snapshot and true after all `applied`
+// interactions, so a binary search over prefix lengths returns the smallest
+// m with pred true — exact for absorbing predicates. Replays run on scratch
+// buffers through the already-warm transition cache (every pair in the log
+// was just applied, so lookups cannot miss or grow anything); the engine's
+// own state, counters and recorder stay untouched.
+func (e *Engine) bisectChunk(pred func(pp.Configuration) bool, applied int) int {
+	f := e.fast
+	lo, hi := 1, applied
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		ids := append(f.bisectIDs[:0], f.snap...)
+		for _, it := range f.chunkLog[:mid] {
+			ent, err := f.cache.Apply(ids[it.Starter], ids[it.Reactor], it.Omission)
+			if err != nil {
+				return applied // cannot replay; keep chunk-end granularity
+			}
+			ids[it.Starter] = model.EntryStarter(ent)
+			ids[it.Reactor] = model.EntryReactor(ent)
+		}
+		f.bisectIDs = ids
+		f.bisectCfg = f.in.Materialize(ids, f.bisectCfg)
+		if pred(f.bisectCfg) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }

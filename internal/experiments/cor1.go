@@ -24,25 +24,43 @@ func Cor1(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		ns, loads = []int{4, 8}, loads[:2]
 	}
-	memByN := make(map[int]float64)
+	type job struct {
+		w workload
+		n int
+		m *simMetrics
+	}
+	var jobs []*job
 	for _, w := range loads {
 		for _, n := range ns {
 			if n == 64 && (w.name == "leader" || w.name == "parity") {
 				continue // slow mixers; the n-scaling is carried by the others
 			}
-			s := sim.SKnO{P: w.proto, O: 0}
-			simCfg := w.cfg(n)
-			m, err := runVerified(model.IT, s, s.WrapConfig(simCfg), simCfg,
-				w.proto.Delta, nil, cfg.Seed+int64(n), 200_000*n, w.done(n))
-			if err != nil {
-				return nil, fmt.Errorf("%s n=%d: %w", w.name, n, err)
-			}
-			tbl.AddRow(w.name, n, m.Steps, m.Pairs, m.PhysPerSim, m.MaxMem, m.MeanMem, m.Verified, m.Converged)
-			check(res, m.Verified, "%s n=%d verified (%s)", w.name, n, m.VerifyErr)
-			check(res, m.Converged, "%s n=%d converged", w.name, n)
-			if m.MeanMem > memByN[n] {
-				memByN[n] = m.MeanMem
-			}
+			jobs = append(jobs, &job{w: w, n: n})
+		}
+	}
+	err := sweep(cfg, len(jobs), func(i int) error {
+		j := jobs[i]
+		s := sim.SKnO{P: j.w.proto, O: 0}
+		simCfg := j.w.cfg(j.n)
+		m, err := runVerified(model.IT, s, s.WrapConfig(simCfg), simCfg,
+			j.w.proto.Delta, nil, cfg.Seed+int64(j.n), 200_000*j.n, j.w.done(j.n))
+		if err != nil {
+			return fmt.Errorf("%s n=%d: %w", j.w.name, j.n, err)
+		}
+		j.m = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	memByN := make(map[int]float64)
+	for _, j := range jobs {
+		m := j.m
+		tbl.AddRow(j.w.name, j.n, m.Steps, m.Pairs, m.PhysPerSim, m.MaxMem, m.MeanMem, m.Verified, m.Converged)
+		check(res, m.Verified, "%s n=%d verified (%s)", j.w.name, j.n, m.VerifyErr)
+		check(res, m.Converged, "%s n=%d converged", j.w.name, j.n)
+		if m.MeanMem > memByN[j.n] {
+			memByN[j.n] = m.MeanMem
 		}
 	}
 	res.Tables = append(res.Tables, tbl)

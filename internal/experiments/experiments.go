@@ -17,12 +17,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"popsim/internal/adversary"
 	"popsim/internal/engine"
 	"popsim/internal/model"
+	"popsim/internal/par"
 	"popsim/internal/pp"
 	"popsim/internal/report"
 	"popsim/internal/sched"
@@ -37,6 +39,19 @@ type Config struct {
 	Seed int64
 	// Quick reduces sweep sizes (used by tests and smoke runs).
 	Quick bool
+	// Workers bounds the worker pool the sweeps fan out on (0 =
+	// GOMAXPROCS). Every cell keeps its own seed, so results are identical
+	// at any worker count.
+	Workers int
+}
+
+// sweep runs fn(i) for every cell index [0, n) on a bounded worker pool
+// (par.ForEach): the experiment sweeps are embarrassingly parallel — each
+// cell builds its own engine from its own seed — so they fan out across
+// cores and report into per-cell slots, with rows emitted in order
+// afterwards.
+func sweep(cfg Config, n int, fn func(i int) error) error {
+	return par.ForEach(context.Background(), n, cfg.Workers, fn)
 }
 
 // Result is the outcome of one experiment.

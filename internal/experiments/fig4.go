@@ -90,95 +90,124 @@ func Fig4(cfg Config) (*Result, error) {
 		check(res, ok, "%v under %q: %s → %s", k, assumption, what, outcome)
 	}
 
-	// --- Possibility backing: SKnO under known omission bound. ---
+	// --- Possibility backing, fanned out on the worker pool: every cell is
+	// an independent verified run with its own fixed seed, so the table is
+	// identical at any worker count. ---
 	w := workloads()[0] // pairing
 	n, o := 4, 1
+	type backJob struct {
+		kind       model.Kind
+		assumption string
+		what       string
+		run        func() (*simMetrics, error)
+		m          *simMetrics
+	}
+	var jobs []*backJob
+	// SKnO under known omission bound.
 	for _, kind := range []model.Kind{model.I3, model.I4} {
-		s := sim.SKnO{P: w.proto, O: o}
-		simCfg := w.cfg(n)
-		met, err := runVerified(kind, s, s.WrapConfig(simCfg), simCfg, w.proto.Delta,
-			adversary.NewBudgeted(cfg.Seed+1, 0.05, o), cfg.Seed+2, 300000, w.done(n))
-		if err != nil {
-			return nil, err
-		}
-		addRun(kind, "known omission bound", fmt.Sprintf("SKnO(o=%d), ≤%d omissions", o, o),
-			verdict(met), met.Verified && met.Converged)
+		kind := kind
+		jobs = append(jobs, &backJob{
+			kind: kind, assumption: "known omission bound",
+			what: fmt.Sprintf("SKnO(o=%d), ≤%d omissions", o, o),
+			run: func() (*simMetrics, error) {
+				s := sim.SKnO{P: w.proto, O: o}
+				simCfg := w.cfg(n)
+				return runVerified(kind, s, s.WrapConfig(simCfg), simCfg, w.proto.Delta,
+					adversary.NewBudgeted(cfg.Seed+1, 0.05, o), cfg.Seed+2, 300000, w.done(n))
+			},
+		})
 	}
 	// T3 via the one-way → two-way embedding.
-	{
-		s := sim.SKnO{P: w.proto, O: o}
-		simCfg := w.cfg(n)
-		embed := pp.TwoWayEmbed{OW: s}
-		met, err := runVerified(model.T3, embed, s.WrapConfig(simCfg), simCfg, w.proto.Delta,
-			adversary.NewBudgeted(cfg.Seed+3, 0.05, o,
-				pp.OmissionStarter, pp.OmissionReactor, pp.OmissionBoth),
-			cfg.Seed+4, 300000, w.done(n))
-		if err != nil {
-			return nil, err
-		}
-		addRun(model.T3, "known omission bound", "SKnO(o=1) embedded two-way, all omission sides",
-			verdict(met), met.Verified && met.Converged)
-	}
+	jobs = append(jobs, &backJob{
+		kind: model.T3, assumption: "known omission bound",
+		what: "SKnO(o=1) embedded two-way, all omission sides",
+		run: func() (*simMetrics, error) {
+			s := sim.SKnO{P: w.proto, O: o}
+			simCfg := w.cfg(n)
+			embed := pp.TwoWayEmbed{OW: s}
+			return runVerified(model.T3, embed, s.WrapConfig(simCfg), simCfg, w.proto.Delta,
+				adversary.NewBudgeted(cfg.Seed+3, 0.05, o,
+					pp.OmissionStarter, pp.OmissionReactor, pp.OmissionBoth),
+				cfg.Seed+4, 300000, w.done(n))
+		},
+	})
 	// IT via Corollary 1 (o = 0).
-	{
-		s := sim.SKnO{P: w.proto, O: 0}
-		simCfg := w.cfg(n)
-		met, err := runVerified(model.IT, s, s.WrapConfig(simCfg), simCfg, w.proto.Delta,
-			nil, cfg.Seed+5, 300000, w.done(n))
-		if err != nil {
-			return nil, err
-		}
-		addRun(model.IT, "infinite memory", "SKnO(o=0) / Cor. 1", verdict(met), met.Verified && met.Converged)
-	}
-
-	// --- Possibility backing: SID is omission-oblivious — unique IDs make
-	// every model simulable, even under an unbounded UO adversary. ---
+	jobs = append(jobs, &backJob{
+		kind: model.IT, assumption: "infinite memory", what: "SKnO(o=0) / Cor. 1",
+		run: func() (*simMetrics, error) {
+			s := sim.SKnO{P: w.proto, O: 0}
+			simCfg := w.cfg(n)
+			return runVerified(model.IT, s, s.WrapConfig(simCfg), simCfg, w.proto.Delta,
+				nil, cfg.Seed+5, 300000, w.done(n))
+		},
+	})
+	// SID is omission-oblivious — unique IDs make every model simulable,
+	// even under an unbounded UO adversary.
 	for _, kind := range []model.Kind{model.IO, model.I1, model.I2, model.I3, model.I4} {
-		s := sim.SID{P: w.proto}
-		simCfg := w.cfg(n)
-		var adv adversary.Adversary
-		if kind.Omissive() {
-			adv = adversary.NewUO(cfg.Seed+6, 0.10, 2)
-		}
-		met, err := runVerified(kind, s, s.WrapConfig(simCfg), simCfg, w.proto.Delta,
-			adv, cfg.Seed+7, 300000, w.done(n))
-		if err != nil {
-			return nil, err
-		}
+		kind := kind
 		what := "SID"
-		if adv != nil {
+		if kind.Omissive() {
 			what = "SID / unbounded UO"
 		}
-		addRun(kind, "unique IDs", what, verdict(met), met.Verified && met.Converged)
+		jobs = append(jobs, &backJob{
+			kind: kind, assumption: "unique IDs", what: what,
+			run: func() (*simMetrics, error) {
+				s := sim.SID{P: w.proto}
+				simCfg := w.cfg(n)
+				var adv adversary.Adversary
+				if kind.Omissive() {
+					adv = adversary.NewUO(cfg.Seed+6, 0.10, 2)
+				}
+				return runVerified(kind, s, s.WrapConfig(simCfg), simCfg, w.proto.Delta,
+					adv, cfg.Seed+7, 300000, w.done(n))
+			},
+		})
 	}
 	for _, kind := range []model.Kind{model.T1, model.T2, model.T3} {
-		s := sim.SID{P: w.proto}
-		simCfg := w.cfg(n)
-		embed := pp.TwoWayEmbed{OW: s}
-		met, err := runVerified(kind, embed, s.WrapConfig(simCfg), simCfg, w.proto.Delta,
-			adversary.NewUO(cfg.Seed+8, 0.10, 2,
-				pp.OmissionStarter, pp.OmissionReactor, pp.OmissionBoth),
-			cfg.Seed+9, 300000, w.done(n))
-		if err != nil {
-			return nil, err
-		}
-		addRun(kind, "unique IDs", "SID embedded two-way / unbounded UO",
-			verdict(met), met.Verified && met.Converged)
+		kind := kind
+		jobs = append(jobs, &backJob{
+			kind: kind, assumption: "unique IDs", what: "SID embedded two-way / unbounded UO",
+			run: func() (*simMetrics, error) {
+				s := sim.SID{P: w.proto}
+				simCfg := w.cfg(n)
+				embed := pp.TwoWayEmbed{OW: s}
+				return runVerified(kind, embed, s.WrapConfig(simCfg), simCfg, w.proto.Delta,
+					adversary.NewUO(cfg.Seed+8, 0.10, 2,
+						pp.OmissionStarter, pp.OmissionReactor, pp.OmissionBoth),
+					cfg.Seed+9, 300000, w.done(n))
+			},
+		})
 	}
 	// Knowledge of n: Nn + SID in IO (and one omissive model).
 	for _, kind := range []model.Kind{model.IO, model.I1} {
-		s := sim.Naming{P: w.proto, N: n}
-		simCfg := w.cfg(n)
-		var adv adversary.Adversary
-		if kind.Omissive() {
-			adv = adversary.NewUO(cfg.Seed+10, 0.10, 2)
-		}
-		met, err := runVerified(kind, s, s.WrapConfig(simCfg), simCfg, w.proto.Delta,
-			adv, cfg.Seed+11, 600000, w.done(n))
+		kind := kind
+		jobs = append(jobs, &backJob{
+			kind: kind, assumption: "knowledge of n", what: "Nn + SID",
+			run: func() (*simMetrics, error) {
+				s := sim.Naming{P: w.proto, N: n}
+				simCfg := w.cfg(n)
+				var adv adversary.Adversary
+				if kind.Omissive() {
+					adv = adversary.NewUO(cfg.Seed+10, 0.10, 2)
+				}
+				return runVerified(kind, s, s.WrapConfig(simCfg), simCfg, w.proto.Delta,
+					adv, cfg.Seed+11, 600000, w.done(n))
+			},
+		})
+	}
+	err := sweep(cfg, len(jobs), func(i int) error {
+		m, err := jobs[i].run()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		addRun(kind, "knowledge of n", "Nn + SID", verdict(met), met.Verified && met.Converged)
+		jobs[i].m = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range jobs {
+		addRun(j.kind, j.assumption, j.what, verdict(j.m), j.m.Verified && j.m.Converged)
 	}
 
 	// --- Impossibility backing. ---

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"popsim/internal/adversary"
 	"popsim/internal/engine"
 	"popsim/internal/model"
+	"popsim/internal/par"
 	"popsim/internal/pp"
 	"popsim/internal/report"
 	"popsim/internal/sched"
@@ -66,7 +68,7 @@ func Perf(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			ok, err := eng.RunUntilEvery(w.done(n), 64, 10_000_000)
+			_, ok, err := eng.RunUntilEvery(w.done(n), 64, 10_000_000)
 			if err != nil {
 				return nil, err
 			}
@@ -105,6 +107,85 @@ func Perf(cfg Config) (*Result, error) {
 		}
 	}
 	res.Tables = append(res.Tables, tbl)
+
+	// Multi-core scaling: the sharded execution mode (package par) against
+	// the sequential batched fast path on one large majority run, and the
+	// ensemble layer fanning seeds across the pool. On a single-core host
+	// the sharded rows cost barrier overhead and win nothing — the paired
+	// throughput benchmarks (BenchmarkEngineThroughputSharded) track the
+	// scaling curve per P.
+	nBig, steps := 100_000, 2_000_000
+	runs := 8
+	if cfg.Quick {
+		nBig, steps, runs = 2_000, 100_000, 3
+	}
+	w = workloads()[1] // majority
+	shard := report.NewTable("Sharded execution vs sequential batch (majority)",
+		"engine", "n", "steps", "wall time", "ns/step")
+	shard.Caption = "Sharded rows run the par.ShardedRunner mode: per-(seed,P) deterministic, statistically equivalent scheduling."
+	{
+		start := time.Now()
+		eng, err := engine.New(model.TW, w.proto, w.cfg(nBig), sched.NewRandom(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.RunStepsBatch(steps); err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		shard.AddRow("sequential batch", nBig, steps, el.Round(time.Microsecond),
+			float64(el.Nanoseconds())/float64(steps))
+	}
+	for _, p := range []int{1, 2, 4} {
+		sr, err := par.NewSharded(model.TW, w.proto, w.cfg(nBig), cfg.Seed, par.ShardedOptions{Shards: p})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := sr.RunSteps(steps); err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		shard.AddRow(fmt.Sprintf("sharded P=%d", sr.Shards()), nBig, steps, el.Round(time.Microsecond),
+			float64(el.Nanoseconds())/float64(steps))
+		check(res, sr.Steps() == steps, "sharded P=%d applied %d steps", p, sr.Steps())
+	}
+	res.Tables = append(res.Tables, shard)
+
+	// Ensemble orchestration: K seeded convergence runs on the pool.
+	ens := report.NewTable("Ensemble sweep (majority, convergence to A)",
+		"runs", "workers", "converged", "mean steps", "p50", "p90", "wall time")
+	ens.Caption = "par.Ensemble fans seeds across a bounded worker pool; hitting times are the exact bisected values."
+	nEns := 512
+	done := w.done(nEns)
+	start := time.Now()
+	results := par.Ensemble(context.Background(), par.Seeds(cfg.Seed, runs), cfg.Workers,
+		func(_ context.Context, seed int64) (float64, error) {
+			eng, err := engine.New(model.TW, w.proto, w.cfg(nEns), sched.NewRandom(seed))
+			if err != nil {
+				return 0, err
+			}
+			hit, ok, err := eng.RunUntilEvery(done, 64, 50_000_000)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				return 0, fmt.Errorf("seed %d did not converge", seed)
+			}
+			return float64(hit), nil
+		})
+	el := time.Since(start)
+	var hits []float64
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		hits = append(hits, r.Value)
+	}
+	ens.AddRow(runs, cfg.Workers, len(hits), par.Mean(hits), par.Percentile(hits, 50),
+		par.Percentile(hits, 90), el.Round(time.Microsecond))
+	check(res, len(hits) == runs, "ensemble: %d/%d runs converged", len(hits), runs)
+	res.Tables = append(res.Tables, ens)
 	return res, nil
 }
 

@@ -38,34 +38,56 @@ func Thm41(cfg Config) (*Result, error) {
 		cells, kinds, loads = []cell{{4, 1, 400_000}}, []model.Kind{model.I3}, loads[:2]
 	}
 
-	memByO := make(map[int]int) // o -> max memory seen (for the scaling check)
+	// Flatten the sweep into independent cells and fan them out on the
+	// worker pool; each cell keeps the seed it had under sequential
+	// iteration, so the table is identical at any worker count.
+	type job struct {
+		w       workload
+		kind    model.Kind
+		n, o    int
+		horizon int
+		m       *simMetrics
+	}
+	var jobs []*job
 	for _, w := range loads {
 		for _, kind := range kinds {
 			for _, c := range cells {
-				n, o := c.n, c.o
-				if n == 16 && (kind == model.I4 || w.name == "leader" || w.name == "parity") {
+				if c.n == 16 && (kind == model.I4 || w.name == "leader" || w.name == "parity") {
 					continue // keep the large-n rows to the representative pair
 				}
-				s := sim.SKnO{P: w.proto, O: o}
-				simCfg := w.cfg(n)
-				var adv adversary.Adversary
-				if o > 0 {
-					adv = adversary.NewBudgeted(cfg.Seed+int64(n*o), 0.02, o)
-				}
-				m, err := runVerified(kind, s, s.WrapConfig(simCfg), simCfg,
-					w.proto.Delta, adv, cfg.Seed+int64(n+o), c.horizon, w.done(n))
-				if err != nil {
-					return nil, fmt.Errorf("%s/%v n=%d o=%d: %w", w.name, kind, n, o, err)
-				}
-				tbl.AddRow(w.name, kind, n, o, m.Omissions, m.Steps, m.Pairs,
-					m.PhysPerSim, m.MaxMem, m.Verified, m.Converged)
-				check(res, m.Verified, "%s/%v n=%d o=%d verified (%s)", w.name, kind, n, o, m.VerifyErr)
-				check(res, m.Converged, "%s/%v n=%d o=%d converged", w.name, kind, n, o)
-				check(res, m.Unmatched <= n, "%s/%v n=%d o=%d in-flight %d ≤ n", w.name, kind, n, o, m.Unmatched)
-				if m.MaxMem > memByO[o] {
-					memByO[o] = m.MaxMem
-				}
+				jobs = append(jobs, &job{w: w, kind: kind, n: c.n, o: c.o, horizon: c.horizon})
 			}
+		}
+	}
+	err := sweep(cfg, len(jobs), func(i int) error {
+		j := jobs[i]
+		s := sim.SKnO{P: j.w.proto, O: j.o}
+		simCfg := j.w.cfg(j.n)
+		var adv adversary.Adversary
+		if j.o > 0 {
+			adv = adversary.NewBudgeted(cfg.Seed+int64(j.n*j.o), 0.02, j.o)
+		}
+		m, err := runVerified(j.kind, s, s.WrapConfig(simCfg), simCfg,
+			j.w.proto.Delta, adv, cfg.Seed+int64(j.n+j.o), j.horizon, j.w.done(j.n))
+		if err != nil {
+			return fmt.Errorf("%s/%v n=%d o=%d: %w", j.w.name, j.kind, j.n, j.o, err)
+		}
+		j.m = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	memByO := make(map[int]int) // o -> max memory seen (for the scaling check)
+	for _, j := range jobs {
+		m := j.m
+		tbl.AddRow(j.w.name, j.kind, j.n, j.o, m.Omissions, m.Steps, m.Pairs,
+			m.PhysPerSim, m.MaxMem, m.Verified, m.Converged)
+		check(res, m.Verified, "%s/%v n=%d o=%d verified (%s)", j.w.name, j.kind, j.n, j.o, m.VerifyErr)
+		check(res, m.Converged, "%s/%v n=%d o=%d converged", j.w.name, j.kind, j.n, j.o)
+		check(res, m.Unmatched <= j.n, "%s/%v n=%d o=%d in-flight %d ≤ n", j.w.name, j.kind, j.n, j.o, m.Unmatched)
+		if m.MaxMem > memByO[j.o] {
+			memByO[j.o] = m.MaxMem
 		}
 	}
 	res.Tables = append(res.Tables, tbl)

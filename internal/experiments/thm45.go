@@ -24,20 +24,38 @@ func Thm45(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		ns, loads = []int{4}, loads[:2]
 	}
+	type job struct {
+		w workload
+		n int
+		m *simMetrics
+	}
+	var jobs []*job
 	for _, w := range loads {
 		for _, n := range ns {
-			s := sim.SID{P: w.proto}
-			simCfg := w.cfg(n)
-			m, err := runVerified(model.IO, s, s.WrapConfig(simCfg), simCfg,
-				w.proto.Delta, nil, cfg.Seed+int64(n), 900000, w.done(n))
-			if err != nil {
-				return nil, fmt.Errorf("%s n=%d: %w", w.name, n, err)
-			}
-			tbl.AddRow(w.name, n, m.Steps, m.Pairs, m.PhysPerSim, m.MaxMem, m.Verified, m.Converged)
-			check(res, m.Verified, "%s n=%d verified (%s)", w.name, n, m.VerifyErr)
-			check(res, m.Converged, "%s n=%d converged", w.name, n)
-			check(res, m.Unmatched <= n, "%s n=%d in-flight %d ≤ n", w.name, n, m.Unmatched)
+			jobs = append(jobs, &job{w: w, n: n})
 		}
+	}
+	err := sweep(cfg, len(jobs), func(i int) error {
+		j := jobs[i]
+		s := sim.SID{P: j.w.proto}
+		simCfg := j.w.cfg(j.n)
+		m, err := runVerified(model.IO, s, s.WrapConfig(simCfg), simCfg,
+			j.w.proto.Delta, nil, cfg.Seed+int64(j.n), 900000, j.w.done(j.n))
+		if err != nil {
+			return fmt.Errorf("%s n=%d: %w", j.w.name, j.n, err)
+		}
+		j.m = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range jobs {
+		m := j.m
+		tbl.AddRow(j.w.name, j.n, m.Steps, m.Pairs, m.PhysPerSim, m.MaxMem, m.Verified, m.Converged)
+		check(res, m.Verified, "%s n=%d verified (%s)", j.w.name, j.n, m.VerifyErr)
+		check(res, m.Converged, "%s n=%d converged", j.w.name, j.n)
+		check(res, m.Unmatched <= j.n, "%s n=%d in-flight %d ≤ n", j.w.name, j.n, m.Unmatched)
 	}
 	res.Tables = append(res.Tables, tbl)
 	return res, nil

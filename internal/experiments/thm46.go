@@ -26,12 +26,22 @@ func Thm46(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		ns = []int{3, 5}
 	}
-	for _, n := range ns {
+	type nameJob struct {
+		n, steps int
+		unique   bool
+	}
+	nameJobs := make([]*nameJob, len(ns))
+	for i, n := range ns {
+		nameJobs[i] = &nameJob{n: n}
+	}
+	err := sweep(cfg, len(nameJobs), func(i int) error {
+		j := nameJobs[i]
+		n := j.n
 		s := sim.Naming{P: workloads()[0].proto, N: n}
 		simCfg := workloads()[0].cfg(n)
 		eng, err := engine.New(model.IO, s, s.WrapConfig(simCfg), sched.NewRandom(cfg.Seed+int64(n)))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		allStarted := func(c pp.Configuration) bool {
 			for _, st := range c {
@@ -44,22 +54,29 @@ func Thm46(cfg Config) (*Result, error) {
 		}
 		ok, err := eng.RunUntil(allStarted, 2000*n*n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !ok {
-			return nil, fmt.Errorf("naming n=%d did not converge", n)
+			return fmt.Errorf("naming n=%d did not converge", n)
 		}
-		unique := true
+		j.unique = true
 		seen := make(map[int]bool, n)
 		for _, st := range eng.Config() {
 			id := st.(*sim.NamingState).MyID()
 			if id < 1 || id > n || seen[id] {
-				unique = false
+				j.unique = false
 			}
 			seen[id] = true
 		}
-		naming.AddRow(n, eng.Steps(), unique)
-		check(res, unique, "n=%d: ids are a permutation of 1..n after %d interactions", n, eng.Steps())
+		j.steps = eng.Steps()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range nameJobs {
+		naming.AddRow(j.n, j.steps, j.unique)
+		check(res, j.unique, "n=%d: ids are a permutation of 1..n after %d interactions", j.n, j.steps)
 	}
 	res.Tables = append(res.Tables, naming)
 
@@ -71,19 +88,37 @@ func Thm46(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		loads, ns2 = loads[:2], []int{4}
 	}
+	type e2eJob struct {
+		w workload
+		n int
+		m *simMetrics
+	}
+	var jobs []*e2eJob
 	for _, w := range loads {
 		for _, n := range ns2 {
-			s := sim.Naming{P: w.proto, N: n}
-			simCfg := w.cfg(n)
-			m, err := runVerified(model.IO, s, s.WrapConfig(simCfg), simCfg,
-				w.proto.Delta, nil, cfg.Seed+int64(n)+7, 900000, w.done(n))
-			if err != nil {
-				return nil, fmt.Errorf("%s n=%d: %w", w.name, n, err)
-			}
-			tbl.AddRow(w.name, n, m.Steps, m.Pairs, m.Verified, m.Converged)
-			check(res, m.Verified, "%s n=%d verified (%s)", w.name, n, m.VerifyErr)
-			check(res, m.Converged, "%s n=%d converged", w.name, n)
+			jobs = append(jobs, &e2eJob{w: w, n: n})
 		}
+	}
+	err = sweep(cfg, len(jobs), func(i int) error {
+		j := jobs[i]
+		s := sim.Naming{P: j.w.proto, N: j.n}
+		simCfg := j.w.cfg(j.n)
+		m, err := runVerified(model.IO, s, s.WrapConfig(simCfg), simCfg,
+			j.w.proto.Delta, nil, cfg.Seed+int64(j.n)+7, 900000, j.w.done(j.n))
+		if err != nil {
+			return fmt.Errorf("%s n=%d: %w", j.w.name, j.n, err)
+		}
+		j.m = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range jobs {
+		m := j.m
+		tbl.AddRow(j.w.name, j.n, m.Steps, m.Pairs, m.Verified, m.Converged)
+		check(res, m.Verified, "%s n=%d verified (%s)", j.w.name, j.n, m.VerifyErr)
+		check(res, m.Converged, "%s n=%d converged", j.w.name, j.n)
 	}
 	res.Tables = append(res.Tables, tbl)
 	return res, nil

@@ -1,0 +1,55 @@
+package par
+
+import (
+	"context"
+	"time"
+)
+
+// RunResult is one completed ensemble task.
+type RunResult[R any] struct {
+	// Index is the task's position in the seed list.
+	Index int
+	// Seed is the seed the task ran with.
+	Seed int64
+	// Value is the task's result (zero when Err is set).
+	Value R
+	// Err is the task's failure, if any (per-task; other tasks still run).
+	Err error
+	// Elapsed is the task's wall-clock time.
+	Elapsed time.Duration
+}
+
+// Ensemble fans task over every seed on a pool of at most `workers`
+// goroutines (≤ 0 means GOMAXPROCS) and returns one RunResult per seed, in
+// seed-list order. Task failures are recorded per result, never aborting
+// the other runs; cancelling ctx stops launching new runs (already-running
+// tasks see the same ctx and should honor it) and marks the skipped seeds
+// with ctx's error. Tasks must be independent: anything they share must be
+// immutable or internally synchronized.
+func Ensemble[R any](ctx context.Context, seeds []int64, workers int, task func(ctx context.Context, seed int64) (R, error)) []RunResult[R] {
+	results := make([]RunResult[R], len(seeds))
+	ran := make([]bool, len(seeds))
+	_ = ForEach(ctx, len(seeds), workers, func(i int) error {
+		start := time.Now()
+		v, err := task(ctx, seeds[i])
+		results[i] = RunResult[R]{Index: i, Seed: seeds[i], Value: v, Err: err, Elapsed: time.Since(start)}
+		ran[i] = true
+		return nil
+	})
+	for i := range results {
+		if !ran[i] {
+			results[i] = RunResult[R]{Index: i, Seed: seeds[i], Err: ctx.Err()}
+		}
+	}
+	return results
+}
+
+// Seeds returns the k consecutive seeds base, base+1, …, base+k−1 — the
+// standard ensemble seed layout.
+func Seeds(base int64, k int) []int64 {
+	out := make([]int64, k)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}

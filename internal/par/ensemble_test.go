@@ -1,0 +1,132 @@
+package par_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"popsim/internal/par"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	const n = 100
+	var counts [n]atomic.Int32
+	err := par.ForEach(context.Background(), n, 8, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	err := par.ForEach(context.Background(), 10, 4, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 7:
+			return errA
+		}
+		return nil
+	})
+	if err != errB {
+		t.Fatalf("err = %v, want the lowest-index error %v", err, errB)
+	}
+}
+
+func TestForEachHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := par.ForEach(ctx, 1000, 2, func(i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r := ran.Load(); r >= 1000 {
+		t.Fatalf("cancellation did not stop the pool (ran %d)", r)
+	}
+}
+
+func TestEnsembleResultsInSeedOrder(t *testing.T) {
+	seeds := par.Seeds(100, 20)
+	results := par.Ensemble(context.Background(), seeds, 4, func(_ context.Context, seed int64) (int64, error) {
+		if seed%5 == 0 {
+			return 0, errors.New("boom")
+		}
+		return seed * 2, nil
+	})
+	if len(results) != len(seeds) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Index != i || r.Seed != seeds[i] {
+			t.Fatalf("result %d out of order: %+v", i, r)
+		}
+		if seeds[i]%5 == 0 {
+			if r.Err == nil {
+				t.Fatalf("seed %d: error lost", seeds[i])
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != seeds[i]*2 {
+			t.Fatalf("seed %d: %+v", seeds[i], r)
+		}
+	}
+}
+
+func TestEnsembleMarksSkippedRuns(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := par.Ensemble(ctx, par.Seeds(1, 8), 2, func(context.Context, int64) (int, error) {
+		return 1, nil
+	})
+	for _, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("run %d not marked cancelled: %+v", r.Index, r)
+		}
+	}
+}
+
+func TestEnsembleTimesRuns(t *testing.T) {
+	results := par.Ensemble(context.Background(), par.Seeds(1, 2), 2, func(context.Context, int64) (int, error) {
+		time.Sleep(time.Millisecond)
+		return 0, nil
+	})
+	for _, r := range results {
+		if r.Elapsed < time.Millisecond {
+			t.Fatalf("run %d elapsed %v", r.Index, r.Elapsed)
+		}
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	if m := par.Mean(xs); m != 3 {
+		t.Fatalf("mean = %v", m)
+	}
+	if p := par.Percentile(xs, 50); p != 3 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := par.Percentile(xs, 100); p != 5 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := par.Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if par.Mean(nil) != 0 || par.Percentile(nil, 50) != 0 {
+		t.Fatal("empty aggregates not zero")
+	}
+}

@@ -1,0 +1,491 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/sched"
+)
+
+// Errors.
+var (
+	// ErrSharded is returned for invalid sharded-runner configurations.
+	ErrSharded = errors.New("par: invalid sharded configuration")
+	// ErrStateSpace is returned when the interned state space outgrows the
+	// sharded bound (unbounded simulator state spaces cannot be sharded;
+	// run them on the sequential engine).
+	ErrStateSpace = errors.New("par: state space exceeds the sharded bound")
+)
+
+// ShardedOptions tune a ShardedRunner. The zero value picks defaults.
+type ShardedOptions struct {
+	// Shards is the worker-shard count P. 0 means GOMAXPROCS; the value is
+	// clamped to n/2 so every shard can expect at least two agents.
+	Shards int
+	// Epoch is the number of interactions each shard applies between
+	// exchange barriers. 0 means 3·(n/P), floored at 64: long enough that
+	// the O(n) exchange amortizes, short enough that the population
+	// re-mixes every few parallel time units (n interactions ≈ one unit).
+	// Smaller epochs track the sequential dynamics more closely; larger
+	// epochs run faster.
+	Epoch int
+	// MaxStates bounds the interned state space (0 = 1024, the engine's
+	// default fast-path bound). Values above MaxShardedStates are
+	// rejected by NewSharded. Beyond the bound the run fails with
+	// ErrStateSpace.
+	MaxStates int
+}
+
+// MaxShardedStates caps ShardedOptions.MaxStates: the per-worker dense
+// mirrors are stride² words, so the bound must stay table-friendly. Wider
+// finite state spaces stay on the sequential engine (WithFastLimits).
+const MaxShardedStates = 4096
+
+// ShardedRunner executes one population run on P worker shards.
+//
+// # Execution model
+//
+// The dense ID-vector configuration is partitioned into P contiguous
+// slices. Execution proceeds in epochs; within an epoch each worker applies
+// its quota of interactions drawn uniformly over ITS OWN slice (starter and
+// reactor both in-shard), using a private RNG stream split from the run
+// seed (stream w of seed s, see sched.SplitStream). At the epoch barrier
+// the shards exchange agents: every agent is dealt to a uniformly random
+// shard (the worker draws the destination from its stream and buckets the
+// agent into a per-destination outbox; destinations drain the outboxes
+// after the barrier). The deal realizes a uniform re-partition of the
+// population per epoch, so any two agents meet with equal probability on
+// epoch timescales even though no single interaction crosses a shard
+// boundary mid-epoch.
+//
+// # Contract
+//
+// Sharded execution is a DISTINCT execution mode, not a faster replay of
+// the sequential scheduler:
+//
+//   - Determinism is per (seed, P): the same seed with the same shard
+//     count reproduces the same execution bit for bit (goroutine
+//     interleaving cannot affect it — workers touch disjoint slices and
+//     synchronize only at barriers), and the execution depends only on the
+//     total number of interactions applied, not on how it was chunked into
+//     RunSteps/RunUntil calls (exchanges fire at a fixed absolute cadence;
+//     wave quotas are assigned by absolute in-epoch position). Different P
+//     values, or the sequential engine with the same seed, produce
+//     different schedules.
+//   - Statistical equivalence: under the uniform-random scheduler the
+//     sequential and sharded processes agree in distribution up to the
+//     epoch-local loss of cross-shard mixing; the equivalence suite in
+//     this package asserts that convergence-step and final-configuration
+//     distributions match the sequential fast path within tolerance for
+//     every protocol × model combination at P ∈ {2, 4}.
+//   - Agent identity is not preserved across epochs (the exchange permutes
+//     the population), so observation must be symmetric — count-based
+//     predicates, multiset comparisons. Under uniform-random scheduling
+//     agents are exchangeable, so this loses no information.
+//   - Omission adversaries, scripted schedules and per-interaction traces
+//     are not supported: runs needing them stay on the sequential engine.
+//     Simulation events (sim.Wrapped) are not recorded, and unbounded
+//     simulator state spaces fail with ErrStateSpace.
+//
+// Workers share the transition cache read-mostly: each worker keeps a
+// private dense mirror of memoized transitions and takes a mutex only to
+// consult the shared model.TransitionCache on a state pair it has never
+// seen — at most once per distinct pair per worker.
+type ShardedRunner struct {
+	p         int
+	epoch     int
+	maxStates int
+
+	mu    sync.Mutex // guards in + cache (cold-pair misses only)
+	in    *pp.Interner
+	cache *model.TransitionCache
+
+	ids     []uint32 // global dense configuration, partitioned by bounds
+	scratch []uint32 // double buffer for the exchange
+	bounds  []int    // p+1 shard boundaries into ids
+	workers []*shardWorker
+
+	steps   int
+	sinceEx int              // interactions applied since the last exchange
+	quotas  []int            // per-wave quota scratch
+	cfg     pp.Configuration // scratch for materialization
+}
+
+// shardWorker is one shard's private execution state.
+type shardWorker struct {
+	sr  *ShardedRunner
+	idx int
+	rng sched.Stream
+
+	// Private mirror of the shared transition cache: dense stride×stride
+	// table plus an overflow map for IDs beyond it. Reads are lock-free;
+	// cold pairs fall through to the shared cache under the mutex.
+	dense  []uint64
+	stride uint32
+	over   map[uint64]uint64
+
+	buckets [][]uint32 // per-destination outboxes for the exchange
+	err     error      // first failure in a phase (sticky)
+}
+
+// NewSharded builds a sharded runner for protocol `protocol` under model k,
+// starting from initial, with worker streams split from seed.
+func NewSharded(k model.Kind, protocol any, initial pp.Configuration, seed int64, opts ShardedOptions) (*ShardedRunner, error) {
+	n := len(initial)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: population size %d < 2", ErrSharded, n)
+	}
+	if k.OneWay() {
+		if _, ok := protocol.(pp.OneWay); !ok {
+			return nil, fmt.Errorf("%w: model %v needs a pp.OneWay protocol", ErrSharded, k)
+		}
+	} else if _, ok := protocol.(pp.TwoWay); !ok {
+		return nil, fmt.Errorf("%w: model %v needs a pp.TwoWay protocol", ErrSharded, k)
+	}
+	p := opts.Shards
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n/2 {
+		p = n / 2
+	}
+	if p < 1 {
+		p = 1
+	}
+	epoch := opts.Epoch
+	if epoch <= 0 {
+		epoch = 3 * (n / p)
+	}
+	if epoch < 64 {
+		epoch = 64
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 1024
+	}
+	if maxStates > MaxShardedStates {
+		return nil, fmt.Errorf("%w: MaxStates %d > %d (wider state spaces stay on the sequential engine)",
+			ErrSharded, maxStates, MaxShardedStates)
+	}
+	in := pp.NewInterner()
+	cache := model.NewTransitionCache(k, protocol, in, nil)
+	// The shared cache's own dense table only serves the mutex-guarded miss
+	// path; keep it small — the per-worker mirrors carry the hot lookups.
+	cache.SetMaxStride(256)
+	sr := &ShardedRunner{
+		p:         p,
+		epoch:     epoch,
+		maxStates: maxStates,
+		in:        in,
+		cache:     cache,
+		scratch:   make([]uint32, n),
+		bounds:    make([]int, p+1),
+	}
+	sr.ids = in.InternConfig(initial, nil)
+	if in.Len() > maxStates {
+		return nil, fmt.Errorf("%w: %d distinct initial states > %d", ErrStateSpace, in.Len(), maxStates)
+	}
+	for i := 0; i <= p; i++ {
+		sr.bounds[i] = i * n / p
+	}
+	sr.workers = make([]*shardWorker, p)
+	for w := 0; w < p; w++ {
+		sr.workers[w] = &shardWorker{
+			sr:      sr,
+			idx:     w,
+			rng:     sched.SplitStream(seed, w),
+			over:    make(map[uint64]uint64),
+			buckets: make([][]uint32, p),
+		}
+	}
+	return sr, nil
+}
+
+// Shards returns the effective worker-shard count P.
+func (sr *ShardedRunner) Shards() int { return sr.p }
+
+// Epoch returns the effective per-shard epoch length.
+func (sr *ShardedRunner) Epoch() int { return sr.epoch }
+
+// Steps returns the total number of interactions applied so far.
+func (sr *ShardedRunner) Steps() int { return sr.steps }
+
+// Config materializes the current global configuration — a consistent
+// observation boundary (only valid between Run calls; the returned slice is
+// reused by the next Config call). Agent order is the sharded layout, which
+// the exchange permutes; treat the result as a multiset.
+func (sr *ShardedRunner) Config() pp.Configuration {
+	sr.cfg = sr.in.Materialize(sr.ids, sr.cfg)
+	return sr.cfg
+}
+
+// parallel runs fn on every worker, the coordinator's goroutine included,
+// and waits for all of them (one barrier).
+func (sr *ShardedRunner) parallel(fn func(w *shardWorker)) {
+	if sr.p == 1 {
+		fn(sr.workers[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(sr.p - 1)
+	for _, w := range sr.workers[1:] {
+		go func(w *shardWorker) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	fn(sr.workers[0])
+	wg.Wait()
+}
+
+// stepWave applies exactly `quota` interactions in one parallel wave,
+// without an exchange; when `deal` is set (the wave completes an epoch)
+// the workers also bucket their agents for the pending exchange in the
+// same wave, so a full epoch still costs only two barriers.
+//
+// Quota distribution must be deterministic, chunking-invariant and only
+// target shards that can interact: the in-epoch positions
+// [sinceEx, sinceEx+quota) are assigned round-robin over the eligible
+// shards (size ≥ 2), so any sequence of waves covering the same positions
+// hands every worker the same interaction counts. At least one shard is
+// always eligible: sizes sum to n and P ≤ n/2, so all-≤1 would give
+// n ≤ P ≤ n/2.
+func (sr *ShardedRunner) stepWave(quota int, deal bool) error {
+	if sr.quotas == nil {
+		sr.quotas = make([]int, sr.p)
+	}
+	quotas := sr.quotas
+	eligible := 0
+	for w := 0; w < sr.p; w++ {
+		if sr.bounds[w+1]-sr.bounds[w] >= 2 {
+			eligible++
+		}
+	}
+	share, extra := quota/eligible, quota%eligible
+	first := sr.sinceEx % eligible // eligible-class of the wave's first position
+	i := 0
+	for w := 0; w < sr.p; w++ {
+		if sr.bounds[w+1]-sr.bounds[w] < 2 {
+			quotas[w] = 0
+			continue
+		}
+		quotas[w] = share
+		// Classes first, first+1, …, first+extra−1 (mod eligible) take the
+		// remainder positions.
+		if d := (i - first + eligible) % eligible; d < extra {
+			quotas[w]++
+		}
+		i++
+	}
+	sr.parallel(func(w *shardWorker) {
+		w.step(quotas[w.idx])
+		if w.err == nil && deal && sr.p > 1 {
+			w.deal()
+		}
+	})
+	for _, w := range sr.workers {
+		if w.err != nil {
+			return w.err
+		}
+	}
+	sr.steps += quota
+	sr.sinceEx += quota
+	return nil
+}
+
+// exchange drains the outboxes filled by the epoch-closing stepWave:
+// destination t's new slice is the concatenation of every worker's bucket
+// for t, in worker order.
+func (sr *ShardedRunner) exchange() {
+	sr.sinceEx = 0
+	if sr.p == 1 {
+		return
+	}
+	off := 0
+	for t := 0; t < sr.p; t++ {
+		sr.bounds[t] = off
+		for _, w := range sr.workers {
+			off += len(w.buckets[t])
+		}
+	}
+	sr.bounds[sr.p] = off
+	sr.parallel(func(w *shardWorker) { w.collect() })
+	sr.ids, sr.scratch = sr.scratch, sr.ids
+}
+
+// RunSteps applies exactly k interactions (k ≤ 0 is a no-op). Exchanges
+// fire at the fixed cadence of one per P·Epoch interactions, independent of
+// how the run is chunked into calls: RunSteps(a) followed by RunSteps(b)
+// is the identical execution to RunSteps(a+b), which is what makes
+// observation cadence (RunUntil's `every`) orthogonal to exchange cadence.
+func (sr *ShardedRunner) RunSteps(k int) error {
+	perEpoch := sr.p * sr.epoch
+	for k > 0 {
+		quota := perEpoch - sr.sinceEx
+		if quota > k {
+			quota = k
+		}
+		if err := sr.stepWave(quota, sr.sinceEx+quota == perEpoch); err != nil {
+			return err
+		}
+		if sr.sinceEx == perEpoch {
+			sr.exchange()
+		}
+		k -= quota
+	}
+	return nil
+}
+
+// RunUntil runs until pred holds on the materialized global configuration
+// or maxSteps interactions have been applied, evaluating pred every `every`
+// interactions (every ≤ 0 means one full epoch, P·Epoch). It returns the
+// total interactions applied by this call and whether pred was met. The
+// hitting time is `every`-granular: interactions within an evaluation chunk
+// are concurrent, so there is no finer-grained "first step" to report.
+func (sr *ShardedRunner) RunUntil(pred func(pp.Configuration) bool, every, maxSteps int) (int, bool, error) {
+	if every <= 0 {
+		every = sr.p * sr.epoch
+	}
+	if pred(sr.Config()) {
+		return 0, true, nil
+	}
+	consumed := 0
+	for consumed < maxSteps {
+		chunk := maxSteps - consumed
+		if chunk > every {
+			chunk = every
+		}
+		if err := sr.RunSteps(chunk); err != nil {
+			return consumed, false, err
+		}
+		consumed += chunk
+		if pred(sr.Config()) {
+			return consumed, true, nil
+		}
+	}
+	return consumed, false, nil
+}
+
+// step applies q uniform in-shard interactions on the worker's slice.
+func (w *shardWorker) step(q int) {
+	sr := w.sr
+	lo, hi := sr.bounds[w.idx], sr.bounds[w.idx+1]
+	m := hi - lo
+	if q <= 0 {
+		return
+	}
+	if m < 2 {
+		// runEpoch only assigns quota to shards with ≥ 2 agents.
+		w.err = fmt.Errorf("%w: quota %d for shard of size %d", ErrSharded, q, m)
+		return
+	}
+	slice := sr.ids[lo:hi]
+	// Index pair from one 64-bit draw: the halves map to [0,m) and [0,m-1)
+	// by multiply-shift (bias < m/2³², far below the tolerance of the
+	// statistical contract), with the usual collision shift for b.
+	um, um1 := uint64(m), uint64(m-1)
+	dense, stride := w.dense, uint64(w.stride)
+	for i := 0; i < q; i++ {
+		x := w.rng.Uint64()
+		a := uint32((uint64(uint32(x)) * um) >> 32)
+		b := uint32(((x >> 32) * um1) >> 32)
+		if b >= a {
+			b++
+		}
+		s, r := slice[a], slice[b]
+		var ent uint64
+		if uint64(s|r) < stride {
+			ent = dense[uint64(s)*stride+uint64(r)]
+		}
+		if ent == 0 {
+			var err error
+			if ent, err = w.lookupCold(s, r); err != nil {
+				w.err = err
+				return
+			}
+			dense, stride = w.dense, uint64(w.stride)
+		}
+		slice[a] = model.EntryStarter(ent)
+		slice[b] = model.EntryReactor(ent)
+	}
+}
+
+// lookupCold resolves a state pair the worker's private mirror does not
+// hold: first its private overflow map, then the shared cache under the
+// mutex (memoizing into the mirror either way).
+func (w *shardWorker) lookupCold(s, r uint32) (uint64, error) {
+	key := uint64(s)<<32 | uint64(r)
+	if ent, ok := w.over[key]; ok {
+		return ent, nil
+	}
+	sr := w.sr
+	sr.mu.Lock()
+	ent, err := sr.cache.Apply(s, r, pp.OmissionNone)
+	states := sr.in.Len()
+	sr.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if states > sr.maxStates {
+		return 0, fmt.Errorf("%w: %d distinct states > %d", ErrStateSpace, states, sr.maxStates)
+	}
+	w.store(s, r, ent)
+	return ent, nil
+}
+
+// store memoizes a transition entry in the worker's private mirror, growing
+// the dense table (powers of two, up to 1024²) and spilling to the overflow
+// map beyond it.
+func (w *shardWorker) store(s, r uint32, ent uint64) {
+	const strideCap = 1024
+	need := s | r | model.EntryStarter(ent) | model.EntryReactor(ent)
+	if need >= w.stride && w.stride < strideCap {
+		stride := w.stride
+		if stride == 0 {
+			stride = 16
+		}
+		for stride <= need && stride < strideCap {
+			stride *= 2
+		}
+		dense := make([]uint64, uint64(stride)*uint64(stride))
+		for i := uint32(0); i < w.stride; i++ {
+			copy(dense[uint64(i)*uint64(stride):], w.dense[uint64(i)*uint64(w.stride):uint64(i+1)*uint64(w.stride)])
+		}
+		w.dense, w.stride = dense, stride
+	}
+	if s < w.stride && r < w.stride {
+		w.dense[uint64(s)*uint64(w.stride)+uint64(r)] = ent
+		return
+	}
+	w.over[uint64(s)<<32|uint64(r)] = ent
+}
+
+// deal assigns every agent of the worker's slice to a uniformly random
+// destination shard, bucketing the IDs into per-destination outboxes.
+func (w *shardWorker) deal() {
+	sr := w.sr
+	for t := range w.buckets {
+		w.buckets[t] = w.buckets[t][:0]
+	}
+	for _, id := range sr.ids[sr.bounds[w.idx]:sr.bounds[w.idx+1]] {
+		t := w.rng.Intn(sr.p)
+		w.buckets[t] = append(w.buckets[t], id)
+	}
+}
+
+// collect drains every worker's outbox for this destination into the
+// scratch buffer at the freshly computed bounds (disjoint writes per
+// destination; the barrier before collect ordered them after all deals).
+func (w *shardWorker) collect() {
+	sr := w.sr
+	off := sr.bounds[w.idx]
+	for _, src := range sr.workers {
+		b := src.buckets[w.idx]
+		copy(sr.scratch[off:], b)
+		off += len(b)
+	}
+}

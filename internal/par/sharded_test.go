@@ -1,0 +1,209 @@
+package par_test
+
+import (
+	"errors"
+	"testing"
+
+	"popsim/internal/model"
+	"popsim/internal/par"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sim"
+)
+
+// TestShardedDeterministicPerSeedP: the same (seed, P) must reproduce the
+// execution bit for bit — including the agent layout — regardless of
+// goroutine interleaving; different P yields a different schedule.
+func TestShardedDeterministicPerSeedP(t *testing.T) {
+	cfg := protocols.MajorityConfig(60, 40)
+	run := func(seed int64, p int) string {
+		sr, err := par.NewSharded(model.TW, protocols.Majority{}, cfg, seed, par.ShardedOptions{Shards: p, Epoch: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sr.RunSteps(5000); err != nil {
+			t.Fatal(err)
+		}
+		if sr.Steps() != 5000 {
+			t.Fatalf("steps = %d, want 5000", sr.Steps())
+		}
+		return sr.Config().Key()
+	}
+	for _, p := range []int{1, 2, 4} {
+		a, b := run(7, p), run(7, p)
+		if a != b {
+			t.Fatalf("P=%d: same (seed,P) diverged:\n%s\n%s", p, a, b)
+		}
+	}
+	if run(7, 2) == run(8, 2) {
+		t.Fatal("different seeds produced identical executions")
+	}
+}
+
+// TestShardedChunkingInvariance: the execution depends only on the total
+// number of interactions, not on how it was chunked into calls — exchanges
+// fire at a fixed absolute cadence and wave quotas are assigned by absolute
+// in-epoch position, so RunSteps(5000) equals any split of 5000 and any
+// RunUntil observation cadence.
+func TestShardedChunkingInvariance(t *testing.T) {
+	cfg := protocols.MajorityConfig(60, 40)
+	mk := func() *par.ShardedRunner {
+		sr, err := par.NewSharded(model.TW, protocols.Majority{}, cfg, 7, par.ShardedOptions{Shards: 4, Epoch: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+	whole := mk()
+	if err := whole.RunSteps(5000); err != nil {
+		t.Fatal(err)
+	}
+	want := whole.Config().Key()
+
+	split := mk()
+	for _, k := range []int{1, 63, 400, 1, 2000, 2535} {
+		if err := split.RunSteps(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := split.Config().Key(); got != want {
+		t.Fatalf("chunked run diverged from whole run:\n%s\n%s", got, want)
+	}
+
+	until := mk()
+	if _, _, err := until.RunUntil(func(pp.Configuration) bool { return false }, 64, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if got := until.Config().Key(); got != want {
+		t.Fatalf("RunUntil(every=64) diverged from whole run:\n%s\n%s", got, want)
+	}
+}
+
+// TestShardedPreservesInvariants: the exchange is a permutation (population
+// and conserved quantities survive), checked through the parity workload
+// whose 1-bit mass residue is invariant under the protocol.
+func TestShardedPreservesInvariants(t *testing.T) {
+	n, ones := 100, 37
+	sr, err := par.NewSharded(model.TW, protocols.Modulo{M: 2}, protocols.ModuloConfig(n, ones),
+		5, par.ShardedOptions{Shards: 4, Epoch: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := sr.RunSteps(500); err != nil {
+			t.Fatal(err)
+		}
+		c := sr.Config()
+		if len(c) != n {
+			t.Fatalf("population size changed: %d", len(c))
+		}
+		if got := protocols.ModuloResidue(c, 2); got != ones%2 {
+			t.Fatalf("mass residue %d, want %d", got, ones%2)
+		}
+	}
+}
+
+// TestShardedConverges: a sharded majority run reaches the same absorbing
+// outcome as sequential execution, via RunUntil with count-based predicates.
+func TestShardedConverges(t *testing.T) {
+	done := func(c pp.Configuration) bool { return protocols.MajorityConverged(c, "A") }
+	sr, err := par.NewSharded(model.TW, protocols.Majority{}, protocols.MajorityConfig(70, 58),
+		3, par.ShardedOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, ok, err := sr.RunUntil(done, 256, 5_000_000)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if steps != sr.Steps() {
+		t.Fatalf("returned steps %d != Steps() %d", steps, sr.Steps())
+	}
+	if steps%256 != 0 {
+		t.Fatalf("hitting step %d not `every`-granular", steps)
+	}
+	if !done(sr.Config()) {
+		t.Fatal("predicate does not hold at return")
+	}
+}
+
+// TestShardedClampsShards: P is clamped to n/2 and GOMAXPROCS is the
+// default; tiny populations still make progress.
+func TestShardedClampsShards(t *testing.T) {
+	sr, err := par.NewSharded(model.TW, protocols.Majority{}, protocols.MajorityConfig(2, 1),
+		1, par.ShardedOptions{Shards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Shards() != 1 { // n=3 → n/2 = 1
+		t.Fatalf("shards = %d, want 1", sr.Shards())
+	}
+	if err := sr.RunSteps(1000); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Steps() != 1000 {
+		t.Fatalf("steps = %d", sr.Steps())
+	}
+	def, err := par.NewSharded(model.TW, protocols.Majority{}, protocols.MajorityConfig(50, 50), 1, par.ShardedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Shards() < 1 || def.Shards() > 50 {
+		t.Fatalf("default shards = %d out of range", def.Shards())
+	}
+}
+
+// TestShardedOneWayModels: one-way models need a pp.OneWay protocol
+// (mirroring engine.New), and run fine through the adapter.
+func TestShardedOneWayModels(t *testing.T) {
+	if _, err := par.NewSharded(model.IO, protocols.Or{}, protocols.OrConfig(10, 2), 1, par.ShardedOptions{}); !errors.Is(err, par.ErrSharded) {
+		t.Fatalf("two-way protocol under IO: err = %v, want ErrSharded", err)
+	}
+	sr, err := par.NewSharded(model.IO, pp.OneWayAdapter{P: protocols.Or{}}, protocols.OrConfig(64, 2),
+		2, par.ShardedOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := func(c pp.Configuration) bool { return protocols.OrConverged(c, protocols.One) }
+	if _, ok, err := sr.RunUntil(done, 128, 1_000_000); err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+}
+
+// TestShardedRejectsUnboundedStateSpace: simulator state spaces (per-agent
+// counters) exceed the sharded bound and must fail loudly with
+// ErrStateSpace rather than thrash.
+func TestShardedRejectsUnboundedStateSpace(t *testing.T) {
+	s := sim.SID{P: protocols.Majority{}}
+	wrapped := s.WrapConfig(protocols.MajorityConfig(40, 24))
+	sr, err := par.NewSharded(model.IO, s, wrapped, 1, par.ShardedOptions{Shards: 2, MaxStates: 64})
+	if err != nil {
+		// n distinct initial states may already exceed the bound.
+		if !errors.Is(err, par.ErrStateSpace) {
+			t.Fatalf("err = %v, want ErrStateSpace", err)
+		}
+		return
+	}
+	err = sr.RunSteps(1_000_000)
+	if !errors.Is(err, par.ErrStateSpace) {
+		t.Fatalf("err = %v, want ErrStateSpace", err)
+	}
+}
+
+// TestShardedRejectsTinyPopulations mirrors the engine's n ≥ 2 contract.
+func TestShardedRejectsTinyPopulations(t *testing.T) {
+	_, err := par.NewSharded(model.TW, protocols.Majority{}, protocols.MajorityConfig(1, 0), 1, par.ShardedOptions{})
+	if !errors.Is(err, par.ErrSharded) {
+		t.Fatalf("err = %v, want ErrSharded", err)
+	}
+}
+
+// TestShardedRejectsOversizedMaxStates: bounds above MaxShardedStates must
+// fail loudly at construction, not be silently clamped.
+func TestShardedRejectsOversizedMaxStates(t *testing.T) {
+	_, err := par.NewSharded(model.TW, protocols.Majority{}, protocols.MajorityConfig(10, 10),
+		1, par.ShardedOptions{MaxStates: par.MaxShardedStates + 1})
+	if !errors.Is(err, par.ErrSharded) {
+		t.Fatalf("err = %v, want ErrSharded", err)
+	}
+}

@@ -189,6 +189,13 @@ type SystemSpec struct {
 	Scheduler Scheduler
 	// Adversary optionally injects omissions.
 	Adversary Adversary
+	// MaxFastStates bounds the interned state space of the batched fast
+	// path (0 = engine default, 1024). Raise it for large finite-state
+	// protocols that would otherwise be kicked onto the slow path.
+	MaxFastStates int
+	// MaxBatchChunk caps one scheduler batch request of the fast path
+	// (0 = engine default, 1024).
+	MaxBatchChunk int
 }
 
 // System is a runnable population-protocol system.
@@ -220,6 +227,9 @@ func NewSystem(spec SystemSpec) (*System, error) {
 	opts := []engine.Option{engine.WithRecorder(rec)}
 	if spec.Adversary != nil {
 		opts = append(opts, engine.WithAdversary(spec.Adversary))
+	}
+	if spec.MaxFastStates > 0 || spec.MaxBatchChunk > 0 {
+		opts = append(opts, engine.WithFastLimits(spec.MaxFastStates, spec.MaxBatchChunk))
 	}
 	eng, err := engine.New(spec.Model, protocol, initial, sch, opts...)
 	if err != nil {
@@ -253,9 +263,10 @@ func (s *System) RunUntil(pred func(Configuration) bool, horizon int) (bool, err
 // RunUntilEvery is RunUntil over the batched fast path, evaluating the
 // (projected) predicate only every `every` scheduled interactions: the
 // natural mode for large populations, where per-step predicate scans
-// dominate the run time. The reported convergence point is `every`-step
-// accurate.
-func (s *System) RunUntilEvery(pred func(Configuration) bool, every, horizon int) (bool, error) {
+// dominate the run time. The returned step count is the exact hitting time
+// on the lean fast path (no adversary; the predicate-flipping chunk is
+// bisected), `every`-step granular otherwise; see engine.RunUntilEvery.
+func (s *System) RunUntilEvery(pred func(Configuration) bool, every, horizon int) (int, bool, error) {
 	return s.eng.RunUntilEvery(func(c Configuration) bool { return pred(sim.Project(c)) }, every, horizon)
 }
 
