@@ -471,3 +471,107 @@ func BenchmarkEnsembleSweep(b *testing.B) {
 	}
 	b.ReportMetric(8, "runs/op")
 }
+
+// BenchmarkSimWrapped measures wrapped-simulator throughput — the
+// fault-tolerant simulation regime the canonical behavioral keys unlock:
+// SKnO(o=0) over majority under IT (the Corollary-1 simulator), n = 256,
+// stepwise slow path vs interned batched fast path vs sharded P ∈ {2, 4}
+// (events recorded everywhere, as simulator runs do). CI publishes this
+// family as the BENCH_sim.json artifact, tracking the simulation-regime
+// speedup the way BENCH_sharded.json tracks native multi-core scaling.
+func BenchmarkSimWrapped(b *testing.B) {
+	const n = 256
+	s := sim.SKnO{P: protocols.Majority{}, O: 0}
+	mkCfg := func() pp.Configuration { return s.WrapConfig(protocols.MajorityConfig(n/2+16, n/2-16)) }
+	b.Run("slow", func(b *testing.B) {
+		rec := &trace.Recorder{}
+		eng, err := engine.New(model.IT, s, mkCfg(), sched.NewRandom(1), engine.WithRecorder(rec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		rec := &trace.Recorder{}
+		eng, err := engine.New(model.IT, s, mkCfg(), sched.NewRandom(1), engine.WithRecorder(rec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.StepBatch(1); err != nil { // warm the transition cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		if _, err := eng.StepBatch(b.N); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if !eng.FastPathActive() {
+			b.Fatal("fast path bailed out mid-benchmark")
+		}
+		b.ReportMetric(float64(eng.InternedStates()), "states")
+	})
+	for _, p := range []int{2, 4} {
+		p := p
+		b.Run(fmt.Sprintf("sharded/P=%d", p), func(b *testing.B) {
+			sr, err := par.NewSharded(model.IT, s, mkCfg(), 1,
+				par.ShardedOptions{Shards: p, RecordEvents: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sr.RunSteps(1); err != nil { // warm caches and buckets
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if err := sr.RunSteps(b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkSimWrappedConvergence runs the thm31-style simulated convergence
+// workload end to end — SKnO(o=0)/majority under IT until the projected
+// majority verdict stabilizes — on the stepwise driver vs the batched
+// RunUntilEvery driver. The ratio of the two ns/op columns is the
+// simulation-regime speedup the canonical keys were built for.
+func BenchmarkSimWrappedConvergence(b *testing.B) {
+	const n = 128
+	s := sim.SKnO{P: protocols.Majority{}, O: 0}
+	mkCfg := func() pp.Configuration { return s.WrapConfig(protocols.MajorityConfig(n/2+8, n/2-8)) }
+	done := func(c pp.Configuration) bool { return protocols.MajorityConverged(sim.Project(c), "A") }
+	b.Run("slow", func(b *testing.B) {
+		steps := 0
+		for i := 0; i < b.N; i++ {
+			eng, err := engine.New(model.IT, s, mkCfg(), sched.NewRandom(int64(i+1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ok, err := eng.RunUntil(done, 50_000_000)
+			if err != nil || !ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+			steps += eng.Steps()
+		}
+		b.ReportMetric(float64(steps)/float64(b.N), "steps/run")
+	})
+	b.Run("batch", func(b *testing.B) {
+		steps := 0
+		for i := 0; i < b.N; i++ {
+			eng, err := engine.New(model.IT, s, mkCfg(), sched.NewRandom(int64(i+1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, ok, err := eng.RunUntilEvery(done, 256, 50_000_000)
+			if err != nil || !ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+			steps += eng.Steps()
+		}
+		b.ReportMetric(float64(steps)/float64(b.N), "steps/run")
+	})
+}

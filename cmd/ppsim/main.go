@@ -11,6 +11,8 @@
 //	ppsim -protocol leader -sim sid -model IO -n 8          # Theorem 4.5
 //	ppsim -protocol majority -sim naming -model IO -n 8     # Theorem 4.6
 //	ppsim -protocol majority -n 100000 -shards 4            # multi-core run
+//	ppsim -protocol majority -sim skno -o 0 -model IT \
+//	      -n 256 -shards 4                                  # multi-core simulation
 //	ppsim -protocol majority -n 1000 -runs 50               # seed ensemble
 package main
 
@@ -98,7 +100,7 @@ func run(args []string) error {
 	horizon := fs.Int("horizon", 2_000_000, "max scheduled interactions")
 	omRate := fs.Float64("omission-rate", 0, "adversary omission rate per scheduled interaction")
 	omBudget := fs.Int("omission-budget", -1, "adversary omission budget (-1 = unbounded)")
-	shards := fs.Int("shards", 0, "run sharded on P worker shards (multi-core; native protocols, no adversary)")
+	shards := fs.Int("shards", 0, "run sharded on P worker shards (multi-core; native or simulated protocols, no adversary)")
 	runs := fs.Int("runs", 0, "run an ensemble of this many seeds (seed, seed+1, …) and print aggregates")
 	workers := fs.Int("workers", 0, "ensemble worker pool bound (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
@@ -204,7 +206,11 @@ func run(args []string) error {
 	}
 
 	// Sharded mode: one run on P worker shards (count-based observation;
-	// simulators and adversaries stay on the sequential engine).
+	// adversaries stay on the sequential engine). Simulator runs shard too —
+	// their canonical state keys keep the interned space bounded — recording
+	// simulation events through per-shard buffers; if the state space
+	// outgrows the sharded bound anyway, the run degrades to the sequential
+	// batched engine and reports why.
 	if *shards > 0 {
 		sys, err := popsim.NewSystem(spec)
 		if err != nil {
@@ -215,7 +221,14 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("protocol=%s sim=%s model=%v n=%d shards=%d\n", *protoName, orNative(*simName), kind, *n, *shards)
-		fmt.Printf("steps=%d converged=%v\n", res.Steps, res.Converged)
+		if res.Degraded {
+			fmt.Printf("degraded to the sequential batched engine: %s\n", res.DegradedReason)
+		}
+		if spec.Simulate != nil {
+			fmt.Printf("steps=%d simulated-events=%d converged=%v\n", res.Steps, res.SimEvents, res.Converged)
+		} else {
+			fmt.Printf("steps=%d converged=%v\n", res.Steps, res.Converged)
+		}
 		if !res.Converged {
 			return fmt.Errorf("did not converge within %d interactions", *horizon)
 		}

@@ -67,6 +67,15 @@ func TestRunSharded(t *testing.T) {
 	}
 }
 
+// TestRunShardedSimulator: wrapped simulators run sharded too (canonical
+// state keys keep the interned space bounded).
+func TestRunShardedSimulator(t *testing.T) {
+	if err := run([]string{"-protocol", "majority", "-sim", "skno", "-o", "0", "-model", "IT",
+		"-n", "64", "-shards", "2", "-seed", "5", "-horizon", "5000000"}); err != nil {
+		t.Fatalf("sharded simulator run: %v", err)
+	}
+}
+
 func TestRunEnsembleMode(t *testing.T) {
 	if err := run([]string{"-protocol", "or", "-n", "64", "-runs", "4", "-seed", "9",
 		"-horizon", "1000000"}); err != nil {

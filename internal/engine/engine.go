@@ -132,6 +132,26 @@ func (e *Engine) Steps() int { return e.steps }
 // Model returns the interaction model kind.
 func (e *Engine) Model() model.Kind { return e.kind }
 
+// FastPathActive reports whether the batched fast path is currently serving
+// StepBatch calls: a batching scheduler is installed, the configuration's
+// state-identity contract allows interning (see sim.CanonicalKeyed), and the
+// state space has not outgrown the configured bound. It is false before the
+// first StepBatch builds the fast path.
+func (e *Engine) FastPathActive() bool {
+	return e.fast != nil && !e.fast.disabled
+}
+
+// InternedStates returns the number of distinct states the fast path has
+// interned so far (0 when the fast path is not active). Watching it against
+// the WithFastLimits bound shows how close a run is to the slow-path
+// bailout.
+func (e *Engine) InternedStates() int {
+	if e.fast == nil || e.fast.disabled {
+		return 0
+	}
+	return e.fast.in.Len()
+}
+
 // apply executes one interaction against the current configuration.
 func (e *Engine) apply(it pp.Interaction) error {
 	if !it.Valid(len(e.cfg)) {

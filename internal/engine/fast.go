@@ -19,27 +19,45 @@ import (
 	"popsim/internal/sim"
 )
 
-// Aux bits memoized per cached transition: whether the starter/reactor
-// result advanced its simulation-event sequence relative to the input state,
+// Aux bits memoized per cached transition (shared with the sharded runner):
+// whether the starter/reactor result advanced its simulation-event sequence,
 // i.e. whether applying the transition must forward an event to the trace
 // recorder. Precomputing this keeps state inspection out of the batch loop.
 const (
-	auxStarterEvent uint8 = 1 << 0
-	auxReactorEvent uint8 = 1 << 1
+	auxStarterEvent = sim.AuxStarterEvent
+	auxReactorEvent = sim.AuxReactorEvent
 )
 
 const (
 	// DefaultMaxFastStates bounds the interned state space before StepBatch
-	// abandons the fast path for good: simulator state spaces with
-	// per-agent counters (SKnO generation counters, SID lock tags) grow
-	// without bound and would thrash the transition cache, so beyond this
-	// many distinct states the slow path is the faster path. Large
-	// finite-state protocols can raise the bound per engine through
+	// abandons the fast path for good: a state space that keeps growing
+	// (e.g. a wrapped simulator whose token queues keep lengthening under
+	// an adversarial schedule, or SID/Naming at large n, whose behavioral
+	// IDs scale the space with the population) would thrash the transition
+	// cache, so beyond this many distinct states the slow path is the
+	// faster path. Canonically keyed simulators (sim.CanonicalKeyed)
+	// usually stay well under the bound; wide finite-state protocols and
+	// big simulated populations can raise it per engine through
 	// WithFastLimits (per system through popsim.SystemSpec.MaxFastStates).
 	DefaultMaxFastStates = 1024
 	// DefaultMaxBatchChunk caps one NextBatch request, bounding the
 	// scheduler's reusable buffer. Overridable through WithFastLimits.
 	DefaultMaxBatchChunk = 1024
+	// DefaultMaxWrappedStates is the default interned-state bound for
+	// configurations of canonically keyed wrapped simulators
+	// (sim.CanonicalKeyed). Their behavioral state spaces plateau (distinct
+	// queue/pairing contents, not per-agent histories) but typically well
+	// above DefaultMaxFastStates — e.g. a few thousand distinct queue
+	// sequences for an SKnO run — and entries beyond the dense table are
+	// still served from the cache's overflow map at map-lookup speed, far
+	// cheaper than re-evaluating a simulator transition. The bound is
+	// generous because for canonical states a miss means a genuinely new
+	// behavioral state — a naturally decaying event — not the
+	// once-per-interaction thrash of provenance-keyed states (those are
+	// gated off the fast path entirely); bailing mid-run would discard a
+	// warm cache to run every remaining interaction at slow-path cost.
+	// WithFastLimits overrides this like any other bound.
+	DefaultMaxWrappedStates = 1 << 17
 )
 
 // fastPath is the engine's dense-ID execution state.
@@ -66,33 +84,14 @@ type fastPath struct {
 	bisectCfg pp.Configuration // scratch configuration for bisection probes
 }
 
-// eventAux is the cache AuxFunc: it mirrors Engine.emitEvent's detection of
-// simulated-state updates, memoized per transition.
-func eventAux(s, r, ns, nr pp.State) uint8 {
-	var aux uint8
-	if eventAdvanced(s, ns) {
-		aux |= auxStarterEvent
-	}
-	if eventAdvanced(r, nr) {
-		aux |= auxReactorEvent
-	}
-	return aux
-}
-
-func eventAdvanced(before, after pp.State) bool {
-	wa, ok := after.(sim.Wrapped)
-	if !ok {
-		return false
-	}
-	var prev uint64
-	if wb, ok := before.(sim.Wrapped); ok {
-		prev = wb.EventSeq()
-	}
-	return wa.EventSeq() != prev
-}
-
-// ensureFast lazily builds the fast-path state. It returns nil when the
-// scheduler cannot batch (then StepBatch degrades to repeated Step).
+// ensureFast lazily builds the fast-path state. The fast path stays disabled
+// (StepBatch degrades to repeated Step) when the scheduler cannot batch, or
+// when the configuration holds wrapped simulator states that do not declare
+// the canonical-behavioral key contract (sim.CanonicalKeyed): interning
+// non-canonical wrapped states would collapse nothing (per-agent provenance
+// keys never repeat) while the memoized event payloads would misattribute
+// their simulation events — the stepwise path keeps such runs exact instead
+// of silently dropping or garbling events.
 func (e *Engine) ensureFast() *fastPath {
 	if e.fast != nil {
 		return e.fast
@@ -102,20 +101,40 @@ func (e *Engine) ensureFast() *fastPath {
 		e.fast = &fastPath{disabled: true}
 		return e.fast
 	}
+	wrapped := sim.AnyWrapped(e.cfg)
+	if wrapped && !sim.Canonicalized(e.cfg) {
+		e.fast = &fastPath{disabled: true}
+		return e.fast
+	}
+	if wrapped && !e.fastLimitsSet {
+		// Canonical wrapped state spaces plateau above the finite-protocol
+		// default; give them the wrapped default instead of bailing to the
+		// slow path mid-run.
+		e.maxFastStates = DefaultMaxWrappedStates
+	}
 	_, noAdv := e.adv.(adversary.None)
 	in := pp.NewInterner()
-	cache := model.NewTransitionCache(e.kind, e.protocol, in, eventAux)
-	// Cap the dense table at 256² entries (512 KB): a state space blowing
-	// past that is almost certainly an unbounded simulator run heading for
-	// the maxFastStates bailout, and the 256..1024 band still works through
-	// the cache's overflow map. Without the cap a single chunk of a
-	// SKnO/SID run would grow-and-copy the table to 8 MB before bailing.
-	// Only an engine explicitly tuned for a wider finite state space
-	// (WithFastLimits) gets a dense table sized to match — up to the
-	// cache's own DefaultMaxStride; beyond that the overflow map serves
-	// the remainder.
+	// The payload channel memoizes behavioral event content per transition:
+	// the batched path emits events from this memo rather than from the
+	// canonical representatives' LastEvent caches — a representative's last
+	// event describes whatever transition first produced its key, not
+	// necessarily the one being applied — so no simulation event is dropped
+	// or misattributed on the fast path.
+	cache := model.NewTransitionCache(e.kind, e.protocol, in, sim.EventAux)
+	cache.SetPayloadFunc(sim.EventPayload)
+	// Cap the dense table at 256² entries (512 KB) by default: a state
+	// space blowing past that is almost certainly an unbounded simulator
+	// run heading for the maxFastStates bailout, and the 256..1024 band
+	// still works through the cache's overflow map. Without the cap a
+	// single chunk of such a run would grow-and-copy the table to 8 MB
+	// before bailing. An engine tuned through WithFastLimits gets a dense
+	// table sized to its configured bound — authoritative in both
+	// directions, so limits in the 1..256 band shrink the table as well as
+	// cap the space (SetMaxStride rounds to a power of two in
+	// [16, model.DefaultMaxStride]; beyond that the overflow map serves
+	// the remainder).
 	stride := uint32(256)
-	if e.fastLimitsSet && e.maxFastStates > 256 {
+	if e.fastLimitsSet {
 		stride = uint32(e.maxFastStates)
 	}
 	cache.SetMaxStride(stride)
@@ -271,7 +290,7 @@ func (e *Engine) applyBatchLean(f *fastPath, batch []pp.Interaction) error {
 		ids[it.Starter] = model.EntryStarter(ent)
 		ids[it.Reactor] = model.EntryReactor(ent)
 		if aux := model.EntryAux(ent); aux != 0 {
-			e.emitFastEvents(f, it, ent, aux, base+i)
+			e.emitFastEvents(f, it, s, r, pp.OmissionNone, aux, base+i)
 		}
 		i++
 	}
@@ -324,23 +343,33 @@ func (e *Engine) applyFastOne(f *fastPath, it pp.Interaction) error {
 	e.steps++
 	e.rec.OnInteraction(it)
 	if aux := model.EntryAux(ent); aux != 0 {
-		e.emitFastEvents(f, it, ent, aux, idx)
+		e.emitFastEvents(f, it, s, r, it.Omission, aux, idx)
 	}
 	f.cfgStale = true
 	return nil
 }
 
 // emitFastEvents forwards the simulated-state events of one cached
-// transition, mirroring Engine.emitEvent (starter first, then reactor).
-func (e *Engine) emitFastEvents(f *fastPath, it pp.Interaction, ent uint64, aux uint8, idx int) {
-	if aux&auxStarterEvent != 0 {
-		ev := f.in.State(model.EntryStarter(ent)).(sim.Wrapped).LastEvent()
+// transition, mirroring Engine.emitEvent (starter first, then reactor). The
+// event content comes from the transition cache's memoized payload — the
+// behavioral events of the (sID, rID, om) transition itself — never from the
+// result representatives' LastEvent caches, which describe whatever
+// transition first produced those keys. Index and Agent are stamped here;
+// Seq and Tag are assigned by the recorder's per-run provenance layer.
+func (e *Engine) emitFastEvents(f *fastPath, it pp.Interaction, sID, rID uint32, om pp.OmissionSide, aux uint8, idx int) {
+	p, ok := f.cache.Payload(sID, rID, om)
+	pair, _ := p.(*sim.EventPair)
+	if !ok || pair == nil {
+		return
+	}
+	if aux&auxStarterEvent != 0 && pair.Starter != nil {
+		ev := *pair.Starter
 		ev.Index = idx
 		ev.Agent = it.Starter
 		e.rec.OnEvent(ev)
 	}
-	if aux&auxReactorEvent != 0 {
-		ev := f.in.State(model.EntryReactor(ent)).(sim.Wrapped).LastEvent()
+	if aux&auxReactorEvent != 0 && pair.Reactor != nil {
+		ev := *pair.Reactor
 		ev.Index = idx
 		ev.Agent = it.Reactor
 		e.rec.OnEvent(ev)

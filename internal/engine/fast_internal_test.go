@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"testing"
+
+	"popsim/internal/model"
+	"popsim/internal/protocols"
+	"popsim/internal/sched"
+)
+
+// TestWithFastLimitsStrideAuthoritative: the dense-table stride of the
+// transition cache follows the configured maxFastStates in BOTH directions —
+// limits in the 1..256 band shrink the table below the 256 default instead
+// of being silently ignored, and larger limits widen it up to the cache's
+// own DefaultMaxStride cap (SetMaxStride rounds up to a power of two and
+// clamps to [16, 1024]).
+func TestWithFastLimitsStrideAuthoritative(t *testing.T) {
+	cases := []struct {
+		maxStates  int // 0 = WithFastLimits not called
+		wantStride uint32
+	}{
+		{0, 256},     // default cap
+		{1, 16},      // floor clamp
+		{16, 16},     // exact floor
+		{100, 128},   // 1..256 band: configured limit wins (rounded up)
+		{255, 256},   // boundary: rounds to 256
+		{256, 256},   // boundary: exact
+		{257, 512},   // just past the old threshold
+		{1024, 1024}, // cache ceiling
+		{4096, 1024}, // beyond the ceiling: clamped, overflow map serves the rest
+	}
+	for _, c := range cases {
+		opts := []Option{}
+		if c.maxStates > 0 {
+			opts = append(opts, WithFastLimits(c.maxStates, 0))
+		}
+		eng, err := New(model.TW, protocols.Majority{}, protocols.MajorityConfig(3, 2),
+			sched.NewRandom(1), opts...)
+		if err != nil {
+			t.Fatalf("maxStates=%d: %v", c.maxStates, err)
+		}
+		f := eng.ensureFast()
+		if f.disabled {
+			t.Fatalf("maxStates=%d: fast path unexpectedly disabled", c.maxStates)
+		}
+		if got := f.cache.MaxStride(); got != c.wantStride {
+			t.Errorf("maxStates=%d: dense-table bound = %d, want %d", c.maxStates, got, c.wantStride)
+		}
+	}
+}

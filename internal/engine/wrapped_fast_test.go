@@ -1,0 +1,120 @@
+package engine_test
+
+import (
+	"reflect"
+	"testing"
+
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+	"popsim/internal/trace"
+	"popsim/internal/verify"
+)
+
+// TestWrappedSimulatorStaysOnFastPath: canonical behavioral keys make a
+// wrapped SKnO run a bounded state space, so a long batched run must keep
+// the fast path active (no maxFastStates bailout), record every simulation
+// event, and leave a verifiable event stream — the regime the
+// canonicalization exists for.
+func TestWrappedSimulatorStaysOnFastPath(t *testing.T) {
+	p := protocols.Pairing{}
+	s := sim.SKnO{P: p, O: 0}
+	simCfg := protocols.PairingConfig(8, 8)
+	rec := &trace.Recorder{}
+	eng, err := engine.New(model.IT, s, s.WrapConfig(simCfg), sched.NewRandom(7), engine.WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 50_000
+	if err := eng.RunStepsBatch(total); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Steps() != total {
+		t.Fatalf("steps = %d, want %d", eng.Steps(), total)
+	}
+	if !eng.FastPathActive() {
+		t.Fatal("fast path bailed out on a canonically keyed simulator")
+	}
+	if n := eng.InternedStates(); n == 0 || n > engine.DefaultMaxWrappedStates {
+		t.Fatalf("interned states = %d, want within (0, %d]", n, engine.DefaultMaxWrappedStates)
+	}
+	if len(rec.Events()) == 0 {
+		t.Fatal("no simulation events recorded on the fast path")
+	}
+	rep := verify.Verify(rec.Events(), simCfg, p.Delta)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("fast-path event stream fails verification: %v", err)
+	}
+}
+
+// nonCanonState is a Wrapped state that does NOT declare the canonical-key
+// contract: its key embeds a per-agent counter, the pre-canonicalization
+// pattern. Its protocol bumps the counter and emits an event on every
+// reaction.
+type nonCanonState struct {
+	gen  uint64
+	base pp.State
+}
+
+func (s *nonCanonState) Key() string         { return "nc{" + s.base.Key() + "}" }
+func (s *nonCanonState) Simulated() pp.State { return s.base }
+func (s *nonCanonState) EventSeq() uint64    { return s.gen }
+func (s *nonCanonState) LastEvent() verify.Event {
+	return verify.Event{Seq: s.gen, Role: verify.SimReactor, Pre: s.base, Post: s.base, PartnerPre: s.base}
+}
+
+// nonCanonProto is a one-way protocol over nonCanonState.
+type nonCanonProto struct{}
+
+func (nonCanonProto) Name() string               { return "non-canonical" }
+func (nonCanonProto) Detect(s pp.State) pp.State { return s }
+func (nonCanonProto) React(s, r pp.State) pp.State {
+	ra := r.(*nonCanonState)
+	return &nonCanonState{gen: ra.gen + 1, base: ra.base}
+}
+
+// TestNonCanonicalWrappedFallsBackToStepwise: a wrapped protocol without the
+// sim.CanonicalKeyed marker must not run through the interned fast path
+// (whose memoized event payloads assume behavioral keys) — StepBatch must
+// transparently degrade to the stepwise path and still record every
+// simulation event, identical to an explicit stepwise run.
+func TestNonCanonicalWrappedFallsBackToStepwise(t *testing.T) {
+	mkCfg := func() pp.Configuration {
+		return pp.Configuration{
+			&nonCanonState{base: protocols.Producer},
+			&nonCanonState{base: protocols.Consumer},
+			&nonCanonState{base: protocols.Producer},
+		}
+	}
+	const total = 500
+
+	slowRec := &trace.Recorder{}
+	slowEng, err := engine.New(model.IO, nonCanonProto{}, mkCfg(), sched.NewRandom(3), engine.WithRecorder(slowRec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := slowEng.RunSteps(total); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := &trace.Recorder{}
+	eng, err := engine.New(model.IO, nonCanonProto{}, mkCfg(), sched.NewRandom(3), engine.WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunStepsBatch(total); err != nil {
+		t.Fatal(err)
+	}
+	if eng.FastPathActive() {
+		t.Fatal("fast path accepted a non-canonical wrapped configuration")
+	}
+	if len(rec.Events()) != total {
+		t.Fatalf("events dropped on fallback: got %d, want %d", len(rec.Events()), total)
+	}
+	if !reflect.DeepEqual(rec.Events(), slowRec.Events()) {
+		t.Fatal("fallback event stream diverged from the stepwise run")
+	}
+}

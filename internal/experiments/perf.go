@@ -152,6 +152,82 @@ func Perf(cfg Config) (*Result, error) {
 	}
 	res.Tables = append(res.Tables, shard)
 
+	// The simulation regime: wrapped simulators were historically the only
+	// workloads locked out of the fast paths (their provenance-bearing keys
+	// made every state unique); canonical behavioral keys make them
+	// cacheable, batchable and shardable. thm31-style workload: SKnO(o=0)
+	// over majority under IT (Corollary 1), convergence to the projected
+	// majority verdict.
+	nSim, simHorizon := 128, 50_000_000
+	if cfg.Quick {
+		nSim = 64
+	}
+	simTbl := report.NewTable("Cacheable fault-tolerant simulation — SKnO(o=0)/majority under IT",
+		"engine", "n", "steps", "sim events", "wall time", "ns/step")
+	simTbl.Caption = "Canonical behavioral keys let wrapped runs hit the transition cache; sharded rows record events via per-shard buffers."
+	sSim := sim.SKnO{P: w.proto, O: 0}
+	simInit := w.cfg(nSim)
+	simDone := func(c pp.Configuration) bool { return w.done(nSim)(sim.Project(c)) }
+	var seqSteps, batchSteps int
+	// Stepwise slow path (the pre-canonicalization regime).
+	{
+		start := time.Now()
+		rec := &trace.Recorder{}
+		eng, err := engine.New(model.IT, sSim, sSim.WrapConfig(simInit), sched.NewRandom(cfg.Seed), engine.WithRecorder(rec))
+		if err != nil {
+			return nil, err
+		}
+		ok, err := eng.RunUntil(simDone, simHorizon)
+		if err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		seqSteps = eng.Steps()
+		simTbl.AddRow("stepwise", nSim, eng.Steps(), len(rec.Events()), el.Round(time.Microsecond),
+			float64(el.Nanoseconds())/float64(max(1, eng.Steps())))
+		check(res, ok, "SKnO sim stepwise n=%d converged", nSim)
+	}
+	// Batched fast path, same seed (identical schedule).
+	{
+		start := time.Now()
+		rec := &trace.Recorder{}
+		eng, err := engine.New(model.IT, sSim, sSim.WrapConfig(simInit), sched.NewRandom(cfg.Seed), engine.WithRecorder(rec))
+		if err != nil {
+			return nil, err
+		}
+		_, ok, err := eng.RunUntilEvery(simDone, 256, simHorizon)
+		if err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		batchSteps = eng.Steps()
+		simTbl.AddRow("batched", nSim, eng.Steps(), len(rec.Events()), el.Round(time.Microsecond),
+			float64(el.Nanoseconds())/float64(max(1, eng.Steps())))
+		check(res, ok, "SKnO sim batched n=%d converged", nSim)
+		check(res, eng.FastPathActive(), "SKnO sim batched n=%d stayed on the fast path (%d interned states)",
+			nSim, eng.InternedStates())
+	}
+	check(res, batchSteps >= seqSteps, "batched sim run stopped at a chunk boundary ≥ stepwise hit (%d vs %d)",
+		batchSteps, seqSteps)
+	// Sharded P ∈ {2, 4} (distinct execution mode; statistical equivalence).
+	for _, p := range []int{2, 4} {
+		sr, err := par.NewSharded(model.IT, sSim, sSim.WrapConfig(simInit), cfg.Seed,
+			par.ShardedOptions{Shards: p, RecordEvents: true})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		_, ok, err := sr.RunUntil(simDone, 256, simHorizon)
+		if err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		simTbl.AddRow(fmt.Sprintf("sharded P=%d", sr.Shards()), nSim, sr.Steps(), len(sr.Events()),
+			el.Round(time.Microsecond), float64(el.Nanoseconds())/float64(max(1, sr.Steps())))
+		check(res, ok, "SKnO sim sharded P=%d n=%d converged", p, nSim)
+	}
+	res.Tables = append(res.Tables, simTbl)
+
 	// Ensemble orchestration: K seeded convergence runs on the pool.
 	ens := report.NewTable("Ensemble sweep (majority, convergence to A)",
 		"runs", "workers", "converged", "mean steps", "p50", "p90", "wall time")

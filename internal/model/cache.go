@@ -49,6 +49,16 @@ func packEntry(ns, nr uint32, aux uint8) uint64 {
 // events, so the hot loop never inspects states.
 type AuxFunc func(s, r, ns, nr pp.State) uint8
 
+// PayloadFunc computes an optional per-transition side payload from the four
+// states of a cached transition, memoized alongside the packed entry. It is
+// the wide companion of AuxFunc: the aux byte tells hot loops *that* a
+// transition has side content (in one branchable byte), the payload carries
+// *what* it is — e.g. the simulation events a wrapped-simulator transition
+// emits, which are behavioral (identical for every provenance variant of a
+// canonical state pair) and therefore safe to memoize per ID pair. A nil
+// return stores nothing.
+type PayloadFunc func(s, r, ns, nr pp.State) any
+
 // TransitionCache memoizes the transition relation of one (model, protocol)
 // pair over interned state IDs: δ is evaluated at most once per distinct
 // (starter, reactor, omission) triple instead of once per interaction.
@@ -65,11 +75,13 @@ type TransitionCache struct {
 	protocol any
 	in       *pp.Interner
 	aux      AuxFunc
+	payload  PayloadFunc
 
 	stride    uint32
 	dense     []uint64
 	maxStride uint32
 	overflow  map[uint64]uint64
+	payloads  map[uint64]any
 }
 
 // DefaultMaxStride bounds the dense table: state spaces wider than this keep
@@ -98,6 +110,23 @@ func (c *TransitionCache) SetMaxStride(n uint32) {
 		m *= 2
 	}
 	c.maxStride = m
+}
+
+// MaxStride returns the configured dense-table bound (the effective value
+// after SetMaxStride's rounding and clamping).
+func (c *TransitionCache) MaxStride() uint32 { return c.maxStride }
+
+// SetPayloadFunc installs the per-transition payload channel (see
+// PayloadFunc). Call before first use; transitions evaluated earlier carry
+// no payload.
+func (c *TransitionCache) SetPayloadFunc(f PayloadFunc) { c.payload = f }
+
+// Payload returns the memoized side payload of the cached transition
+// (sID, rID, om), if the payload function produced one when the transition
+// was first evaluated.
+func (c *TransitionCache) Payload(sID, rID uint32, om pp.OmissionSide) (any, bool) {
+	v, ok := c.payloads[omKey(sID, rID, om)]
+	return v, ok
 }
 
 // Interner returns the cache's interner.
@@ -148,6 +177,14 @@ func (c *TransitionCache) Apply(sID, rID uint32, om pp.OmissionSide) (uint64, er
 	var aux uint8
 	if c.aux != nil {
 		aux = c.aux(s, r, ns, nr)
+	}
+	if c.payload != nil {
+		if v := c.payload(s, r, ns, nr); v != nil {
+			if c.payloads == nil {
+				c.payloads = make(map[uint64]any)
+			}
+			c.payloads[omKey(sID, rID, om)] = v
+		}
 	}
 	if nsID > entryIDMask || nrID > entryIDMask {
 		// Beyond the packable 28-bit ID range the entry encoding cannot

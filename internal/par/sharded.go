@@ -9,6 +9,8 @@ import (
 	"popsim/internal/model"
 	"popsim/internal/pp"
 	"popsim/internal/sched"
+	"popsim/internal/sim"
+	"popsim/internal/verify"
 )
 
 // Errors.
@@ -16,10 +18,33 @@ var (
 	// ErrSharded is returned for invalid sharded-runner configurations.
 	ErrSharded = errors.New("par: invalid sharded configuration")
 	// ErrStateSpace is returned when the interned state space outgrows the
-	// sharded bound (unbounded simulator state spaces cannot be sharded;
-	// run them on the sequential engine).
+	// sharded bound — at construction (too many distinct initial states) or
+	// mid-run (the run keeps minting new states). Wrapped simulators with
+	// canonical keys usually stay under the bound; callers that can should
+	// degrade to the sequential batched engine (System.RunSharded does so
+	// automatically, reporting the reason).
 	ErrStateSpace = errors.New("par: state space exceeds the sharded bound")
 )
+
+// protocolName names a protocol for error context, when it can.
+func protocolName(p any) string {
+	if n, ok := p.(interface{ Name() string }); ok {
+		return n.Name()
+	}
+	return fmt.Sprintf("%T", p)
+}
+
+// stateSpaceErr is the single construction site for ErrStateSpace: every
+// report carries the same wording, the protocol name and — mid-run — the
+// shard that hit the bound.
+func stateSpaceErr(protocol any, shard, states, bound int) error {
+	where := "initial configuration"
+	if shard >= 0 {
+		where = fmt.Sprintf("shard %d", shard)
+	}
+	return fmt.Errorf("%w: protocol %s: %d distinct states > %d (%s)",
+		ErrStateSpace, protocolName(protocol), states, bound, where)
+}
 
 // ShardedOptions tune a ShardedRunner. The zero value picks defaults.
 type ShardedOptions struct {
@@ -38,12 +63,27 @@ type ShardedOptions struct {
 	// rejected by NewSharded. Beyond the bound the run fails with
 	// ErrStateSpace.
 	MaxStates int
+	// TrackEvents counts the simulation events of wrapped simulator states
+	// (sim.Wrapped) as shards hit event-emitting transitions; read the
+	// total with EventCount. Cheap: one counter per shard, no event values
+	// built or retained.
+	TrackEvents bool
+	// RecordEvents additionally retains the full event stream in
+	// per-shard buffers merged at epoch barriers; read it with Events.
+	// Implies TrackEvents. Off by default: the merged stream grows with
+	// the run — long runs that only need totals should use TrackEvents.
+	RecordEvents bool
 }
 
-// MaxShardedStates caps ShardedOptions.MaxStates: the per-worker dense
-// mirrors are stride² words, so the bound must stay table-friendly. Wider
-// finite state spaces stay on the sequential engine (WithFastLimits).
-const MaxShardedStates = 4096
+// MaxShardedStates caps ShardedOptions.MaxStates. The per-worker dense
+// mirrors stay table-friendly regardless (they cap their stride at 1024 and
+// spill to per-worker overflow maps), so the bound's job is to keep the
+// overflow maps and the shared interner from growing without limit — wrapped
+// simulators with canonical keys accumulate a long tail of rare
+// queue-content states on top of a small hot set, which is why the cap sits
+// well above the engine's finite-protocol default. Even wider state spaces
+// stay on the sequential engine (WithFastLimits).
+const MaxShardedStates = 1 << 15
 
 // ShardedRunner executes one population run on P worker shards.
 //
@@ -88,17 +128,33 @@ const MaxShardedStates = 4096
 //     agents are exchangeable, so this loses no information.
 //   - Omission adversaries, scripted schedules and per-interaction traces
 //     are not supported: runs needing them stay on the sequential engine.
-//     Simulation events (sim.Wrapped) are not recorded, and unbounded
-//     simulator state spaces fail with ErrStateSpace.
+//   - Wrapped simulators run sharded when their states carry canonical
+//     behavioral keys (sim.CanonicalKeyed) — the canonicalized state space
+//     is what keeps the shared transition cache bounded. With
+//     ShardedOptions.TrackEvents, shards count the simulation events their
+//     interactions emit (EventCount); with RecordEvents, each shard also
+//     buffers the event content and the barriers merge the buffers in shard
+//     order, with Index quantized to the merging barrier's step count:
+//     interactions within a wave are concurrent, so there is no
+//     finer-grained position to report. Event Agent fields are slot
+//     positions (permuted by exchanges) and Seq/Tag are zero — the stream
+//     supports counting and content statistics, not per-agent chain
+//     verification; runs needing verifiable chains stay on the sequential
+//     engine. State spaces that outgrow the bound anyway fail with
+//     ErrStateSpace (System.RunSharded degrades those runs to the
+//     sequential batched path).
 //
 // Workers share the transition cache read-mostly: each worker keeps a
 // private dense mirror of memoized transitions and takes a mutex only to
 // consult the shared model.TransitionCache on a state pair it has never
 // seen — at most once per distinct pair per worker.
 type ShardedRunner struct {
-	p         int
-	epoch     int
-	maxStates int
+	p           int
+	epoch       int
+	maxStates   int
+	protocol    any  // for error context
+	trackEvents bool // aux bits installed; shards count emitting transitions
+	recEvents   bool // additionally buffer + merge the event stream
 
 	mu    sync.Mutex // guards in + cache (cold-pair misses only)
 	in    *pp.Interner
@@ -111,8 +167,10 @@ type ShardedRunner struct {
 
 	steps   int
 	sinceEx int              // interactions applied since the last exchange
-	quotas  []int            // per-wave quota scratch
-	cfg     pp.Configuration // scratch for materialization
+	quotas     []int            // per-wave quota scratch
+	cfg        pp.Configuration // scratch for materialization
+	events     []verify.Event   // merged simulation events (RecordEvents)
+	eventCount int              // total simulation events (TrackEvents)
 }
 
 // shardWorker is one shard's private execution state.
@@ -127,6 +185,12 @@ type shardWorker struct {
 	dense  []uint64
 	stride uint32
 	over   map[uint64]uint64
+
+	// payloads mirrors the shared cache's event payloads for the pairs
+	// this worker has seen (RecordEvents runs only), keyed like `over`.
+	payloads   map[uint64]*sim.EventPair
+	events     []verify.Event // per-shard event buffer, drained at barriers
+	eventCount int            // per-shard event counter, drained at barriers
 
 	buckets [][]uint32 // per-destination outboxes for the exchange
 	err     error      // first failure in a phase (sticky)
@@ -166,28 +230,52 @@ func NewSharded(k model.Kind, protocol any, initial pp.Configuration, seed int64
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = 1024
+		if sim.AnyWrapped(initial) {
+			// Canonical wrapped state spaces plateau above the
+			// finite-protocol default (long tail of rare queue contents
+			// over a small hot set); default them to the cap instead of
+			// failing convergence-length runs mid-way.
+			maxStates = MaxShardedStates
+		}
 	}
 	if maxStates > MaxShardedStates {
 		return nil, fmt.Errorf("%w: MaxStates %d > %d (wider state spaces stay on the sequential engine)",
 			ErrSharded, maxStates, MaxShardedStates)
 	}
+	if !sim.Canonicalized(initial) {
+		return nil, fmt.Errorf("%w: protocol %s: wrapped states without canonical keys (sim.CanonicalKeyed) cannot be interned; run on the sequential engine",
+			ErrSharded, protocolName(protocol))
+	}
 	in := pp.NewInterner()
-	cache := model.NewTransitionCache(k, protocol, in, nil)
+	track := opts.TrackEvents || opts.RecordEvents
+	var aux model.AuxFunc
+	if track {
+		aux = sim.EventAux // aux bits flag emitting transitions to the shards
+	}
+	cache := model.NewTransitionCache(k, protocol, in, aux)
+	if opts.RecordEvents {
+		// Event content is only materialized when the stream is retained;
+		// count-only runs get by on the aux bits alone.
+		cache.SetPayloadFunc(sim.EventPayload)
+	}
 	// The shared cache's own dense table only serves the mutex-guarded miss
 	// path; keep it small — the per-worker mirrors carry the hot lookups.
 	cache.SetMaxStride(256)
 	sr := &ShardedRunner{
-		p:         p,
-		epoch:     epoch,
-		maxStates: maxStates,
-		in:        in,
-		cache:     cache,
-		scratch:   make([]uint32, n),
-		bounds:    make([]int, p+1),
+		p:           p,
+		epoch:       epoch,
+		maxStates:   maxStates,
+		protocol:    protocol,
+		trackEvents: track,
+		recEvents:   opts.RecordEvents,
+		in:          in,
+		cache:       cache,
+		scratch:     make([]uint32, n),
+		bounds:      make([]int, p+1),
 	}
 	sr.ids = in.InternConfig(initial, nil)
 	if in.Len() > maxStates {
-		return nil, fmt.Errorf("%w: %d distinct initial states > %d", ErrStateSpace, in.Len(), maxStates)
+		return nil, stateSpaceErr(protocol, -1, in.Len(), maxStates)
 	}
 	for i := 0; i <= p; i++ {
 		sr.bounds[i] = i * n / p
@@ -294,8 +382,41 @@ func (sr *ShardedRunner) stepWave(quota int, deal bool) error {
 	}
 	sr.steps += quota
 	sr.sinceEx += quota
+	if sr.trackEvents {
+		sr.mergeEvents()
+	}
 	return nil
 }
+
+// mergeEvents drains the per-shard event counters — and, with retention on,
+// the per-shard event buffers, in shard order — into the run-level
+// aggregates, quantizing every retained event's Index to the barrier's step
+// count (interactions within a wave are concurrent — there is no
+// finer-grained position). Runs on the coordinator between waves, so no
+// synchronization is needed beyond the wave barrier itself.
+func (sr *ShardedRunner) mergeEvents() {
+	for _, w := range sr.workers {
+		sr.eventCount += w.eventCount
+		w.eventCount = 0
+		for i := range w.events {
+			w.events[i].Index = sr.steps
+		}
+		sr.events = append(sr.events, w.events...)
+		w.events = w.events[:0]
+	}
+}
+
+// EventCount returns the total number of simulation events the run has
+// emitted so far (TrackEvents or RecordEvents runs; 0 otherwise). Totals
+// update at wave barriers.
+func (sr *ShardedRunner) EventCount() int { return sr.eventCount }
+
+// Events returns the merged simulation-event stream of a RecordEvents run
+// (shared slice; callers must not modify). Index fields are quantized to
+// barrier step counts, Agent fields are slot positions (permuted by
+// exchanges), Seq/Tag are zero: the stream supports counting and
+// content-level statistics, not per-agent chain verification.
+func (sr *ShardedRunner) Events() []verify.Event { return sr.events }
 
 // exchange drains the outboxes filled by the epoch-closing stepWave:
 // destination t's new slice is the concatenation of every worker's bucket
@@ -411,12 +532,51 @@ func (w *shardWorker) step(q int) {
 		}
 		slice[a] = model.EntryStarter(ent)
 		slice[b] = model.EntryReactor(ent)
+		// Simulation-event transitions carry aux bits (only set when the
+		// runner tracks events); count them, and buffer the content when
+		// the stream is retained.
+		if aux := model.EntryAux(ent); aux != 0 {
+			w.record(s, r, aux, lo+int(a), lo+int(b))
+		}
+	}
+}
+
+// record accounts for the simulation events of one applied transition: the
+// per-shard counter always advances (one per set aux bit — an aux bit is set
+// exactly when that side's event exists); with retention on, the event
+// content is copied from the worker's payload mirror. Index is left zero
+// here and quantized to the barrier's step count at merge time; Agent is the
+// in-wave slot position.
+func (w *shardWorker) record(s, r uint32, aux uint8, starterSlot, reactorSlot int) {
+	if aux&sim.AuxStarterEvent != 0 {
+		w.eventCount++
+	}
+	if aux&sim.AuxReactorEvent != 0 {
+		w.eventCount++
+	}
+	if !w.sr.recEvents {
+		return
+	}
+	pair := w.payloads[uint64(s)<<32|uint64(r)]
+	if pair == nil {
+		return
+	}
+	if aux&sim.AuxStarterEvent != 0 && pair.Starter != nil {
+		ev := *pair.Starter
+		ev.Agent = starterSlot
+		w.events = append(w.events, ev)
+	}
+	if aux&sim.AuxReactorEvent != 0 && pair.Reactor != nil {
+		ev := *pair.Reactor
+		ev.Agent = reactorSlot
+		w.events = append(w.events, ev)
 	}
 }
 
 // lookupCold resolves a state pair the worker's private mirror does not
 // hold: first its private overflow map, then the shared cache under the
-// mutex (memoizing into the mirror either way).
+// mutex (memoizing into the mirror either way, event payload included when
+// the runner records events).
 func (w *shardWorker) lookupCold(s, r uint32) (uint64, error) {
 	key := uint64(s)<<32 | uint64(r)
 	if ent, ok := w.over[key]; ok {
@@ -426,12 +586,24 @@ func (w *shardWorker) lookupCold(s, r uint32) (uint64, error) {
 	sr.mu.Lock()
 	ent, err := sr.cache.Apply(s, r, pp.OmissionNone)
 	states := sr.in.Len()
+	var pair *sim.EventPair
+	if err == nil && sr.recEvents && model.EntryAux(ent) != 0 {
+		if v, ok := sr.cache.Payload(s, r, pp.OmissionNone); ok {
+			pair, _ = v.(*sim.EventPair)
+		}
+	}
 	sr.mu.Unlock()
 	if err != nil {
 		return 0, err
 	}
 	if states > sr.maxStates {
-		return 0, fmt.Errorf("%w: %d distinct states > %d", ErrStateSpace, states, sr.maxStates)
+		return 0, stateSpaceErr(sr.protocol, w.idx, states, sr.maxStates)
+	}
+	if pair != nil {
+		if w.payloads == nil {
+			w.payloads = make(map[uint64]*sim.EventPair)
+		}
+		w.payloads[key] = pair
 	}
 	w.store(s, r, ent)
 	return ent, nil

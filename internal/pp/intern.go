@@ -6,11 +6,22 @@ package pp
 // transition cache of package model) replace repeated Key construction and
 // string comparison with integer indexing.
 //
+// The contract this relies on is that Key is *behavioral*: it encodes
+// exactly what the protocol's transition functions read, and nothing else.
+// States that differ only in side-channel bookkeeping (provenance, event
+// caches, memoized encodings) must share a key — the canonical
+// representative stored for an ID stands in for every such variant, so any
+// non-behavioral field on a materialized state is meaningful only as a
+// debugging aid. The simulator wrappers declare this contract explicitly
+// (sim.CanonicalKeyed); execution paths refuse to intern wrapped states
+// that don't.
+//
 // IDs are allocated in first-sight order starting at 0 and are never
 // reclaimed, so an Interner's memory grows with the number of *distinct*
-// states it has seen — bounded for finite-state protocols, unbounded for
-// simulator state spaces with per-agent counters (callers bound the fast
-// path themselves; see engine.StepBatch). Not safe for concurrent use.
+// states it has seen — bounded for finite-state protocols, plateauing for
+// canonically keyed simulator wrappers (a long tail of rare queue/pairing
+// contents over a small hot set; callers bound the fast path themselves,
+// see engine.StepBatch). Not safe for concurrent use.
 type Interner struct {
 	ids    map[string]uint32
 	states []State

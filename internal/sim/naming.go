@@ -102,15 +102,21 @@ func (a *NamingState) LastEvent() verify.Event {
 	return verify.Event{}
 }
 
-// Key implements pp.State. Memoized on first call.
-// Memoization is unsynchronized: first calls must not race (executions are
-// single-goroutine; share states across goroutines only after keying them).
+// Key implements pp.State. The encoding is canonical-behavioral: the naming
+// variables (my_id, max_id, n) are all read by the transition logic, and the
+// inner SID key is itself canonical, so the composed key carries no
+// provenance. Memoized on first call; memoization is unsynchronized: first
+// calls must not race (executions are single-goroutine; share states across
+// goroutines only after keying them).
 func (a *NamingState) Key() string {
 	if a.key == "" {
 		a.key = a.buildKey()
 	}
 	return a.key
 }
+
+// CanonicalKey implements CanonicalKeyed: Key is purely behavioral.
+func (a *NamingState) CanonicalKey() {}
 
 func (a *NamingState) buildKey() string {
 	var b strings.Builder

@@ -91,8 +91,13 @@ type SIDState struct {
 	mode     SIDMode
 	otherID  int      // idother; 0 = ⊥
 	otherSim pp.State // stateother; nil = ⊥
-	lockTag  string   // provenance of the current lock session
 
+	// Verification-only instrumentation: never read by transitions and
+	// excluded from the canonical Key (see Key). lockTag labels the
+	// current lock session so direct API users can pair the two halves of
+	// a simulated interaction; interned runs recover provenance from the
+	// run-level recorder instead.
+	lockTag   string
 	gen       uint64
 	lastEvent verify.Event
 
@@ -123,10 +128,16 @@ func (a *SIDState) Mode() SIDMode { return a.mode }
 // PartnerID returns idother (0 = ⊥).
 func (a *SIDState) PartnerID() int { return a.otherID }
 
-// Key implements pp.State (event cache excluded; gen included because it is
-// stamped into lock tags read by partners). Memoized on first call.
-// Memoization is unsynchronized: first calls must not race (executions are
-// single-goroutine; share states across goroutines only after keying them).
+// Key implements pp.State. The encoding is canonical-behavioral: it covers
+// exactly the Figure-3 variables the transition logic reads — my_id,
+// simulated state, mode, idother, stateother — and excludes the
+// instrumentation (lockTag, gen, event cache), so states that differ only in
+// provenance intern to the same dense ID. The ID stays in the key because it
+// IS behavioral: SID's pairing/locking conditions branch on it, which is why
+// the SID state space scales with n even under canonical keys. Memoized on
+// first call; memoization is unsynchronized: first calls must not race
+// (executions are single-goroutine; share states across goroutines only
+// after keying them).
 func (a *SIDState) Key() string {
 	if a.key == "" {
 		a.key = a.buildKey()
@@ -134,9 +145,12 @@ func (a *SIDState) Key() string {
 	return a.key
 }
 
+// CanonicalKey implements CanonicalKeyed: Key is purely behavioral.
+func (a *SIDState) CanonicalKey() {}
+
 func (a *SIDState) buildKey() string {
 	var b strings.Builder
-	size := 48 + len(a.sim.Key()) + len(a.lockTag)
+	size := 32 + len(a.sim.Key())
 	if a.otherSim != nil {
 		size += len(a.otherSim.Key())
 	}
@@ -153,10 +167,6 @@ func (a *SIDState) buildKey() string {
 	if a.otherSim != nil {
 		b.WriteString(a.otherSim.Key())
 	}
-	b.WriteByte(';')
-	b.WriteString(a.lockTag)
-	b.WriteByte(';')
-	b.WriteString(strconv.FormatUint(a.gen, 10))
 	b.WriteByte('}')
 	return b.String()
 }

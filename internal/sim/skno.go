@@ -103,7 +103,11 @@ type SKnOState struct {
 	// used as substitutes for that slot ("Rummy rule").
 	debt map[string]int
 
-	// Verification-only instrumentation.
+	// Verification-only instrumentation: never read by transitions and
+	// excluded from the canonical Key, so the interner collapses states
+	// that differ only in provenance. Runs driven through the interned
+	// fast path recover per-agent provenance from the run-level recorder
+	// (trace.Provenance), not from these fields.
 	origin    int
 	gen       uint64
 	lastEvent verify.Event
@@ -143,10 +147,14 @@ func (a *SKnOState) DebtSize() int {
 	return total
 }
 
-// Key implements pp.State. The event cache is excluded (it never influences
-// behaviour); origin and gen are included because they are stamped into
-// transmitted change tokens. The encoding is memoized on first call.
-// Memoization is unsynchronized: first calls must not race (executions are
+// Key implements pp.State. The encoding is canonical-behavioral: it covers
+// exactly what the transition functions read — simulated state, mode, the
+// token queue (tag-free token keys, in order) and the joker debt — and
+// excludes the instrumentation fields (origin, gen, event cache). Two SKnO
+// states with equal keys are behaviorally indistinguishable, which is what
+// lets the interner, transition cache and sharded runner treat wrapped runs
+// as a bounded state space. Memoized on first call; memoization is
+// unsynchronized: first calls must not race (executions are
 // single-goroutine; share states across goroutines only after keying them).
 func (a *SKnOState) Key() string {
 	if a.key == "" {
@@ -155,9 +163,12 @@ func (a *SKnOState) Key() string {
 	return a.key
 }
 
+// CanonicalKey implements CanonicalKeyed: Key is purely behavioral.
+func (a *SKnOState) CanonicalKey() {}
+
 func (a *SKnOState) buildKey() string {
 	var b strings.Builder
-	size := 48 + len(a.sim.Key())
+	size := 32 + len(a.sim.Key())
 	for _, t := range a.sending {
 		size += len(t.Key()) + 1
 	}
@@ -190,10 +201,6 @@ func (a *SKnOState) buildKey() string {
 		b.WriteByte('*')
 		b.WriteString(strconv.Itoa(a.debt[k]))
 	}
-	b.WriteByte(';')
-	b.WriteString(strconv.Itoa(a.origin))
-	b.WriteByte('.')
-	b.WriteString(strconv.FormatUint(a.gen, 10))
 	b.WriteByte('}')
 	return b.String()
 }

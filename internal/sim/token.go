@@ -52,7 +52,9 @@ type Token struct {
 	Idx int
 	// Tag is the verification-only provenance label of the consumption
 	// that emitted this change run (ChangeToken only). Protocol logic
-	// never branches on it.
+	// never branches on it and the canonical Key excludes it: tokens of
+	// equal (kind, Q, Via, Idx) are behaviorally indistinguishable, as in
+	// the paper, where tokens carry no provenance at all.
 	Tag string
 
 	// key memoizes the canonical encoding (see Memoized). Copies of a
@@ -70,8 +72,11 @@ func (t Token) Memoized() Token {
 	return t
 }
 
-// Key returns the canonical encoding of the token. The Tag participates in
-// the encoding because it is part of the transmitted content.
+// Key returns the canonical encoding of the token: exactly the content the
+// simulator's transition logic reads — kind, announced/addressed states and
+// run index. The provenance Tag is deliberately excluded (it never influences
+// behavior), so behaviorally interchangeable tokens share one key and wrapped
+// states containing them intern to the same dense ID.
 func (t Token) Key() string {
 	if t.key != "" {
 		return t.key
@@ -81,7 +86,7 @@ func (t Token) Key() string {
 
 func (t Token) buildKey() string {
 	var b strings.Builder
-	b.Grow(8 + keyLen(t.Q) + keyLen(t.Via) + len(t.Tag))
+	b.Grow(8 + keyLen(t.Q) + keyLen(t.Via))
 	switch t.Kind {
 	case AnnounceToken:
 		b.WriteString("A:")
@@ -95,8 +100,6 @@ func (t Token) buildKey() string {
 		b.WriteString(t.Via.Key())
 		b.WriteByte(':')
 		b.WriteString(strconv.Itoa(t.Idx))
-		b.WriteByte('#')
-		b.WriteString(t.Tag)
 	case JokerToken:
 		b.WriteString("J")
 	}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"strconv"
+
+	"popsim/internal/verify"
+)
+
+// Provenance is the per-run provenance recorder: it assigns the run-local
+// identity of simulation events — the per-agent sequence number Seq and the
+// provenance Tag — at recording time.
+//
+// Rationale: wrapped simulator states carry canonical-behavioral keys (see
+// sim.CanonicalKeyed), so the interned execution paths collapse states that
+// differ only in origin/generation bookkeeping. The event *content* (Role,
+// Pre, Post, PartnerPre) is behavioral and survives interning — it is
+// memoized per transition in the model.TransitionCache payload channel — but
+// per-agent counters cannot live inside interned states without re-expanding
+// the state space. They live here instead: one counter per agent, advanced
+// as events are recorded, which reproduces exactly the sequence numbers the
+// un-interned stepwise execution would have produced. Tags become run-local
+// labels ("a<agent>.<seq>"); the two halves of one simulated interaction are
+// paired structurally by the verifier (verify.Verify's belief-key matching),
+// which never reads tags.
+type Provenance struct {
+	seqs []uint64
+}
+
+// Reset clears the counters for a run over n agents. Capacity is retained.
+func (p *Provenance) Reset(n int) {
+	if cap(p.seqs) < n {
+		p.seqs = make([]uint64, n)
+		return
+	}
+	p.seqs = p.seqs[:n]
+	for i := range p.seqs {
+		p.seqs[i] = 0
+	}
+}
+
+// Annotate assigns ev's run-local provenance from its Agent: the next
+// per-agent sequence number and the canonical run-local tag. Events for
+// agents beyond the reset width grow the counter table (merged streams may
+// carry synthetic agent indices); negative agents are left untouched.
+func (p *Provenance) Annotate(ev *verify.Event) {
+	if ev.Agent < 0 {
+		return
+	}
+	for ev.Agent >= len(p.seqs) {
+		p.seqs = append(p.seqs, 0)
+	}
+	p.seqs[ev.Agent]++
+	ev.Seq = p.seqs[ev.Agent]
+	ev.Tag = "a" + strconv.Itoa(ev.Agent) + "." + strconv.FormatUint(ev.Seq, 10)
+}
+
+// Count returns the number of events annotated for agent so far.
+func (p *Provenance) Count(agent int) uint64 {
+	if agent < 0 || agent >= len(p.seqs) {
+		return 0
+	}
+	return p.seqs[agent]
+}

@@ -14,6 +14,14 @@ import (
 // The zero value records counters and events but not the interaction
 // sequence; set KeepInteractions before the run to retain the full run
 // (needed by replay-style experiments, memory-hungry for long runs).
+//
+// Recorded events carry *canonical* run-level provenance: OnEvent assigns
+// each event's Seq and Tag from the per-run Provenance counters, overriding
+// whatever the emitting state carried. This makes the stepwise and interned
+// batched execution paths record identical streams — interned states share
+// canonical representatives, so their state-carried counters are not
+// per-agent-exact — while per-agent sequence chains stay exactly what the
+// verifier (verify.Verify) requires.
 type Recorder struct {
 	// KeepInteractions retains the full interaction sequence.
 	KeepInteractions bool
@@ -21,6 +29,7 @@ type Recorder struct {
 	initial      pp.Configuration
 	interactions pp.Run
 	events       []verify.Event
+	prov         Provenance
 	steps        int
 	omissions    int
 }
@@ -34,6 +43,7 @@ func (r *Recorder) Reset(initial pp.Configuration) {
 	r.initial = append(r.initial[:0], initial...)
 	r.interactions = r.interactions[:0]
 	r.events = r.events[:0]
+	r.prov.Reset(len(initial))
 	r.steps = 0
 	r.omissions = 0
 }
@@ -58,8 +68,10 @@ func (r *Recorder) OnInteraction(it pp.Interaction) {
 	}
 }
 
-// OnEvent records one simulated-state update event.
+// OnEvent records one simulated-state update event, assigning its canonical
+// run-level Seq and Tag (see Provenance).
 func (r *Recorder) OnEvent(ev verify.Event) {
+	r.prov.Annotate(&ev)
 	r.events = append(r.events, ev)
 }
 

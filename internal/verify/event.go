@@ -38,11 +38,13 @@ func (r Role) String() string {
 // Event records one update of the simulated state of one agent, i.e. one
 // element of the sequence of events E(Γ) of Definition 3.
 //
-// Tag is a provenance label connecting the two halves of the same simulated
-// interaction. Simulators stamp tags from verification-only instrumentation
-// (origin indices and per-agent generation counters); tags are never
-// consulted by protocol logic — a dedicated anonymity test permutes them and
-// asserts unchanged projected behaviour.
+// Tag is a provenance label for debugging and log correlation; it is never
+// consulted by protocol logic or by the verifier — Verify pairs the two
+// halves of a simulated interaction structurally, by belief keys, not by
+// tags. Events read directly off simulator states carry simulator-minted
+// tags (e.g. SID's lock tags, shared by both halves of a lock session);
+// events recorded through trace.Recorder carry canonical run-local labels
+// ("a<agent>.<seq>") assigned at recording time, unique per event.
 type Event struct {
 	// Index is the position in the run of the physical interaction that
 	// caused this simulated-state update.
@@ -58,7 +60,8 @@ type Event struct {
 	// PartnerPre is the simulated pre-state of the (believed) partner in
 	// the simulated interaction.
 	PartnerPre pp.State
-	// Tag pairs this event with its counterpart event.
+	// Tag is a provenance label (see the type comment); pairing is done
+	// structurally by the verifier, never through tags.
 	Tag string
 }
 

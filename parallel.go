@@ -5,8 +5,11 @@ import (
 	"errors"
 	"time"
 
+	"popsim/internal/engine"
 	"popsim/internal/par"
+	"popsim/internal/sched"
 	"popsim/internal/sim"
+	"popsim/internal/trace"
 )
 
 // ShardedOptions tune sharded execution; see par.ShardedOptions.
@@ -21,6 +24,16 @@ type ShardedResult struct {
 	// Final is the final simulated (projected) configuration. Sharded
 	// execution permutes agent positions, so treat it as a multiset.
 	Final Configuration
+	// SimEvents is the number of simulated-state update events the run
+	// emitted (simulator systems only; 0 for native protocols).
+	SimEvents int
+	// Degraded reports that the sharded mode could not hold the run — the
+	// interned state space outgrew the sharded bound — and the run was
+	// executed on the sequential batched engine instead (from the system's
+	// current configuration, for the full horizon). DegradedReason carries
+	// the sharded failure.
+	Degraded       bool
+	DegradedReason string
 }
 
 // Errors of the parallel facade.
@@ -42,6 +55,15 @@ var (
 // par.ShardedRunner contract). The system's own sequential engine,
 // scheduler position and trace are left untouched; specs carrying a custom
 // Scheduler or an Adversary are not shardable and return ErrShardedSpec.
+//
+// Simulator systems (spec.Simulate) run sharded too: their canonical state
+// keys keep the interned space bounded, and the run counts simulation
+// events per shard, merged at epoch barriers (reported as SimEvents; the
+// full event stream is available from par.ShardedRunner's RecordEvents
+// mode). If the state space outgrows the sharded bound anyway — at
+// construction or mid-run — the run degrades to the sequential batched
+// engine instead of failing: the result carries Degraded and the sharded
+// failure as DegradedReason.
 func (s *System) RunSharded(opts ShardedOptions, pred func(Configuration) bool, every, horizon int) (*ShardedResult, error) {
 	if s.spec.Scheduler != nil || s.spec.Adversary != nil {
 		return nil, ErrShardedSpec
@@ -50,6 +72,11 @@ func (s *System) RunSharded(opts ShardedOptions, pred func(Configuration) bool, 
 	protocol := s.spec.Protocol
 	if s.spec.Simulate != nil {
 		protocol = s.spec.Simulate.Protocol
+		// Count-only tracking: the facade reports SimEvents, so retaining
+		// the full stream (which grows with the run) would be waste.
+		// Callers needing the events themselves use par.ShardedRunner
+		// with RecordEvents directly.
+		opts.TrackEvents = true
 	}
 	// Inherit the system's fast-path state bound as a default, clamped to
 	// the sharded subsystem's own cap (the sequential engine accepts wider
@@ -64,21 +91,65 @@ func (s *System) RunSharded(opts ShardedOptions, pred func(Configuration) bool, 
 	}
 	sr, err := par.NewSharded(kind, protocol, s.eng.Config(), s.spec.Seed, opts)
 	if err != nil {
+		if errors.Is(err, par.ErrStateSpace) {
+			return s.runShardedDegraded(kind, protocol, pred, every, horizon, err)
+		}
 		return nil, err
 	}
 	res := &ShardedResult{}
 	if pred == nil {
 		if err := sr.RunSteps(horizon); err != nil {
+			if errors.Is(err, par.ErrStateSpace) {
+				return s.runShardedDegraded(kind, protocol, pred, every, horizon, err)
+			}
 			return nil, err
 		}
 	} else {
 		projected := func(c Configuration) bool { return pred(sim.Project(c)) }
 		if _, res.Converged, err = sr.RunUntil(projected, every, horizon); err != nil {
+			if errors.Is(err, par.ErrStateSpace) {
+				return s.runShardedDegraded(kind, protocol, pred, every, horizon, err)
+			}
 			return nil, err
 		}
 	}
 	res.Steps = sr.Steps()
 	res.Final = sim.Project(sr.Config()).Clone()
+	res.SimEvents = sr.EventCount()
+	return res, nil
+}
+
+// runShardedDegraded is RunSharded's fallback: the sharded mode reported an
+// interned state space beyond its bound (cause), so the run executes on a
+// fresh sequential batched engine from the system's current configuration —
+// same seed, full horizon — and the result records why.
+func (s *System) runShardedDegraded(kind Model, protocol any, pred func(Configuration) bool, every, horizon int, cause error) (*ShardedResult, error) {
+	rec := &trace.Recorder{}
+	opts := []engine.Option{engine.WithRecorder(rec)}
+	if s.spec.MaxFastStates > 0 || s.spec.MaxBatchChunk > 0 {
+		opts = append(opts, engine.WithFastLimits(s.spec.MaxFastStates, s.spec.MaxBatchChunk))
+	}
+	eng, err := engine.New(kind, protocol, s.eng.Config(), sched.NewRandom(s.spec.Seed), opts...)
+	if err != nil {
+		return nil, err
+	}
+	res := &ShardedResult{Degraded: true, DegradedReason: cause.Error()}
+	if pred == nil {
+		if err := eng.RunStepsBatch(horizon); err != nil {
+			return nil, err
+		}
+	} else {
+		if every < 1 {
+			every = 64 // sharded "every epoch" has no analogue here; stay sparse
+		}
+		projected := func(c Configuration) bool { return pred(sim.Project(c)) }
+		if _, res.Converged, err = eng.RunUntilEvery(projected, every, horizon); err != nil {
+			return nil, err
+		}
+	}
+	res.Steps = eng.Steps()
+	res.Final = sim.Project(eng.Config()).Clone()
+	res.SimEvents = len(rec.Events())
 	return res, nil
 }
 

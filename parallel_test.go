@@ -71,6 +71,68 @@ func TestSystemRunShardedFixedSteps(t *testing.T) {
 	}
 }
 
+// TestSystemRunShardedSimulator: a wrapped simulator system runs sharded —
+// canonical state keys keep the interned space under the sharded bound — and
+// reports its simulation events.
+func TestSystemRunShardedSimulator(t *testing.T) {
+	n := 64
+	s := popsim.SKnO(protocols.Majority{}, 0)
+	sys, err := popsim.NewSystem(popsim.SystemSpec{
+		Model:    popsim.IT,
+		Simulate: &s,
+		Initial:  protocols.MajorityConfig(n/2+6, n/2-6),
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunSharded(popsim.ShardedOptions{Shards: 2}, majorityDone, 256, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Fatalf("wrapped sharded run degraded: %s", res.DegradedReason)
+	}
+	if !res.Converged || !majorityDone(res.Final) {
+		t.Fatalf("wrapped sharded run did not converge: %+v", res)
+	}
+	if res.SimEvents == 0 {
+		t.Fatal("no simulation events reported")
+	}
+}
+
+// TestSystemRunShardedDegrades: when the interned state space outgrows the
+// sharded bound, RunSharded must finish the run on the sequential batched
+// engine and say why, not hard-fail.
+func TestSystemRunShardedDegrades(t *testing.T) {
+	n := 64
+	s := popsim.SID(protocols.Majority{})
+	sys, err := popsim.NewSystem(popsim.SystemSpec{
+		Model:    popsim.IO,
+		Simulate: &s,
+		Initial:  protocols.MajorityConfig(n/2+6, n/2-6),
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxStates 16 < n distinct initial SID states forces the degrade at
+	// construction; a mid-run overflow takes the same path.
+	res, err := sys.RunSharded(popsim.ShardedOptions{Shards: 2, MaxStates: 16}, majorityDone, 64, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.DegradedReason == "" {
+		t.Fatalf("expected a degraded run with a reason, got %+v", res)
+	}
+	if !res.Converged || !majorityDone(res.Final) {
+		t.Fatalf("degraded run did not converge: %+v", res)
+	}
+	if res.SimEvents == 0 {
+		t.Fatal("degraded run lost its simulation events")
+	}
+}
+
 func TestSystemRunShardedRejectsCustomScheduling(t *testing.T) {
 	spec := majoritySpec(1)
 	spec.Scheduler = popsim.RandomScheduler(1)
