@@ -534,6 +534,144 @@ func BenchmarkSimWrapped(b *testing.B) {
 	}
 }
 
+// BenchmarkCountEngineThroughput measures raw stepping on the counts
+// backend against the batched agent-vector fast path at n ∈ {10⁴, 10⁶}
+// (majority, TW). Raw stepping is NOT where the counts backend wins while
+// the agent path's 4·n-byte ID vector still fits cache (the batch column is
+// faster here) — the backend's O(|Q|) working set pays off in observation
+// and at populations beyond cache. These rows exist to track the
+// per-interaction sampling cost; the ≥10× million-agent gate is the
+// BenchmarkCountEngineConvergence n=10⁶ pair in the same BENCH_counts.json
+// artifact.
+func BenchmarkCountEngineThroughput(b *testing.B) {
+	for _, n := range []int{10_000, 1_000_000} {
+		n := n
+		b.Run(fmt.Sprintf("batch/n=%d", n), func(b *testing.B) {
+			eng, err := engine.New(model.TW, protocols.Majority{}, protocols.MajorityConfig(n/2, n/2), sched.NewRandom(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.StepBatch(1); err != nil { // warm the transition cache
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, err := eng.StepBatch(b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+		b.Run(fmt.Sprintf("counts/n=%d", n), func(b *testing.B) {
+			ce, err := engine.NewCountEngine(model.TW, protocols.Majority{}, protocols.MajorityConfig(n/2, n/2), 1, engine.CountOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ce.RunSteps(1); err != nil { // warm the transition cache
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if err := ce.RunSteps(b.N); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(ce.BlockLen()), "block")
+		})
+	}
+}
+
+// BenchmarkCountEngineConvergence runs majority to convergence at
+// n ∈ {10⁴, 10⁶} — the end-to-end shape the counts backend exists for:
+// stepping *and* observation both off the O(n) agent vector. The batched
+// rows drive RunUntilEvery (predicate every 1024 interactions, O(n) scans
+// and O(n) bisection arming); the counts rows drive CountEngine.RunUntil
+// (O(|Q|) predicate, O(|Q|) arming). The n=10⁶ pair is the ≥10× gate
+// recorded in BENCH_counts.json.
+func BenchmarkCountEngineConvergence(b *testing.B) {
+	for _, n := range []int{10_000, 1_000_000} {
+		n := n
+		margin := n / 50
+		b.Run(fmt.Sprintf("batch/n=%d", n), func(b *testing.B) {
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				eng, err := engine.New(model.TW, protocols.Majority{},
+					protocols.MajorityConfig(n/2+margin, n/2-margin), sched.NewRandom(int64(i+1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				done := func(c pp.Configuration) bool { return protocols.MajorityConverged(c, "A") }
+				_, ok, err := eng.RunUntilEvery(done, 1024, 1<<40)
+				if err != nil || !ok {
+					b.Fatalf("ok=%v err=%v", ok, err)
+				}
+				steps += eng.Steps()
+			}
+			b.ReportMetric(float64(steps)/float64(b.N), "steps/run")
+		})
+		b.Run(fmt.Sprintf("counts/n=%d", n), func(b *testing.B) {
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				ce, err := engine.NewCountEngine(model.TW, protocols.Majority{},
+					protocols.MajorityConfig(n/2+margin, n/2-margin), int64(i+1), engine.CountOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				out := protocols.Majority{}
+				in := ce.Interner()
+				_, ok, err := ce.RunUntil(func(c pp.Counts) bool {
+					for id, v := range c {
+						if v != 0 && out.Output(in.State(uint32(id))) != "A" {
+							return false
+						}
+					}
+					return true
+				}, 1024, 1<<40)
+				if err != nil || !ok {
+					b.Fatalf("ok=%v err=%v", ok, err)
+				}
+				steps += ce.Steps()
+			}
+			b.ReportMetric(float64(steps)/float64(b.N), "steps/run")
+		})
+	}
+}
+
+// BenchmarkRunUntilArming is the regression guard for the convergence
+// drivers' arming cost: RunUntilEvery's exact-hitting instrumentation
+// snapshots the chunk start before every chunk — an O(n) ID copy on the
+// agent-vector engine versus an O(|Q|) counts copy on the counts backend.
+// With a sparse predicate (every = 64) at n = 10⁵ the agent-vector row is
+// dominated by exactly that arming traffic, which is the regression this
+// benchmark pins.
+func BenchmarkRunUntilArming(b *testing.B) {
+	const n = 100_000
+	never := func(pp.Configuration) bool { return false }
+	b.Run("agent", func(b *testing.B) {
+		eng, err := engine.New(model.TW, protocols.Majority{}, protocols.MajorityConfig(n/2, n/2), sched.NewRandom(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.StepBatch(1); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		if _, ok, err := eng.RunUntilEvery(never, 64, b.N); ok || err != nil {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	})
+	b.Run("counts", func(b *testing.B) {
+		ce, err := engine.NewCountEngine(model.TW, protocols.Majority{}, protocols.MajorityConfig(n/2, n/2), 1, engine.CountOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ce.RunSteps(1); err != nil {
+			b.Fatal(err)
+		}
+		neverC := func(pp.Counts) bool { return false }
+		b.ResetTimer()
+		if _, ok, err := ce.RunUntil(neverC, 64, b.N); ok || err != nil {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	})
+}
+
 // BenchmarkSimWrappedConvergence runs the thm31-style simulated convergence
 // workload end to end — SKnO(o=0)/majority under IT until the projected
 // majority verdict stabilizes — on the stepwise driver vs the batched

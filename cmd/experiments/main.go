@@ -3,40 +3,94 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-quick] [-workers K] [-csv DIR] [IDs...]
+//	experiments [-seed N] [-quick] [-workers K] [-csv DIR] [-json] [IDs...]
 //
 // With no IDs, all experiments run in order. The full reproduction runs
 // multi-core: experiments fan out across a bounded worker pool and their
 // internal sweeps fan out again (every cell keeps its own seed, so results
 // are identical at any worker count). Exit status 1 if any claim fails to
 // reproduce.
+//
+// With -json, per-experiment results stream to stdout as JSON lines in
+// order of completion — one self-identifying object per experiment, so the
+// harness composes with external sweep orchestrators that multiplex many
+// invocations. The line schema is
+//
+//	{"id","claim","pass","seed","quick","notes":[...],
+//	 "tables":[{"title","caption","header":[...],"rows":[[...]]}]}
+//
+// with table cells pre-rendered as strings (the same values the ASCII and
+// CSV renderings show).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"popsim/internal/experiments"
 	"popsim/internal/par"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// jsonTable is one result table in the -json stream.
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Caption string     `json:"caption,omitempty"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+}
+
+// jsonResult is one line of the -json stream.
+type jsonResult struct {
+	ID     string      `json:"id"`
+	Claim  string      `json:"claim"`
+	Pass   bool        `json:"pass"`
+	Seed   int64       `json:"seed"`
+	Quick  bool        `json:"quick"`
+	Notes  []string    `json:"notes,omitempty"`
+	Tables []jsonTable `json:"tables,omitempty"`
+}
+
+func toJSONResult(res *experiments.Result, claim string, cfg experiments.Config) jsonResult {
+	out := jsonResult{
+		ID:    res.ID,
+		Claim: claim,
+		Pass:  res.Pass,
+		Seed:  cfg.Seed,
+		Quick: cfg.Quick,
+		Notes: res.Notes,
+	}
+	for _, t := range res.Tables {
+		out.Tables = append(out.Tables, jsonTable{
+			Title:   t.Title,
+			Caption: t.Caption,
+			Header:  t.Header(),
+			Rows:    t.RowData(),
+		})
+	}
+	return out
+}
+
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "random seed for all runs")
 	quick := fs.Bool("quick", false, "reduced sweeps (smoke mode)")
 	workers := fs.Int("workers", 0, "per-level worker bound (0 = GOMAXPROCS): experiments fan out on one pool of this size, and each experiment's sweep on another, so up to workers² cells run concurrently")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
+	jsonOut := fs.Bool("json", false, "stream per-experiment results as JSON lines (in order of completion) instead of ASCII tables")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,7 +100,7 @@ func run(args []string) error {
 	}
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-6s %s\n", e.ID, e.Claim)
+			fmt.Fprintf(stdout, "%-6s %s\n", e.ID, e.Claim)
 		}
 		return nil
 	}
@@ -62,6 +116,9 @@ func run(args []string) error {
 	// Fan the experiments themselves across the pool (their sweeps fan out
 	// again internally); outputs are collected per slot and printed in the
 	// requested order, so the report reads identically at any parallelism.
+	// (-json instead streams each result the moment it completes — the
+	// lines are self-identifying, so completion order costs consumers
+	// nothing and the stream stays live during long sweeps.)
 	// Timing-sensitive experiments (PERF measures wall-clock ns/step) are
 	// held back and run alone afterwards, so their tables are never
 	// contaminated by CPU contention from concurrent experiments.
@@ -78,12 +135,24 @@ func run(args []string) error {
 			pooled = append(pooled, i)
 		}
 	}
+	var streamMu sync.Mutex
+	enc := json.NewEncoder(stdout)
 	runOne := func(i int) error {
-		res, out, err := experiments.Run(strings.ToUpper(ids[i]), cfg)
+		id := strings.ToUpper(ids[i])
+		res, out, err := experiments.Run(id, cfg)
 		if err != nil {
 			return err
 		}
 		outcomes[i] = outcome{res: res, out: out}
+		if *jsonOut {
+			exp, err := experiments.ByID(id)
+			if err != nil {
+				return err
+			}
+			streamMu.Lock()
+			defer streamMu.Unlock()
+			return enc.Encode(toJSONResult(res, exp.Claim, cfg))
+		}
 		return nil
 	}
 	err := par.ForEach(context.Background(), len(pooled), *workers, func(i int) error {
@@ -99,7 +168,9 @@ func run(args []string) error {
 	}
 	failed := 0
 	for _, oc := range outcomes {
-		fmt.Print(oc.out)
+		if !*jsonOut {
+			fmt.Fprint(stdout, oc.out)
+		}
 		if !oc.res.Pass {
 			failed++
 		}

@@ -1,26 +1,30 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestRunList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	if err := run([]string{"-list"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunQuickSingle(t *testing.T) {
-	if err := run([]string{"-quick", "-seed", "7", "FIG1"}); err != nil {
+	if err := run([]string{"-quick", "-seed", "7", "FIG1"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunLowercaseIDAndCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-quick", "-csv", dir, "thm33"}); err != nil {
+	if err := run([]string{"-quick", "-csv", dir, "thm33"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "thm33_*.csv"))
@@ -33,18 +37,90 @@ func TestRunLowercaseIDAndCSV(t *testing.T) {
 	}
 }
 
+// TestRunJSONStream asserts the -json line schema: one self-identifying
+// JSON object per requested experiment, with claim, pass verdict, config
+// echo and structurally consistent tables.
+func TestRunJSONStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-seed", "7", "-json", "FIG1", "THM33"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	type table struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	type line struct {
+		ID     string   `json:"id"`
+		Claim  string   `json:"claim"`
+		Pass   *bool    `json:"pass"`
+		Seed   int64    `json:"seed"`
+		Quick  bool     `json:"quick"`
+		Notes  []string `json:"notes"`
+		Tables []table  `json:"tables"`
+	}
+	seen := map[string]bool{}
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var l line
+		if err := dec.Decode(&l); err != nil {
+			t.Fatalf("undecodable line: %v", err)
+		}
+		if l.ID == "" || l.Claim == "" || l.Pass == nil {
+			t.Fatalf("line missing id/claim/pass: %+v", l)
+		}
+		if !*l.Pass {
+			t.Fatalf("experiment %s did not pass", l.ID)
+		}
+		if l.Seed != 7 || !l.Quick {
+			t.Fatalf("config echo wrong: seed=%d quick=%v", l.Seed, l.Quick)
+		}
+		if len(l.Tables) == 0 {
+			t.Fatalf("experiment %s streamed no tables", l.ID)
+		}
+		for _, tb := range l.Tables {
+			if tb.Title == "" || len(tb.Header) == 0 {
+				t.Fatalf("%s: table missing title/header: %+v", l.ID, tb)
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Header) {
+					t.Fatalf("%s: row width %d != header width %d", l.ID, len(row), len(tb.Header))
+				}
+			}
+		}
+		seen[l.ID] = true
+	}
+	if !seen["FIG1"] || !seen["THM33"] || len(seen) != 2 {
+		t.Fatalf("stream covered %v, want FIG1 and THM33", seen)
+	}
+}
+
+// TestRunJSONSuppressesTables: the JSON stream replaces the ASCII report —
+// stdout must be pure JSON lines (every line machine-decodable).
+func TestRunJSONSuppressesTables(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-json", "FIG1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, ln := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !json.Valid([]byte(ln)) {
+			t.Fatalf("line %d is not JSON: %q", i, ln)
+		}
+	}
+}
+
 func TestRunUnknownID(t *testing.T) {
-	if err := run([]string{"NOPE"}); err == nil {
+	if err := run([]string{"NOPE"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunWorkersFlag(t *testing.T) {
 	// The pooled path must produce the same report at any worker count.
-	if err := run([]string{"-quick", "-seed", "7", "-workers", "3", "THM45", "FIG1"}); err != nil {
+	if err := run([]string{"-quick", "-seed", "7", "-workers", "3", "THM45", "FIG1"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-quick", "-seed", "7", "-workers", "1", "THM45"}); err != nil {
+	if err := run([]string{"-quick", "-seed", "7", "-workers", "1", "THM45"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -59,7 +135,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-quick", "FIG1", "NOPE"}, // unknown experiment id among valid ones
 	} {
 		args := args
-		if err := run(args); err == nil {
+		if err := run(args, io.Discard); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}

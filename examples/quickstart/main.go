@@ -1,5 +1,8 @@
 // Quickstart: run the 4-state exact-majority protocol natively in the
-// standard two-way model and watch it converge.
+// standard two-way model and watch it converge — first a small population
+// through the classic per-agent API, then a million agents through the
+// counts backend, where stepping and observation are O(|Q|) and the whole
+// run takes seconds.
 //
 //	go run ./examples/quickstart
 package main
@@ -7,18 +10,23 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"popsim"
 	"popsim/internal/protocols"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := runSmall(); err != nil {
+		log.Fatal(err)
+	}
+	if err := runMillion(); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+// runSmall is the classic quickstart: 16 agents, per-agent observation.
+func runSmall() error {
 	// 9 agents voting A, 7 voting B: A has the majority.
 	initial := protocols.MajorityConfig(9, 7)
 
@@ -41,5 +49,57 @@ func run() error {
 	fmt.Printf("population: 9×A vs 7×B\n")
 	fmt.Printf("converged to majority A: %v after %d interactions\n", converged, sys.Steps())
 	fmt.Printf("final configuration: %v\n", sys.Projected())
+	return nil
+}
+
+// runMillion is the same protocol at n = 1,000,000: a count predicate keeps
+// every observation O(|Q|), and RunUntilCounts picks the counts backend
+// automatically (the population is canonical and above
+// popsim.DefaultCountsBackendN), so the run never materializes a
+// million-entry configuration at all.
+func runMillion() error {
+	const n = 1_000_000
+	sys, err := popsim.NewSystem(popsim.SystemSpec{
+		Model:    popsim.TW,
+		Protocol: protocols.Majority{},
+		Initial:  protocols.MajorityConfig(n/2+n/100, n/2-n/100), // 1% margin for A
+		Seed:     2024,
+	})
+	if err != nil {
+		return err
+	}
+
+	// System.Counts: the O(|Q|) view of the million-agent population (one
+	// O(n) snapshot to build; every read after that is count-level).
+	sc := sys.Counts()
+	fmt.Printf("\npopulation: %d agents, %d distinct states, A leads by %d\n",
+		sc.N(), sc.Distinct(), sc.Count(popsim.Symbol("A"))-sc.Count(popsim.Symbol("B")))
+
+	// The count predicate: every agent outputs "A" — |Q| state lookups per
+	// check instead of a million-agent scan.
+	maj := protocols.Majority{}
+	allA := func(sc *popsim.StateCounts) bool {
+		ok := true
+		sc.Each(func(s popsim.State, _ int64) bool {
+			if maj.Output(s) != "A" {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+
+	start := time.Now()
+	res, err := sys.RunUntilCounts(allA, 4096, 1<<40)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("backend %q: converged=%v after %d interactions in %v\n",
+		res.Backend, res.Converged, res.Steps, time.Since(start).Round(time.Millisecond))
+	res.Final.Each(func(s popsim.State, count int64) bool {
+		fmt.Printf("  %v: %d agents\n", s, count)
+		return true
+	})
 	return nil
 }

@@ -1,0 +1,361 @@
+// Counts backend: the engine's third execution mode, after stepwise and
+// batched-agent-vector. A CountEngine holds the population as a
+// configuration vector (pp.Counts — agents per interned state) instead of a
+// per-agent ID vector, samples interactions at the state level
+// (sched.CountScheduler), and applies memoized transitions
+// (model.TransitionCache) as count deltas. Stepping never touches per-agent
+// storage — the working set is O(|Q|), cache-resident at any population
+// size — and observation (count predicates, convergence checks, hitting-time
+// bisection) is O(|Q|) instead of the agent paths' O(n) materialization.
+// This is what makes million-agent convergence runs cheap: the batched
+// agent-vector path pays two random accesses into a multi-megabyte ID vector
+// per interaction, the counts backend a few operations on a vector that fits
+// in L1.
+//
+// The contract mirrors the sharded runner's, not the batched fast path's:
+// counts execution is a DISTINCT execution mode. Determinism is per
+// (seed, block length); equivalence with the sequential scheduler is exact
+// in distribution below the block threshold (per-pair sampling — the count
+// process of the agent chain is itself a Markov chain, which the sampler
+// realizes literally) and statistical above it (collision-free block
+// sampling, perturbation O(1/√n) per interaction; see the contract note in
+// internal/sched/counts.go). Agent identity does not exist at all in this
+// mode: there are no interaction traces, no per-agent event provenance, no
+// adversaries and no scripted schedules — runs needing any of those stay on
+// the agent-vector paths.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+)
+
+// ErrStateSpace is returned when a counts run's interned state space
+// outgrows its configured bound (CountOptions.MaxStates): the counts vector,
+// the sampler pool and the transition table all scale with |Q|, so an
+// unbounded state space erodes exactly the O(|Q|) advantage the backend
+// exists for. Callers that can should finish such runs on the batched
+// agent-vector engine (popsim.System does so automatically, reporting the
+// reason), mirroring the slow-path fallback of WithFastLimits.
+var ErrStateSpace = errors.New("engine: state space exceeds the counts-backend bound")
+
+const (
+	// DefaultCountExactN is the population threshold below which the counts
+	// backend samples per pair (block length 1) — the exact sequential count
+	// chain. At small n the O(1/√n) block perturbation is not yet
+	// negligible, and neither is the performance gap worth it.
+	DefaultCountExactN = 4096
+	// DefaultMaxCountBlock caps the sampler's block length regardless of
+	// population size, bounding the pair buffer and the bisection log chunk.
+	DefaultMaxCountBlock = 1024
+)
+
+// CountOptions tune a CountEngine. The zero value picks defaults.
+type CountOptions struct {
+	// MaxStates bounds the interned state space before the run fails with
+	// ErrStateSpace (0 = DefaultMaxFastStates, or DefaultMaxWrappedStates
+	// for canonically keyed wrapped configurations — the same defaults the
+	// batched fast path applies).
+	MaxStates int
+	// BlockLen overrides the sampler's block length (0 = auto: 1 below
+	// DefaultCountExactN agents, √n/2 capped at DefaultMaxCountBlock above).
+	BlockLen int
+	// TrackEvents counts the simulation events of wrapped simulator states,
+	// like the sharded runner's option of the same name: one counter, no
+	// event values built or retained. Read the total with EventCount.
+	TrackEvents bool
+}
+
+// blockLenFor picks the auto block length for a population of n agents.
+func blockLenFor(n int) int {
+	if n < DefaultCountExactN {
+		return 1
+	}
+	b := 1
+	for (b+1)*(b+1) <= n/4 { // b = ⌊√(n/4)⌋ = ⌊√n/2⌋
+		b++
+	}
+	if b > DefaultMaxCountBlock {
+		b = DefaultMaxCountBlock
+	}
+	return b
+}
+
+// CountEngine executes one system (protocol, model, population) on the
+// counts backend. Build it with NewCountEngine; not safe for concurrent use.
+type CountEngine struct {
+	kind        model.Kind
+	protocol    any
+	in          *pp.Interner
+	cache       *model.TransitionCache
+	cs          *sched.CountScheduler
+	counts      pp.Counts
+	n           int
+	steps       int
+	exact       bool // block length 1: sampler pool mirrors counts
+	maxStates   int
+	trackEvents bool
+	eventCount  int
+
+	// Chunk instrumentation for RunUntil's exact-hitting-time bisection:
+	// while logging, applied pairs are appended to chunkLog and snap holds
+	// the counts vector as of the chunk start — O(|Q|), where the
+	// agent-vector engine's equivalent (fastPath.snap) is O(n).
+	logging  bool
+	chunkLog []sched.CountPair
+	snap     pp.Counts
+	bisect   pp.Counts
+}
+
+// NewCountEngine builds a counts-backend engine for protocol p under model
+// k, starting from initial, sampling from the documented count stream of
+// seed. Wrapped simulator states must declare canonical behavioral keys
+// (sim.CanonicalKeyed) — the backend is interned end to end, and
+// per-agent-provenance keys would both defeat the counting and garble event
+// attribution.
+func NewCountEngine(k model.Kind, p any, initial pp.Configuration, seed int64, opts CountOptions) (*CountEngine, error) {
+	if len(initial) < 2 {
+		return nil, fmt.Errorf("%w: population size %d < 2", ErrConfig, len(initial))
+	}
+	if k.OneWay() {
+		if _, ok := p.(pp.OneWay); !ok {
+			return nil, fmt.Errorf("%w: model %v needs a pp.OneWay protocol", ErrConfig, k)
+		}
+	} else if _, ok := p.(pp.TwoWay); !ok {
+		return nil, fmt.Errorf("%w: model %v needs a pp.TwoWay protocol", ErrConfig, k)
+	}
+	wrapped := sim.AnyWrapped(initial)
+	if wrapped && !sim.Canonicalized(initial) {
+		return nil, fmt.Errorf("%w: wrapped states without canonical keys (sim.CanonicalKeyed) cannot run on the counts backend", ErrConfig)
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxFastStates
+		if wrapped {
+			maxStates = DefaultMaxWrappedStates
+		}
+	}
+	blockLen := opts.BlockLen
+	if blockLen <= 0 {
+		blockLen = blockLenFor(len(initial))
+	}
+	if blockLen > len(initial)/4 && blockLen > 1 {
+		blockLen = len(initial) / 4
+		if blockLen < 1 {
+			blockLen = 1
+		}
+	}
+	in := pp.NewInterner()
+	var aux model.AuxFunc
+	if opts.TrackEvents {
+		aux = sim.EventAux
+	}
+	cache := model.NewTransitionCache(k, p, in, aux)
+	// Same sizing rationale as the batched fast path: a small dense table by
+	// default (typical count workloads have tiny |Q|); the overflow map
+	// serves the long tail of wide wrapped spaces at map-lookup speed.
+	cache.SetMaxStride(256)
+	ce := &CountEngine{
+		kind:        k,
+		protocol:    p,
+		in:          in,
+		cache:       cache,
+		cs:          sched.NewCountScheduler(seed, blockLen),
+		n:           len(initial),
+		exact:       blockLen == 1,
+		maxStates:   maxStates,
+		trackEvents: opts.TrackEvents,
+	}
+	ce.counts = in.CountConfig(initial, nil)
+	if in.Len() > maxStates {
+		return nil, fmt.Errorf("%w: %d distinct states > %d (initial configuration)", ErrStateSpace, in.Len(), maxStates)
+	}
+	return ce, nil
+}
+
+// N returns the population size.
+func (ce *CountEngine) N() int { return ce.n }
+
+// Steps returns the number of interactions applied so far.
+func (ce *CountEngine) Steps() int { return ce.steps }
+
+// BlockLen returns the effective sampler block length (1 = exact mode).
+func (ce *CountEngine) BlockLen() int { return ce.cs.BlockLen() }
+
+// InternedStates returns the number of distinct states interned so far.
+func (ce *CountEngine) InternedStates() int { return ce.in.Len() }
+
+// EventCount returns the total number of simulation events the run has
+// emitted so far (TrackEvents runs; 0 otherwise).
+func (ce *CountEngine) EventCount() int { return ce.eventCount }
+
+// Interner returns the engine's interner: Counts indices are its IDs.
+func (ce *CountEngine) Interner() *pp.Interner { return ce.in }
+
+// Counts returns the live configuration vector (shared; treat as read-only
+// and only valid between Run calls).
+func (ce *CountEngine) Counts() pp.Counts { return ce.counts }
+
+// Config materializes the counts into a full configuration of canonical
+// representatives in state-ID order — an O(n) observation-boundary
+// convenience; counts-level consumers should stay on Counts. Agent positions
+// are synthetic (this mode has no agent identity): treat the result as a
+// multiset.
+func (ce *CountEngine) Config() pp.Configuration {
+	return ce.in.MaterializeCounts(ce.counts, nil)
+}
+
+// RunSteps applies exactly k interactions as count deltas (k ≤ 0 is a
+// no-op). Interactions are sampled in blocks (see sched.CountScheduler);
+// executions are deterministic per (seed, block length) and invariant under
+// call chunking.
+func (ce *CountEngine) RunSteps(k int) error {
+	tab, stride := ce.cache.Dense()
+	st64 := uint64(stride)
+	counts := ce.counts
+	for consumed := 0; consumed < k; {
+		pairs := ce.cs.Block(counts, k-consumed)
+		if len(pairs) == 0 {
+			return fmt.Errorf("%w: count sampler starved (population %d)", ErrConfig, ce.n)
+		}
+		if ce.logging {
+			ce.chunkLog = append(ce.chunkLog, pairs...)
+		}
+		for _, pr := range pairs {
+			s, r := pr.S, pr.R
+			var ent uint64
+			if uint64(s|r) < st64 {
+				ent = tab[uint64(s)*st64+uint64(r)]
+			}
+			if ent == 0 {
+				var err error
+				ent, err = ce.cache.Apply(s, r, pp.OmissionNone)
+				if err != nil {
+					ce.counts = counts
+					return fmt.Errorf("apply (%d,%d): %w", s, r, err)
+				}
+				tab, stride = ce.cache.Dense()
+				st64 = uint64(stride)
+				if ce.in.Len() > ce.maxStates {
+					// The offending pair has not been applied yet, so the
+					// counts are a consistent configuration a caller can
+					// resume from on another backend.
+					ce.counts = counts
+					return fmt.Errorf("%w: %d distinct states > %d (step %d)", ErrStateSpace, ce.in.Len(), ce.maxStates, ce.steps)
+				}
+				for len(counts) < ce.in.Len() {
+					counts = append(counts, 0)
+				}
+			}
+			ns, nr := model.EntryStarter(ent), model.EntryReactor(ent)
+			counts[s]--
+			counts[r]--
+			counts[ns]++
+			counts[nr]++
+			if aux := model.EntryAux(ent); aux != 0 {
+				if aux&sim.AuxStarterEvent != 0 {
+					ce.eventCount++
+				}
+				if aux&sim.AuxReactorEvent != 0 {
+					ce.eventCount++
+				}
+			}
+			if ce.exact {
+				ce.cs.ApplyDelta(ns, nr)
+			}
+			ce.steps++
+		}
+		consumed += len(pairs)
+	}
+	ce.counts = counts
+	return nil
+}
+
+// RunUntil runs until pred holds on the counts vector or maxSteps
+// interactions have been applied, evaluating pred every `every` interactions
+// (and once up front; every < 1 means 1). It returns the number of
+// interactions this call consumed up to and including the first one after
+// which pred held (0 when pred held on entry), or the total consumed when ok
+// is false.
+//
+// The hitting time is exact for absorbing (once true, stays true)
+// predicates even for every > 1: the chunk in which the predicate flipped is
+// bisected by replaying prefixes of its sampled pairs against an O(|Q|)
+// snapshot of the chunk-start counts — the counts analogue of the
+// agent-vector engine's chunk bisection, with the O(n) ID snapshot replaced
+// by an O(|Q|) counts copy. The engine itself always ends at the last chunk
+// boundary, keeping its sampler position consistent with Steps().
+func (ce *CountEngine) RunUntil(pred func(pp.Counts) bool, every, maxSteps int) (int, bool, error) {
+	if every < 1 {
+		every = 1
+	}
+	if pred(ce.counts) {
+		return 0, true, nil
+	}
+	consumed := 0
+	for consumed < maxSteps {
+		chunk := maxSteps - consumed
+		if chunk > every {
+			chunk = every
+		}
+		armed := chunk > 1
+		if armed {
+			ce.snap = append(ce.snap[:0], ce.counts...)
+			ce.chunkLog = ce.chunkLog[:0]
+			ce.logging = true
+		}
+		err := ce.RunSteps(chunk)
+		ce.logging = false
+		if err != nil {
+			return consumed, false, err
+		}
+		consumed += chunk
+		if pred(ce.counts) {
+			hit := consumed
+			if armed && len(ce.chunkLog) == chunk {
+				hit = consumed - chunk + ce.bisectChunk(pred, chunk)
+			}
+			return hit, true, nil
+		}
+	}
+	return consumed, false, nil
+}
+
+// bisectChunk finds the exact hitting step within the just-applied chunk:
+// pred was false on the chunk-start snapshot and true after all `applied`
+// pairs, so a binary search over prefix lengths returns the smallest m with
+// pred true — exact for absorbing predicates. Replays apply count deltas
+// through the already-warm transition cache (every pair in the log was just
+// applied, so lookups cannot miss); the engine's own counts, sampler and
+// counters stay untouched.
+func (ce *CountEngine) bisectChunk(pred func(pp.Counts) bool, applied int) int {
+	lo, hi := 1, applied
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		ce.bisect = append(ce.bisect[:0], ce.snap...)
+		for len(ce.bisect) < len(ce.counts) {
+			ce.bisect = append(ce.bisect, 0)
+		}
+		for _, pr := range ce.chunkLog[:mid] {
+			ent, ok := ce.cache.Lookup(pr.S, pr.R)
+			if !ok {
+				return applied // cannot replay; keep chunk-end granularity
+			}
+			ce.bisect[pr.S]--
+			ce.bisect[pr.R]--
+			ce.bisect[model.EntryStarter(ent)]++
+			ce.bisect[model.EntryReactor(ent)]++
+		}
+		if pred(ce.bisect) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,208 @@
+package engine_test
+
+import (
+	"errors"
+	"testing"
+
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+)
+
+// countInvariants asserts the counts vector is a valid configuration of n
+// agents: non-negative entries summing to n.
+func countInvariants(t *testing.T, ce *engine.CountEngine) {
+	t.Helper()
+	var n int64
+	for id, v := range ce.Counts() {
+		if v < 0 {
+			t.Fatalf("negative count %d for state %d", v, id)
+		}
+		n += v
+	}
+	if n != int64(ce.N()) {
+		t.Fatalf("counts sum to %d, population is %d", n, ce.N())
+	}
+}
+
+// majorityConvergedCounts is protocols.MajorityConverged at the counts
+// level: every agent outputs the letter.
+func majorityConvergedCounts(in *pp.Interner, letter string) func(pp.Counts) bool {
+	out := protocols.Majority{}
+	return func(c pp.Counts) bool {
+		for id, v := range c {
+			if v == 0 {
+				continue
+			}
+			if out.Output(in.State(uint32(id))) != letter {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func TestCountEngineBasicRun(t *testing.T) {
+	for _, blockLen := range []int{1, 8} {
+		ce, err := engine.NewCountEngine(model.TW, protocols.Majority{},
+			protocols.MajorityConfig(40, 24), 1, engine.CountOptions{BlockLen: blockLen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ce.RunSteps(10_000); err != nil {
+			t.Fatal(err)
+		}
+		if ce.Steps() != 10_000 {
+			t.Fatalf("Steps = %d, want 10000", ce.Steps())
+		}
+		countInvariants(t, ce)
+		if got := len(ce.Config()); got != 64 {
+			t.Fatalf("materialized %d agents, want 64", got)
+		}
+	}
+}
+
+func TestCountEngineDeterministicAndChunkingInvariant(t *testing.T) {
+	run := func(chunks []int) pp.Counts {
+		ce, err := engine.NewCountEngine(model.TW, protocols.Majority{},
+			protocols.MajorityConfig(30, 20), 7, engine.CountOptions{BlockLen: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range chunks {
+			if err := ce.RunSteps(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ce.Counts().Clone()
+	}
+	whole := run([]int{5000})
+	split := run([]int{1, 63, 936, 4000})
+	if !whole.Equal(split) {
+		t.Fatalf("chunking changed the execution: %v vs %v", whole, split)
+	}
+}
+
+// TestCountEngineExactHittingTime: on a deterministic (per seed) counts
+// execution, RunUntil with a sparse predicate cadence must report the same
+// hitting step as the every=1 reference run of the same seed.
+func TestCountEngineExactHittingTime(t *testing.T) {
+	for _, blockLen := range []int{1, 16} {
+		mk := func() *engine.CountEngine {
+			ce, err := engine.NewCountEngine(model.TW, protocols.Majority{},
+				protocols.MajorityConfig(36, 28), 11, engine.CountOptions{BlockLen: blockLen})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ce
+		}
+		ref := mk()
+		pred := majorityConvergedCounts(ref.Interner(), "A")
+		refHit, ok, err := ref.RunUntil(pred, 1, 5_000_000)
+		if err != nil || !ok {
+			t.Fatalf("reference run: ok=%v err=%v", ok, err)
+		}
+		sparse := mk()
+		predS := majorityConvergedCounts(sparse.Interner(), "A")
+		hit, ok, err := sparse.RunUntil(predS, 512, 5_000_000)
+		if err != nil || !ok {
+			t.Fatalf("sparse run: ok=%v err=%v", ok, err)
+		}
+		if hit != refHit {
+			t.Fatalf("blockLen %d: sparse hitting step %d != reference %d", blockLen, hit, refHit)
+		}
+	}
+}
+
+func TestCountEngineStateSpaceBound(t *testing.T) {
+	// SID state spaces scale with n: a tiny MaxStates must fail loudly with
+	// ErrStateSpace (at construction here: distinct initial states > bound).
+	s := sim.SID{P: protocols.Majority{}}
+	cfg := s.WrapConfig(protocols.MajorityConfig(20, 12))
+	_, err := engine.NewCountEngine(model.IO, s, cfg, 1, engine.CountOptions{MaxStates: 4})
+	if !errors.Is(err, engine.ErrStateSpace) {
+		t.Fatalf("want ErrStateSpace, got %v", err)
+	}
+	// Mid-run overflow takes the same error, and leaves consistent counts.
+	ce, err := engine.NewCountEngine(model.IO, s, cfg, 1, engine.CountOptions{MaxStates: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ce.RunSteps(1_000_000)
+	if !errors.Is(err, engine.ErrStateSpace) {
+		t.Fatalf("want mid-run ErrStateSpace, got %v", err)
+	}
+	countInvariants(t, ce)
+}
+
+func TestCountEngineRejectsBadSpecs(t *testing.T) {
+	if _, err := engine.NewCountEngine(model.TW, protocols.Majority{},
+		protocols.MajorityConfig(1, 0), 1, engine.CountOptions{}); !errors.Is(err, engine.ErrConfig) {
+		t.Fatalf("population 1 accepted: %v", err)
+	}
+	if _, err := engine.NewCountEngine(model.IO, protocols.Majority{},
+		protocols.MajorityConfig(4, 4), 1, engine.CountOptions{}); !errors.Is(err, engine.ErrConfig) {
+		t.Fatalf("two-way protocol under IO accepted: %v", err)
+	}
+}
+
+// TestCountEngineWrappedEventCounts: a canonical wrapped simulator run on
+// the counts backend must report simulation-event totals in line with a
+// sequential run of the same workload (statistical agreement — different
+// stream family, so compare within tolerance over the same budget).
+func TestCountEngineWrappedEventCounts(t *testing.T) {
+	s := sim.SKnO{P: protocols.Majority{}, O: 0}
+	cfg := s.WrapConfig(protocols.MajorityConfig(40, 24))
+	const steps = 30_000
+
+	ce, err := engine.NewCountEngine(model.IT, s, cfg, 3, engine.CountOptions{TrackEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ce.RunSteps(steps); err != nil {
+		t.Fatal(err)
+	}
+	countInvariants(t, ce)
+	if ce.EventCount() == 0 {
+		t.Fatal("counts run reported no simulation events")
+	}
+
+	// Sequential reference on the same budget.
+	eng, err := engine.New(model.IT, s, cfg, sched.NewRandom(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunStepsBatch(steps); err != nil {
+		t.Fatal(err)
+	}
+	seq := len(eng.Recorder().Events())
+	got := ce.EventCount()
+	lo, hi := seq*7/10, seq*13/10
+	if got < lo || got > hi {
+		t.Fatalf("counts event total %d outside [%d, %d] around sequential %d", got, lo, hi, seq)
+	}
+}
+
+// TestCountEngineBlockAutoSelection pins the auto block-length policy: exact
+// below the threshold, ~√n/2 above it.
+func TestCountEngineBlockAutoSelection(t *testing.T) {
+	small, err := engine.NewCountEngine(model.TW, protocols.Majority{},
+		protocols.MajorityConfig(50, 50), 1, engine.CountOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.BlockLen() != 1 {
+		t.Fatalf("n=100 block length %d, want 1 (exact mode)", small.BlockLen())
+	}
+	big, err := engine.NewCountEngine(model.TW, protocols.Majority{},
+		protocols.MajorityConfig(5000, 5000), 1, engine.CountOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := big.BlockLen(); b < 40 || b > 60 {
+		t.Fatalf("n=10000 block length %d, want ≈ 50 (√n/2)", b)
+	}
+}

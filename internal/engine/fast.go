@@ -80,7 +80,7 @@ type fastPath struct {
 	chunkLog []pp.Interaction
 	snap     []uint32
 
-	bisectIDs []uint32          // scratch ID vector for bisection replays
+	bisectIDs []uint32         // scratch ID vector for bisection replays
 	bisectCfg pp.Configuration // scratch configuration for bisection probes
 }
 
@@ -419,8 +419,12 @@ func (e *Engine) RunUntilEvery(pred func(pp.Configuration) bool, every, maxSched
 		if chunk > every {
 			chunk = every
 		}
-		// Arming costs an O(n) ID snapshot per chunk — worth it only when a
-		// chunk can actually hide more than one candidate hitting step.
+		// Arming snapshots the chunk start — on this agent-vector path an
+		// O(n) ID copy, so it is only worth paying when a chunk can hide
+		// more than one candidate hitting step. (The counts backend arms
+		// with an O(|Q|) counts copy instead — CountEngine.RunUntil — which
+		// is where large-n convergence runs should live;
+		// BenchmarkRunUntilArming tracks the gap.)
 		armed := chunk > 1 && e.armChunkLog()
 		applied, err := e.StepBatch(chunk)
 		exact := e.disarmChunkLog(applied)

@@ -1,0 +1,112 @@
+package par_test
+
+import (
+	"testing"
+
+	"popsim/internal/model"
+	"popsim/internal/par"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sim"
+)
+
+// TestShardedCountsMatchConfig: after any run, the barrier-merged counts
+// vector must be exactly the multiset of the materialized configuration.
+func TestShardedCountsMatchConfig(t *testing.T) {
+	const n = 256
+	sr, err := par.NewSharded(model.TW, protocols.Majority{}, protocols.MajorityConfig(n/2+8, n/2-8),
+		3, par.ShardedOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 63, 1000, 10_000} {
+		if err := sr.RunSteps(k); err != nil {
+			t.Fatal(err)
+		}
+		counts := sr.Counts()
+		var total int64
+		for id, v := range counts {
+			if v < 0 {
+				t.Fatalf("negative count %d for state %d after %d steps", v, id, sr.Steps())
+			}
+			total += v
+		}
+		if total != n {
+			t.Fatalf("counts sum to %d, want %d", total, n)
+		}
+		in := sr.Interner()
+		if got, want := in.MaterializeCounts(counts, nil).MultisetKey(), sr.Config().MultisetKey(); got != want {
+			t.Fatalf("counts multiset diverged from configuration after %d steps", sr.Steps())
+		}
+	}
+}
+
+// TestShardedRunUntilCountsAgreesWithRunUntil: the counts-predicate driver
+// must stop at the same step as the materializing driver for the same
+// (seed, P) — they observe the same execution at the same barriers.
+func TestShardedRunUntilCountsAgreesWithRunUntil(t *testing.T) {
+	const n = 192
+	mk := func() *par.ShardedRunner {
+		sr, err := par.NewSharded(model.TW, protocols.Majority{}, protocols.MajorityConfig(n/2+12, n/2-12),
+			7, par.ShardedOptions{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+	ref := mk()
+	refSteps, refOK, err := ref.RunUntil(func(c pp.Configuration) bool {
+		return protocols.MajorityConverged(c, "A")
+	}, 128, 10_000_000)
+	if err != nil || !refOK {
+		t.Fatalf("RunUntil: ok=%v err=%v", refOK, err)
+	}
+
+	ct := mk()
+	out := protocols.Majority{}
+	in := ct.Interner()
+	ctSteps, ctOK, err := ct.RunUntilCounts(func(c pp.Counts) bool {
+		for id, v := range c {
+			if v != 0 && out.Output(in.State(uint32(id))) != "A" {
+				return false
+			}
+		}
+		return true
+	}, 128, 10_000_000)
+	if err != nil || !ctOK {
+		t.Fatalf("RunUntilCounts: ok=%v err=%v", ctOK, err)
+	}
+	if ctSteps != refSteps {
+		t.Fatalf("RunUntilCounts stopped at %d, RunUntil at %d", ctSteps, refSteps)
+	}
+}
+
+// TestShardedCountsWrapped: count-delta streams must stay consistent for
+// wrapped simulator runs (state space grows mid-run, IDs minted by other
+// workers flow through the shared cache).
+func TestShardedCountsWrapped(t *testing.T) {
+	const n = 64
+	s := sim.SKnO{P: protocols.Majority{}, O: 0}
+	sr, err := par.NewSharded(model.IT, s, s.WrapConfig(protocols.MajorityConfig(n/2+6, n/2-6)),
+		5, par.ShardedOptions{Shards: 2, TrackEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.RunSteps(20_000); err != nil {
+		t.Fatal(err)
+	}
+	counts := sr.Counts()
+	var total int64
+	for _, v := range counts {
+		if v < 0 {
+			t.Fatal("negative count in wrapped run")
+		}
+		total += v
+	}
+	if total != n {
+		t.Fatalf("counts sum to %d, want %d", total, n)
+	}
+	if got, want := sr.Interner().MaterializeCounts(counts, nil).MultisetKey(), sr.Config().MultisetKey(); got != want {
+		t.Fatal("wrapped counts multiset diverged from configuration")
+	}
+}

@@ -125,7 +125,11 @@ const MaxShardedStates = 1 << 15
 //   - Agent identity is not preserved across epochs (the exchange permutes
 //     the population), so observation must be symmetric — count-based
 //     predicates, multiset comparisons. Under uniform-random scheduling
-//     agents are exchangeable, so this loses no information.
+//     agents are exchangeable, so this loses no information. Symmetric
+//     observation is served natively: each worker keeps a count-delta
+//     stream (four L1 updates per interaction) folded into a global counts
+//     vector at wave barriers, so Counts/RunUntilCounts observe in O(|Q|)
+//     where Config/RunUntil pay an O(n) materialization.
 //   - Omission adversaries, scripted schedules and per-interaction traces
 //     are not supported: runs needing them stay on the sequential engine.
 //   - Wrapped simulators run sharded when their states carry canonical
@@ -165,12 +169,14 @@ type ShardedRunner struct {
 	bounds  []int    // p+1 shard boundaries into ids
 	workers []*shardWorker
 
-	steps   int
-	sinceEx int              // interactions applied since the last exchange
-	quotas     []int            // per-wave quota scratch
-	cfg        pp.Configuration // scratch for materialization
-	events     []verify.Event   // merged simulation events (RecordEvents)
-	eventCount int              // total simulation events (TrackEvents)
+	steps       int
+	sinceEx     int              // interactions applied since the last exchange
+	quotas      []int            // per-wave quota scratch
+	cfg         pp.Configuration // scratch for materialization
+	counts      pp.Counts        // global configuration vector, merged at waves
+	trackCounts bool             // delta streams armed (first Counts consumer)
+	events      []verify.Event   // merged simulation events (RecordEvents)
+	eventCount  int              // total simulation events (TrackEvents)
 }
 
 // shardWorker is one shard's private execution state.
@@ -191,6 +197,15 @@ type shardWorker struct {
 	payloads   map[uint64]*sim.EventPair
 	events     []verify.Event // per-shard event buffer, drained at barriers
 	eventCount int            // per-shard event counter, drained at barriers
+
+	// delta accumulates this worker's count deltas (−1 per consumed input
+	// state, +1 per produced result state) since the last wave barrier —
+	// the per-epoch count-delta stream the barriers fold into the runner's
+	// global counts vector. Sized to the runner's state bound up front:
+	// every ID a worker can touch is < maxStates (lookupCold rejects
+	// entries beyond the bound before they are ever applied), so the hot
+	// loop needs no bounds management.
+	delta []int64
 
 	buckets [][]uint32 // per-destination outboxes for the exchange
 	err     error      // first failure in a phase (sticky)
@@ -293,6 +308,23 @@ func NewSharded(k model.Kind, protocol any, initial pp.Configuration, seed int64
 	return sr, nil
 }
 
+// enableCounts arms the count-delta streams on first use: a one-time O(n)
+// count of the current ID vector, per-worker delta arrays, and from then on
+// four L1 updates per interaction plus an O(P·|Q|) fold per wave. Lazy so
+// that pure-stepping runs (no counts consumer) keep the pre-counts inner
+// loop: the only cost they pay is one well-predicted branch per interaction.
+// Must be called between Run calls (the coordinator's thread).
+func (sr *ShardedRunner) enableCounts() {
+	if sr.trackCounts {
+		return
+	}
+	sr.trackCounts = true
+	sr.counts = pp.CountIDs(sr.ids, sr.in.Len(), sr.counts)
+	for _, w := range sr.workers {
+		w.delta = make([]int64, sr.maxStates)
+	}
+}
+
 // Shards returns the effective worker-shard count P.
 func (sr *ShardedRunner) Shards() int { return sr.p }
 
@@ -382,11 +414,47 @@ func (sr *ShardedRunner) stepWave(quota int, deal bool) error {
 	}
 	sr.steps += quota
 	sr.sinceEx += quota
+	sr.mergeCounts()
 	if sr.trackEvents {
 		sr.mergeEvents()
 	}
 	return nil
 }
+
+// mergeCounts folds every worker's count-delta stream into the global
+// counts vector — O(P·|Q|) per wave, amortized over the wave's quota. Runs
+// on the coordinator between waves (the wave barrier orders it after all
+// worker writes), so no synchronization is needed.
+func (sr *ShardedRunner) mergeCounts() {
+	if !sr.trackCounts {
+		return
+	}
+	for len(sr.counts) < sr.in.Len() {
+		sr.counts = append(sr.counts, 0)
+	}
+	for _, w := range sr.workers {
+		d := w.delta[:len(sr.counts)]
+		for i, v := range d {
+			if v != 0 {
+				sr.counts[i] += v
+				d[i] = 0
+			}
+		}
+	}
+}
+
+// Counts returns the global configuration vector (agents per interned state,
+// index = ID of the runner's Interner) as of the last wave barrier — the
+// O(|Q|) observation surface; Config is its O(n) materialized counterpart.
+// The first call arms the count-delta streams (see enableCounts). The slice
+// is shared and only valid between successful Run calls.
+func (sr *ShardedRunner) Counts() pp.Counts {
+	sr.enableCounts()
+	return sr.counts
+}
+
+// Interner returns the runner's interner: Counts indices are its IDs.
+func (sr *ShardedRunner) Interner() *pp.Interner { return sr.in }
 
 // mergeEvents drains the per-shard event counters — and, with retention on,
 // the per-shard event buffers, in shard order — into the run-level
@@ -467,11 +535,29 @@ func (sr *ShardedRunner) RunSteps(k int) error {
 // total interactions applied by this call and whether pred was met. The
 // hitting time is `every`-granular: interactions within an evaluation chunk
 // are concurrent, so there is no finer-grained "first step" to report.
+//
+// Every evaluation materializes the configuration — O(n). Predicates that
+// only need state counts should use RunUntilCounts, whose evaluations are
+// O(|Q|) off the barrier-merged count-delta streams.
 func (sr *ShardedRunner) RunUntil(pred func(pp.Configuration) bool, every, maxSteps int) (int, bool, error) {
+	return sr.runUntil(func() bool { return pred(sr.Config()) }, every, maxSteps)
+}
+
+// RunUntilCounts is RunUntil with the predicate on the counts vector: each
+// evaluation reads the O(|Q|) barrier-merged counts instead of materializing
+// n states (the first call arms the count-delta streams). The vector passed
+// to pred is the runner's live counts — shared, read-only, valid only during
+// the call.
+func (sr *ShardedRunner) RunUntilCounts(pred func(pp.Counts) bool, every, maxSteps int) (int, bool, error) {
+	sr.enableCounts()
+	return sr.runUntil(func() bool { return pred(sr.counts) }, every, maxSteps)
+}
+
+func (sr *ShardedRunner) runUntil(pred func() bool, every, maxSteps int) (int, bool, error) {
 	if every <= 0 {
 		every = sr.p * sr.epoch
 	}
-	if pred(sr.Config()) {
+	if pred() {
 		return 0, true, nil
 	}
 	consumed := 0
@@ -484,7 +570,7 @@ func (sr *ShardedRunner) RunUntil(pred func(pp.Configuration) bool, every, maxSt
 			return consumed, false, err
 		}
 		consumed += chunk
-		if pred(sr.Config()) {
+		if pred() {
 			return consumed, true, nil
 		}
 	}
@@ -510,6 +596,7 @@ func (w *shardWorker) step(q int) {
 	// statistical contract), with the usual collision shift for b.
 	um, um1 := uint64(m), uint64(m-1)
 	dense, stride := w.dense, uint64(w.stride)
+	delta := w.delta
 	for i := 0; i < q; i++ {
 		x := w.rng.Uint64()
 		a := uint32((uint64(uint32(x)) * um) >> 32)
@@ -530,8 +617,18 @@ func (w *shardWorker) step(q int) {
 			}
 			dense, stride = w.dense, uint64(w.stride)
 		}
-		slice[a] = model.EntryStarter(ent)
-		slice[b] = model.EntryReactor(ent)
+		ns, nr := model.EntryStarter(ent), model.EntryReactor(ent)
+		slice[a] = ns
+		slice[b] = nr
+		if delta != nil {
+			// Count-delta stream: four L1-resident updates per interaction
+			// buy O(|Q|) observation at the barriers (all IDs < maxStates =
+			// len(delta); the branch is constant per run and predicted).
+			delta[s]--
+			delta[r]--
+			delta[ns]++
+			delta[nr]++
+		}
 		// Simulation-event transitions carry aux bits (only set when the
 		// runner tracks events); count them, and buffer the content when
 		// the stream is retained.

@@ -1,0 +1,127 @@
+package pp
+
+// Counts is the configuration-vector representation of a population: entry q
+// is the number of agents currently in the state with interned ID q (see
+// Interner). It is the O(|Q|) counterpart of the O(n) dense ID vector —
+// agents are anonymous and the uniform-random scheduler treats them as
+// exchangeable, so the multiset of states carries exactly the information any
+// symmetric observation (count predicates, multiset comparison, convergence
+// checks) can use, in |Q| machine words instead of n.
+//
+// The counts-based execution backend (engine.CountEngine) runs entirely on
+// this representation: stepping applies transitions as count deltas and
+// observation never materializes per-agent state. Entries beyond the IDs a
+// configuration actually uses are zero; the slice length tracks the owning
+// interner's Len and grows as transitions mint new states.
+type Counts []int64
+
+// N returns the population size, i.e. the sum of all counts.
+func (c Counts) N() int64 {
+	var n int64
+	for _, v := range c {
+		n += v
+	}
+	return n
+}
+
+// Clone returns a copy of the counts vector.
+func (c Counts) Clone() Counts {
+	out := make(Counts, len(c))
+	copy(out, c)
+	return out
+}
+
+// Equal reports whether two counts vectors describe the same multiset of
+// states (trailing zero entries are insignificant: the vectors may belong to
+// interners that have seen different numbers of states).
+func (c Counts) Equal(d Counts) bool {
+	long, short := c, d
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, v := range short {
+		if long[i] != v {
+			return false
+		}
+	}
+	for _, v := range long[len(short):] {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CountIDs accumulates the dense ID vector ids into a counts vector of at
+// least `states` entries (reusing dst when it is large enough). IDs at or
+// beyond `states` extend the vector.
+func CountIDs(ids []uint32, states int, dst Counts) Counts {
+	if cap(dst) < states {
+		dst = make(Counts, states)
+	}
+	dst = dst[:cap(dst)]
+	for i := range dst {
+		dst[i] = 0
+	}
+	dst = dst[:states]
+	for _, id := range ids {
+		for int(id) >= len(dst) {
+			dst = append(dst, 0)
+		}
+		dst[id]++
+	}
+	return dst
+}
+
+// CountConfig interns every state of cfg and returns the counts vector of the
+// configuration (reusing dst when it is large enough), sized to the
+// interner's Len afterwards.
+func (in *Interner) CountConfig(cfg Configuration, dst Counts) Counts {
+	if cap(dst) < len(in.states) {
+		dst = make(Counts, len(in.states))
+	}
+	dst = dst[:cap(dst)]
+	for i := range dst {
+		dst[i] = 0
+	}
+	dst = dst[:0]
+	for _, s := range cfg {
+		id := in.Intern(s)
+		for int(id) >= len(dst) {
+			dst = append(dst, 0)
+		}
+		dst[id]++
+	}
+	for len(dst) < len(in.states) {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// MaterializeCounts expands a counts vector into a full configuration of
+// canonical representatives, in state-ID order (reusing dst when it is large
+// enough). Like every counts-level observation it is multiset-exact only:
+// agent positions are synthetic. Use it at observation boundaries that
+// genuinely need per-agent states; O(|Q|) consumers should stay on the counts
+// vector itself.
+func (in *Interner) MaterializeCounts(c Counts, dst Configuration) Configuration {
+	n := int(c.N())
+	if cap(dst) < n {
+		dst = make(Configuration, 0, n)
+	}
+	dst = dst[:0]
+	for id, cnt := range c {
+		s := in.states[id]
+		for k := int64(0); k < cnt; k++ {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// Lookup returns the dense ID previously assigned to a state with s's
+// canonical key, without allocating a new one.
+func (in *Interner) Lookup(s State) (uint32, bool) {
+	id, ok := in.ids[s.Key()]
+	return id, ok
+}

@@ -1,0 +1,79 @@
+package pp_test
+
+import (
+	"testing"
+
+	"popsim/internal/pp"
+)
+
+func TestCountConfigRoundTrip(t *testing.T) {
+	cfg := pp.Configuration{
+		pp.Symbol("a"), pp.Symbol("b"), pp.Symbol("a"),
+		pp.Symbol("c"), pp.Symbol("a"), pp.Symbol("b"),
+	}
+	in := pp.NewInterner()
+	counts := in.CountConfig(cfg, nil)
+	if got := counts.N(); got != int64(len(cfg)) {
+		t.Fatalf("N = %d, want %d", got, len(cfg))
+	}
+	if len(counts) != in.Len() {
+		t.Fatalf("len(counts) = %d, want interner len %d", len(counts), in.Len())
+	}
+	ida, _ := in.Lookup(pp.Symbol("a"))
+	idb, _ := in.Lookup(pp.Symbol("b"))
+	idc, _ := in.Lookup(pp.Symbol("c"))
+	if counts[ida] != 3 || counts[idb] != 2 || counts[idc] != 1 {
+		t.Fatalf("counts = %v (a=%d b=%d c=%d)", counts, ida, idb, idc)
+	}
+	back := in.MaterializeCounts(counts, nil)
+	if back.MultisetKey() != cfg.MultisetKey() {
+		t.Fatalf("materialized multiset %q != original %q", back.MultisetKey(), cfg.MultisetKey())
+	}
+}
+
+func TestCountIDsMatchesCountConfig(t *testing.T) {
+	cfg := pp.Configuration{pp.Symbol("x"), pp.Symbol("y"), pp.Symbol("x")}
+	in := pp.NewInterner()
+	ids := in.InternConfig(cfg, nil)
+	fromIDs := pp.CountIDs(ids, in.Len(), nil)
+	fromCfg := in.CountConfig(cfg, nil)
+	if !fromIDs.Equal(fromCfg) {
+		t.Fatalf("CountIDs %v != CountConfig %v", fromIDs, fromCfg)
+	}
+}
+
+func TestCountsEqualIgnoresTrailingZeros(t *testing.T) {
+	a := pp.Counts{2, 1}
+	b := pp.Counts{2, 1, 0, 0}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("trailing zeros must not affect equality")
+	}
+	c := pp.Counts{2, 1, 1}
+	if a.Equal(c) || c.Equal(a) {
+		t.Fatal("distinct multisets compared equal")
+	}
+}
+
+func TestCountsCloneIsDetached(t *testing.T) {
+	a := pp.Counts{5, 3}
+	b := a.Clone()
+	b[0] = 99
+	if a[0] != 5 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestLookupDoesNotAllocateIDs(t *testing.T) {
+	in := pp.NewInterner()
+	if _, ok := in.Lookup(pp.Symbol("zzz")); ok {
+		t.Fatal("Lookup invented an ID")
+	}
+	if in.Len() != 0 {
+		t.Fatal("Lookup must not intern")
+	}
+	id := in.Intern(pp.Symbol("zzz"))
+	got, ok := in.Lookup(pp.Symbol("zzz"))
+	if !ok || got != id {
+		t.Fatalf("Lookup = (%d, %v), want (%d, true)", got, ok, id)
+	}
+}

@@ -42,6 +42,15 @@ func (t *Table) AddRow(cells ...any) {
 // Rows returns the number of data rows.
 func (t *Table) Rows() int { return len(t.rows) }
 
+// Header returns the column headers (shared slice; treat as read-only).
+func (t *Table) Header() []string { return t.header }
+
+// RowData returns the rendered data rows (shared slices; treat as
+// read-only). Machine-readable consumers — the experiment harness's JSON
+// stream — read tables through this and Header instead of re-parsing the
+// ASCII rendering.
+func (t *Table) RowData() [][]string { return t.rows }
+
 // WriteTo renders the table in aligned ASCII form.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	widths := make([]int, len(t.header))

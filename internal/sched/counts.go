@@ -1,0 +1,358 @@
+package sched
+
+// Count-level scheduling: instead of picking two agent *indices* per
+// interaction (Random.Next on the dense ID vector), CountScheduler picks two
+// agent *states* per interaction directly from the configuration-vector
+// counts, so the execution backend never touches per-agent storage at all.
+// This is the sampling layer of the counts backend (engine.CountEngine),
+// after Berenbrink et al., "Simulating Population Protocols in Sub-Constant
+// Time per Interaction" (arXiv:2005.03584): once agents are exchangeable and
+// states interned, the count process is itself a Markov chain and can be
+// driven in O(log |Q|) work per interaction with O(|Q|) observation.
+//
+// # Sampling model and statistical-equivalence argument
+//
+// The sequential uniform-random scheduler induces, on the counts vector, the
+// exact chain
+//
+//	P(starter state = q1, reactor state = q2 | counts c) =
+//	    c[q1] · (c[q2] − [q1 = q2]) / (n · (n−1)),
+//
+// i.e. draw the starter's state with probability proportional to its count,
+// remove one agent of that state, then draw the reactor's state from the
+// remaining counts. CountScheduler realizes exactly this pair of
+// without-replacement draws against an "available agents" pool:
+//
+//   - Exact mode (BlockLen == 1, the small-n fallback): the pool mirrors the
+//     live counts — the backend returns every applied transition's results
+//     through ApplyDelta — so the sampled process IS the sequential count
+//     chain, equal in distribution to the agent-vector execution for every
+//     finite run. This is the per-pair fallback the backend uses below
+//     its population threshold.
+//
+//   - Block mode (BlockLen B > 1, the large-n fast path): the pool is
+//     reloaded from the live counts only every B interactions; within a
+//     block, the 2B draws come without replacement from the block-start
+//     counts and transition results enter the pool only at the next reload.
+//     This is the collision-free block dynamics of the batched simulators:
+//     it differs from the exact chain only when an interaction would have
+//     re-selected an agent already consumed in the current block and met its
+//     *post*-transition state instead of its block-start state. With
+//     B ≤ √n/2 the expected number of such collisions is at most
+//     (2B)²/(2n) ≤ 1/2 per block — a per-interaction perturbation
+//     probability of O(1/√n), vanishing exactly in the regime where the
+//     block mode is selected and far below the epoch-local mixing loss the
+//     sharded runner's statistical-equivalence contract already tolerates.
+//     The counts-vs-batched equivalence suite (internal/engine) pins final
+//     count and convergence-step distributions for every protocol × model.
+//
+// Negative counts are impossible by construction: a block consumes at most
+// its pool (≤ the block-start count of every state), and production only
+// ever increments.
+//
+// # Stream contract
+//
+// CountScheduler draws from the SplitMix64 Stream family, like the sharded
+// runner's workers and unlike the sequential schedulers' lagged-Fibonacci
+// ring: count-level executions are a distinct execution mode with a
+// statistical (not replay) equivalence contract, so they use the generator
+// family reserved for such modes. The derivation is pinned:
+//
+//	CountScheduler(seed) draws from SplitStream(seed, CountStreamIndex)
+//
+// with CountStreamIndex far outside the shard-worker index range, so a
+// counts run never shares a stream with any shard of a sharded run on the
+// same seed. Executions are deterministic per (seed, BlockLen) and invariant
+// under chunking: pool state persists across Block calls, so consuming k
+// pairs in any call pattern yields the identical pair sequence.
+const CountStreamIndex = 1 << 30
+
+// CountPair is one sampled ordered interaction at the state level: the
+// starter's and reactor's interned state IDs.
+type CountPair struct {
+	S, R uint32
+}
+
+// CountScheduler samples ordered (starter, reactor) state pairs from a
+// counts vector, without replacement against a pool that reloads every
+// BlockLen interactions (see the package comment above for the exact
+// semantics of the two modes). Not safe for concurrent use.
+type CountScheduler struct {
+	rng      Stream
+	blockLen int
+	sinceRel int // pairs sampled since the last pool reload
+	pool     fenwick
+	buf      []CountPair
+
+	// Small-|Q| block-mode pool: a plain availability array scanned
+	// linearly, loaded instead of the Fenwick tree when the state space is
+	// narrow enough that the scan beats the tree (see smallPoolMax).
+	avail      []int64
+	availTotal int64
+	small      bool
+}
+
+// smallPoolMax is the state-space width up to which block mode samples from
+// a linearly scanned availability array instead of the Fenwick tree: for the
+// handful-of-states protocols the backend mostly runs, a ≤64-entry scan in
+// L1 plus a single 64-bit draw per pair is several times cheaper than two
+// tree descents.
+const smallPoolMax = 64
+
+// NewCountScheduler returns a scheduler drawing from the documented stream
+// of seed. blockLen ≤ 1 selects exact mode; the caller is responsible for
+// keeping the pool synchronized through ApplyDelta in that mode.
+func NewCountScheduler(seed int64, blockLen int) *CountScheduler {
+	if blockLen < 1 {
+		blockLen = 1
+	}
+	return &CountScheduler{
+		rng:      SplitStream(seed, CountStreamIndex),
+		blockLen: blockLen,
+	}
+}
+
+// BlockLen returns the pool-reload cadence (1 = exact mode).
+func (cs *CountScheduler) BlockLen() int { return cs.blockLen }
+
+// Block samples up to max ordered state pairs from counts, stopping at the
+// next pool-reload boundary (so len(result) ≤ BlockLen and the absolute
+// boundaries are invariant under chunking). The returned slice is owned by
+// the scheduler and valid until the next Block call; it is empty only for
+// max ≤ 0 or a population of fewer than two agents.
+//
+// In exact mode the caller must report every applied transition's result
+// states through ApplyDelta before the next Block call; in block mode counts
+// are only read at reload boundaries.
+func (cs *CountScheduler) Block(counts []int64, max int) []CountPair {
+	if max <= 0 {
+		return nil
+	}
+	if cs.blockLen > 1 {
+		return cs.blockSampled(counts, max)
+	}
+	// Exact mode never reloads once primed: ApplyDelta keeps pool == counts
+	// incrementally (a reload would be correct but O(|Q|) per interaction).
+	if cs.pool.size == 0 || cs.pool.total < 2 || cs.pool.size < len(counts) {
+		cs.pool.load(counts)
+		if cs.pool.total < 2 {
+			return nil
+		}
+	}
+	if cap(cs.buf) < 1 {
+		cs.buf = make([]CountPair, 1)
+	}
+	s := cs.pool.draw(cs.rng.Intn(int(cs.pool.total)))
+	r := cs.pool.draw(cs.rng.Intn(int(cs.pool.total)))
+	cs.buf = cs.buf[:1]
+	cs.buf[0] = CountPair{S: s, R: r}
+	return cs.buf
+}
+
+// blockSampled is Block's B > 1 mode: pairs come without replacement from a
+// pool reloaded every BlockLen pairs. Narrow state spaces use the linear
+// availability array with one 64-bit draw per pair — each 32-bit half maps
+// onto the remaining pool by multiply-shift, the same reduction the sharded
+// workers use, with the same contract: bias < total/2³², far below the
+// statistical-equivalence tolerance. Wide spaces use the Fenwick pool with
+// exact per-draw rejection sampling.
+func (cs *CountScheduler) blockSampled(counts []int64, max int) []CountPair {
+	// Reload only at block boundaries (and on a drained pool, which is
+	// deterministic): states minted mid-block are production-only until the
+	// next boundary, by the block semantics — reloading on state-space
+	// growth here would move the boundary and break chunking invariance.
+	if cs.sinceRel == 0 || cs.poolTotal() < 2 {
+		cs.small = len(counts) <= smallPoolMax
+		if cs.small {
+			cs.avail = append(cs.avail[:0], counts...)
+			cs.availTotal = 0
+			for _, v := range counts {
+				cs.availTotal += v
+			}
+			if cs.availTotal >= 1<<31 {
+				// The multiply-shift reduction needs a 31-bit total; such
+				// populations take the Fenwick pool's exact draws instead.
+				cs.small = false
+			}
+		}
+		if !cs.small {
+			cs.pool.load(counts)
+		}
+		cs.sinceRel = 0
+		if cs.poolTotal() < 2 {
+			return nil
+		}
+	}
+	k := cs.blockLen - cs.sinceRel
+	if k > max {
+		k = max
+	}
+	// The pool only drains in block mode: keep two agents per drawn pair.
+	if avail := int(cs.poolTotal() / 2); k > avail {
+		k = avail
+	}
+	if cap(cs.buf) < k {
+		cs.buf = make([]CountPair, k)
+	}
+	buf := cs.buf[:k]
+	if cs.small {
+		avail, total := cs.avail, cs.availTotal
+		for i := range buf {
+			x := cs.rng.Uint64()
+			s := scanDraw(avail, int64((uint64(uint32(x))*uint64(total))>>32))
+			avail[s]--
+			total--
+			r := scanDraw(avail, int64(((x>>32)*uint64(total))>>32))
+			avail[r]--
+			total--
+			buf[i] = CountPair{S: s, R: r}
+		}
+		cs.availTotal = total
+	} else {
+		for i := range buf {
+			s := cs.pool.draw(cs.rng.Intn(int(cs.pool.total)))
+			r := cs.pool.draw(cs.rng.Intn(int(cs.pool.total)))
+			buf[i] = CountPair{S: s, R: r}
+		}
+	}
+	cs.sinceRel += k
+	if cs.sinceRel >= cs.blockLen {
+		cs.sinceRel = 0
+	}
+	return buf
+}
+
+// scanDraw returns the index of the entry holding the u-th unit of weight
+// (0 ≤ u < Σ avail). The scan is branchless — the index is the number of
+// prefix sums ≤ u, accumulated via the comparison's sign bit — because the
+// comparisons are data-dependent coin flips a branch predictor cannot learn,
+// and a mispredict costs more than the whole scan of a typical ≤8-state
+// protocol.
+func scanDraw(avail []int64, u int64) uint32 {
+	var s uint32
+	var c int64
+	for _, v := range avail {
+		c += v
+		// +1 when u ≥ c, i.e. when the sign bit of u−c is clear.
+		s += 1 - uint32(uint64(u-c)>>63)
+	}
+	return s
+}
+
+// poolTotal returns the remaining agents in whichever pool is active.
+func (cs *CountScheduler) poolTotal() int64 {
+	if cs.small {
+		return cs.availTotal
+	}
+	return cs.pool.total
+}
+
+// poolSize returns the width of whichever pool is active.
+func (cs *CountScheduler) poolSize() int {
+	if cs.small {
+		return len(cs.avail)
+	}
+	return cs.pool.size
+}
+
+// ApplyDelta restores one applied transition's two result states into the
+// pool (exact mode only — the two consumed input states were removed by the
+// draws themselves, so pool == live counts is maintained incrementally). In
+// block mode it is a no-op: results enter the pool at the next reload.
+func (cs *CountScheduler) ApplyDelta(ns, nr uint32) {
+	if cs.blockLen > 1 {
+		return
+	}
+	cs.pool.grow(int(ns) + 1)
+	cs.pool.grow(int(nr) + 1)
+	cs.pool.add(ns, 1)
+	cs.pool.add(nr, 1)
+}
+
+// fenwick is a binary-indexed tree over non-negative int64 weights,
+// supporting O(log size) point updates and inverse-cumulative search — the
+// without-replacement pool of CountScheduler. Entry i of the conceptual
+// weight array lives at tree position i+1.
+type fenwick struct {
+	tree  []int64
+	size  int   // number of weights
+	cap2  int   // power-of-two ≥ size, the search's top bit
+	total int64 // sum of all weights
+}
+
+// load rebuilds the tree from weights in O(len(weights)).
+func (f *fenwick) load(weights []int64) {
+	n := len(weights)
+	if cap(f.tree) < n+1 {
+		f.tree = make([]int64, n+1)
+	}
+	f.tree = f.tree[:n+1]
+	f.size = n
+	f.cap2 = 1
+	for f.cap2 < n {
+		f.cap2 <<= 1
+	}
+	f.total = 0
+	for i := range f.tree {
+		f.tree[i] = 0
+	}
+	for i, w := range weights {
+		f.tree[i+1] += w
+		if p := (i + 1) + ((i + 1) & -(i + 1)); p <= n {
+			f.tree[p] += f.tree[i+1]
+		}
+		f.total += w
+	}
+}
+
+// grow extends the tree to cover at least n weights (new weights zero),
+// preserving existing prefix sums. Runs only on state-space growth — rare by
+// definition — so it favors clarity: each new node i is rebuilt bottom-up
+// from the identity tree[i] = w_i + Σ tree[i−2^j] for 2^j < lsb(i), with the
+// new leaf weight w_i = 0 and every referenced node already final (indices
+// below i).
+func (f *fenwick) grow(n int) {
+	if n <= f.size {
+		return
+	}
+	for len(f.tree) < n+1 {
+		f.tree = append(f.tree, 0)
+	}
+	old := f.size
+	f.size = n
+	for f.cap2 < n {
+		f.cap2 <<= 1
+	}
+	for i := old + 1; i <= n; i++ {
+		f.tree[i] = 0
+		lsb := i & -i
+		for j := 1; j < lsb; j <<= 1 {
+			f.tree[i] += f.tree[i-j]
+		}
+	}
+}
+
+// add adjusts entry i by d.
+func (f *fenwick) add(i uint32, d int64) {
+	f.total += d
+	for j := int(i) + 1; j <= f.size; j += j & -j {
+		f.tree[j] += d
+	}
+}
+
+// draw finds the entry holding the u-th unit of weight (0 ≤ u < total),
+// removes one unit of it, and returns its index.
+func (f *fenwick) draw(u int) uint32 {
+	target := int64(u)
+	pos := 0
+	for step := f.cap2; step > 0; step >>= 1 {
+		next := pos + step
+		if next <= f.size && f.tree[next] <= target {
+			target -= f.tree[next]
+			pos = next
+		}
+	}
+	// pos is the largest index with prefix(pos) ≤ u, so entry pos holds it.
+	f.add(uint32(pos), -1)
+	return uint32(pos)
+}

@@ -1,0 +1,257 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+// drainPairs pulls exactly k pairs through Block against a fixed counts
+// vector (block mode) or with exact-mode restoration of the drawn states
+// (so the pool never empties).
+func drainPairs(cs *CountScheduler, counts []int64, k int) []CountPair {
+	var out []CountPair
+	for len(out) < k {
+		pairs := cs.Block(counts, k-len(out))
+		if len(pairs) == 0 {
+			break
+		}
+		out = append(out, pairs...)
+		if cs.BlockLen() == 1 {
+			for _, pr := range pairs {
+				cs.ApplyDelta(pr.S, pr.R) // identity transition
+			}
+		}
+	}
+	return out
+}
+
+func TestCountSchedulerDeterministicAndChunkingInvariant(t *testing.T) {
+	counts := []int64{40, 30, 20, 10}
+	for _, blockLen := range []int{1, 7, 16} {
+		a := drainPairs(NewCountScheduler(11, blockLen), append([]int64(nil), counts...), 64)
+		// Same seed, different chunking: 64 = 5+9+50.
+		csB := NewCountScheduler(11, blockLen)
+		cb := append([]int64(nil), counts...)
+		var b []CountPair
+		for _, k := range []int{5, 9, 50} {
+			b = append(b, drainPairs(csB, cb, k)...)
+		}
+		if len(a) != 64 || len(b) != 64 {
+			t.Fatalf("blockLen %d: drained %d / %d pairs, want 64", blockLen, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("blockLen %d: pair %d diverged under chunking: %v vs %v", blockLen, i, a[i], b[i])
+			}
+		}
+		c := drainPairs(NewCountScheduler(12, blockLen), append([]int64(nil), counts...), 64)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("blockLen %d: seeds 11 and 12 produced identical schedules", blockLen)
+		}
+	}
+}
+
+// TestCountSchedulerWithoutReplacement: a block must never consume more
+// agents of a state than the block-start count provides.
+func TestCountSchedulerWithoutReplacement(t *testing.T) {
+	counts := []int64{3, 2, 1}
+	cs := NewCountScheduler(5, 3) // block of 3 pairs = 6 draws = whole pool
+	for block := 0; block < 50; block++ {
+		used := make([]int64, len(counts))
+		pairs := cs.Block(counts, 3)
+		if len(pairs) == 0 {
+			t.Fatal("empty block")
+		}
+		for _, pr := range pairs {
+			used[pr.S]++
+			used[pr.R]++
+		}
+		for q := range counts {
+			if used[q] > counts[q] {
+				t.Fatalf("block %d consumed %d agents of state %d, only %d exist", block, used[q], q, counts[q])
+			}
+		}
+	}
+}
+
+// TestCountSchedulerExactModeMarginals: in exact mode with an identity
+// transition, the starter-state frequency must match c[q]/n and the
+// (q, q)-self-pair frequency must match c[q](c[q]−1)/(n(n−1)).
+func TestCountSchedulerExactModeMarginals(t *testing.T) {
+	counts := []int64{60, 30, 10}
+	n := int64(100)
+	const draws = 200_000
+	cs := NewCountScheduler(99, 1)
+	starter := make([]int64, 3)
+	self := make([]int64, 3)
+	for i := 0; i < draws; i++ {
+		pairs := cs.Block(counts, 1)
+		if len(pairs) != 1 {
+			t.Fatalf("exact mode returned %d pairs", len(pairs))
+		}
+		pr := pairs[0]
+		starter[pr.S]++
+		if pr.S == pr.R {
+			self[pr.S]++
+		}
+		cs.ApplyDelta(pr.S, pr.R)
+	}
+	for q := range counts {
+		want := float64(counts[q]) / float64(n)
+		got := float64(starter[q]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("starter marginal of state %d: got %.4f, want %.4f", q, got, want)
+		}
+		wantSelf := float64(counts[q]) * float64(counts[q]-1) / float64(n*(n-1))
+		gotSelf := float64(self[q]) / draws
+		if math.Abs(gotSelf-wantSelf) > 0.01 {
+			t.Errorf("self-pair rate of state %d: got %.4f, want %.4f", q, gotSelf, wantSelf)
+		}
+	}
+}
+
+// TestCountSchedulerBlockModeMarginals: block mode must keep the same
+// single-interaction marginals (each draw is uniform over the remaining
+// pool, and the first draw of each block sees the full population).
+func TestCountSchedulerBlockModeMarginals(t *testing.T) {
+	counts := []int64{500, 300, 200}
+	n := int64(1000)
+	const draws = 100_000
+	cs := NewCountScheduler(3, 10)
+	starter := make([]int64, 3)
+	for i := 0; i < draws; i++ {
+		for _, pr := range cs.Block(counts, 1) {
+			starter[pr.S]++
+		}
+	}
+	for q := range counts {
+		want := float64(counts[q]) / float64(n)
+		got := float64(starter[q]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("starter marginal of state %d: got %.4f, want %.4f", q, got, want)
+		}
+	}
+}
+
+// TestCountSchedulerBlockJointDistribution pins the small-pool block path
+// against an exact without-replacement reference at the pair level: the
+// joint (starter, reactor) distribution of the LAST pair of a fully drained
+// block — the draw farthest from the reload, where any accumulated bias of
+// the multiply-shift reduction or the branchless scan would show — must
+// match the sequential two-draw reference within statistical tolerance.
+func TestCountSchedulerBlockJointDistribution(t *testing.T) {
+	counts := []int64{3, 2, 1}
+	const trials = 300_000
+	cs := NewCountScheduler(17, 3) // 3 pairs = 6 draws = the whole pool
+	joint := map[CountPair]float64{}
+	for i := 0; i < trials; i++ {
+		pairs := cs.Block(counts, 3)
+		if len(pairs) != 3 {
+			t.Fatalf("block of %d pairs, want 3", len(pairs))
+		}
+		joint[pairs[2]]++
+	}
+	// Exact reference: sequential without-replacement draws on its own
+	// stream (unpaired comparison; tolerance ≫ sampling noise at 3·10⁵).
+	ref := map[CountPair]float64{}
+	rng := SplitStream(23, 0)
+	for i := 0; i < trials; i++ {
+		avail := append([]int64(nil), counts...)
+		total := int64(6)
+		draw := func() uint32 {
+			u := int64(rng.Intn(int(total)))
+			var c int64
+			for q, v := range avail {
+				c += v
+				if u < c {
+					return uint32(q)
+				}
+			}
+			t.Fatal("reference draw out of range")
+			return 0
+		}
+		var last CountPair
+		for p := 0; p < 3; p++ {
+			s := draw()
+			avail[s]--
+			total--
+			r := draw()
+			avail[r]--
+			total--
+			last = CountPair{S: s, R: r}
+		}
+		ref[last]++
+	}
+	keys := map[CountPair]bool{}
+	for k := range joint {
+		keys[k] = true
+	}
+	for k := range ref {
+		keys[k] = true
+	}
+	for k := range keys {
+		got := joint[k] / trials
+		want := ref[k] / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("last-pair P(%v): got %.4f, reference %.4f", k, got, want)
+		}
+	}
+}
+
+func TestCountSchedulerDegenerate(t *testing.T) {
+	cs := NewCountScheduler(1, 8)
+	if got := cs.Block([]int64{1}, 4); len(got) != 0 {
+		t.Fatalf("population of 1 produced pairs: %v", got)
+	}
+	if got := cs.Block([]int64{2, 3}, 0); len(got) != 0 {
+		t.Fatalf("max 0 produced pairs: %v", got)
+	}
+	if got := cs.Block(nil, 4); len(got) != 0 {
+		t.Fatalf("empty counts produced pairs: %v", got)
+	}
+}
+
+func TestFenwickLoadDrawGrow(t *testing.T) {
+	var f fenwick
+	f.load([]int64{5, 0, 3, 2})
+	if f.total != 10 {
+		t.Fatalf("total = %d, want 10", f.total)
+	}
+	// Draw the 5th unit (0-indexed): prefix sums 5, 5, 8, 10 → entry 2.
+	if got := f.draw(5); got != 2 {
+		t.Fatalf("draw(5) = %d, want 2", got)
+	}
+	if f.total != 9 {
+		t.Fatalf("total after draw = %d, want 9", f.total)
+	}
+	// Grow and add weight to a new entry; draws must reach it.
+	f.grow(6)
+	f.add(5, 4)
+	if f.total != 13 {
+		t.Fatalf("total after grow+add = %d, want 13", f.total)
+	}
+	if got := f.draw(12); got != 5 {
+		t.Fatalf("draw(12) = %d, want 5 (the grown entry)", got)
+	}
+	// Exhaustive drain: every unit must map to a weighted entry.
+	remaining := map[uint32]int64{0: 5, 2: 2, 3: 2, 5: 3}
+	for f.total > 0 {
+		id := f.draw(int(f.total) - 1)
+		remaining[id]--
+		if remaining[id] < 0 {
+			t.Fatalf("over-drew entry %d", id)
+		}
+	}
+	for id, left := range remaining {
+		if left != 0 {
+			t.Fatalf("entry %d drained to %d, want 0", id, left)
+		}
+	}
+}

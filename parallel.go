@@ -5,11 +5,9 @@ import (
 	"errors"
 	"time"
 
-	"popsim/internal/engine"
 	"popsim/internal/par"
-	"popsim/internal/sched"
+	"popsim/internal/pp"
 	"popsim/internal/sim"
-	"popsim/internal/trace"
 )
 
 // ShardedOptions tune sharded execution; see par.ShardedOptions.
@@ -65,10 +63,64 @@ var (
 // engine instead of failing: the result carries Degraded and the sharded
 // failure as DegradedReason.
 func (s *System) RunSharded(opts ShardedOptions, pred func(Configuration) bool, every, horizon int) (*ShardedResult, error) {
+	var projected func(Configuration) bool
+	if pred != nil {
+		projected = func(c Configuration) bool { return pred(sim.Project(c)) }
+	}
+	return s.runSharded(opts, projected, every, horizon)
+}
+
+// RunShardedCounts is RunSharded with a count predicate: pred observes the
+// sharded runner's barrier-merged counts vector — O(|Q|) per evaluation off
+// the per-epoch count-delta streams, instead of RunSharded's O(n)
+// materialization — projected for simulator systems. The view passed to
+// pred aliases live runner state and is valid only during the call.
+func (s *System) RunShardedCounts(opts ShardedOptions, pred func(*StateCounts) bool, every, horizon int) (*ShardedResult, error) {
+	var onConfig func(Configuration) bool
+	var drive shardedDriver
+	project := s.spec.Simulate != nil
+	if pred != nil {
+		// Degrade path (batched engine): one counting pass per check, off a
+		// reused interner and view.
+		onConfig = countsPredicate(pred, project)
+		// Sharded path: refresh a reusable view off the live counts, O(|Q|).
+		drive = func(sr *par.ShardedRunner, every, horizon int) (int, bool, error) {
+			view := &StateCounts{}
+			return sr.RunUntilCounts(func(c pp.Counts) bool {
+				refreshView(view, sr.Interner(), c)
+				if project {
+					return pred(view.Projected())
+				}
+				return pred(view)
+			}, every, horizon)
+		}
+	}
+	return s.runShardedPred(opts, onConfig, drive, every, horizon)
+}
+
+// shardedDriver runs a sharded runner until its predicate holds; see
+// runShardedPred.
+type shardedDriver func(sr *par.ShardedRunner, every, horizon int) (int, bool, error)
+
+// runSharded adapts a raw-configuration predicate into the shared driver.
+func (s *System) runSharded(opts ShardedOptions, pred func(Configuration) bool, every, horizon int) (*ShardedResult, error) {
+	var drive shardedDriver
+	if pred != nil {
+		drive = func(sr *par.ShardedRunner, every, horizon int) (int, bool, error) {
+			return sr.RunUntil(pred, every, horizon)
+		}
+	}
+	return s.runShardedPred(opts, pred, drive, every, horizon)
+}
+
+// runShardedPred is the shared RunSharded driver: drive (when non-nil) runs
+// the runner until the caller's predicate holds, onConfig is the
+// predicate's batched-engine form for the degrade path; both nil means run
+// for the full horizon.
+func (s *System) runShardedPred(opts ShardedOptions, onConfig func(Configuration) bool, drive shardedDriver, every, horizon int) (*ShardedResult, error) {
 	if s.spec.Scheduler != nil || s.spec.Adversary != nil {
 		return nil, ErrShardedSpec
 	}
-	kind := s.spec.Model
 	protocol := s.spec.Protocol
 	if s.spec.Simulate != nil {
 		protocol = s.spec.Simulate.Protocol
@@ -89,26 +141,25 @@ func (s *System) RunSharded(opts ShardedOptions, pred func(Configuration) bool, 
 			opts.MaxStates = par.MaxShardedStates
 		}
 	}
-	sr, err := par.NewSharded(kind, protocol, s.eng.Config(), s.spec.Seed, opts)
+	sr, err := par.NewSharded(s.spec.Model, protocol, s.eng.Config(), s.spec.Seed, opts)
 	if err != nil {
 		if errors.Is(err, par.ErrStateSpace) {
-			return s.runShardedDegraded(kind, protocol, pred, every, horizon, err)
+			return s.runShardedDegraded(protocol, onConfig, every, horizon, err)
 		}
 		return nil, err
 	}
 	res := &ShardedResult{}
-	if pred == nil {
+	if drive == nil {
 		if err := sr.RunSteps(horizon); err != nil {
 			if errors.Is(err, par.ErrStateSpace) {
-				return s.runShardedDegraded(kind, protocol, pred, every, horizon, err)
+				return s.runShardedDegraded(protocol, onConfig, every, horizon, err)
 			}
 			return nil, err
 		}
 	} else {
-		projected := func(c Configuration) bool { return pred(sim.Project(c)) }
-		if _, res.Converged, err = sr.RunUntil(projected, every, horizon); err != nil {
+		if _, res.Converged, err = drive(sr, every, horizon); err != nil {
 			if errors.Is(err, par.ErrStateSpace) {
-				return s.runShardedDegraded(kind, protocol, pred, every, horizon, err)
+				return s.runShardedDegraded(protocol, onConfig, every, horizon, err)
 			}
 			return nil, err
 		}
@@ -123,13 +174,8 @@ func (s *System) RunSharded(opts ShardedOptions, pred func(Configuration) bool, 
 // interned state space beyond its bound (cause), so the run executes on a
 // fresh sequential batched engine from the system's current configuration —
 // same seed, full horizon — and the result records why.
-func (s *System) runShardedDegraded(kind Model, protocol any, pred func(Configuration) bool, every, horizon int, cause error) (*ShardedResult, error) {
-	rec := &trace.Recorder{}
-	opts := []engine.Option{engine.WithRecorder(rec)}
-	if s.spec.MaxFastStates > 0 || s.spec.MaxBatchChunk > 0 {
-		opts = append(opts, engine.WithFastLimits(s.spec.MaxFastStates, s.spec.MaxBatchChunk))
-	}
-	eng, err := engine.New(kind, protocol, s.eng.Config(), sched.NewRandom(s.spec.Seed), opts...)
+func (s *System) runShardedDegraded(protocol any, pred func(Configuration) bool, every, horizon int, cause error) (*ShardedResult, error) {
+	rec, eng, err := s.freshBatchedEngine(protocol, s.eng.Config())
 	if err != nil {
 		return nil, err
 	}
@@ -142,8 +188,7 @@ func (s *System) runShardedDegraded(kind Model, protocol any, pred func(Configur
 		if every < 1 {
 			every = 64 // sharded "every epoch" has no analogue here; stay sparse
 		}
-		projected := func(c Configuration) bool { return pred(sim.Project(c)) }
-		if _, res.Converged, err = eng.RunUntilEvery(projected, every, horizon); err != nil {
+		if _, res.Converged, err = eng.RunUntilEvery(pred, every, horizon); err != nil {
 			return nil, err
 		}
 	}
