@@ -1,0 +1,53 @@
+GO ?= go
+
+.PHONY: all build vet test bench gate baseline pgo
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Compile-and-run every benchmark once (the CI smoke; the million-agent
+# agent-vector convergence reference is minutes long and skipped here too).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -skip 'CountEngineConvergence/batch/n=1000000' ./...
+
+# Enforce the ns/op budgets locally — the same perf/budgets_*.json rules CI
+# applies to the BENCH_counts and BENCH_sharded artifacts.
+gate:
+	{ $(GO) test -run '^$$' -bench 'CountEngineThroughput' -benchtime 2000000x . ; \
+	  $(GO) test -run '^$$' -bench 'RunUntilArming' -benchtime 200000x . ; } \
+	    | $(GO) run ./cmd/benchgate -budgets perf/budgets_counts.json
+	@if [ "$$(getconf _NPROCESSORS_ONLN)" -ge 4 ]; then \
+	  $(GO) test -run '^$$' -bench 'EngineThroughputSharded' -benchtime 2000000x -cpu 4 . \
+	      | $(GO) run ./cmd/benchgate -budgets perf/budgets_sharded.json ; \
+	else \
+	  echo "skipping sharded gate: P=4 workers serialize below 4 cores (CI enforces it on 4-core runners)" ; \
+	fi
+
+# Refresh the committed benchstat baselines (perf/baseline_*.txt) from this
+# machine. CI's delta report compares its fresh runs against these, so
+# regenerate them on a quiet machine and commit alongside perf changes.
+baseline:
+	{ $(GO) test -run '^$$' -bench 'CountEngineThroughput' -benchtime 2000000x -count 3 . ; \
+	  $(GO) test -run '^$$' -bench 'RunUntilArming' -benchtime 200000x -count 3 . ; } \
+	    | $(GO) run ./cmd/benchgate -extract > perf/baseline_counts.txt
+	$(GO) test -run '^$$' -bench 'EngineThroughputSharded' -benchtime 2000000x -count 3 . \
+	    | $(GO) run ./cmd/benchgate -extract > perf/baseline_sharded.txt
+
+# Refresh the committed PGO profiles: profile the hot benchmark families
+# (count sampler, sharded workers, batched engine, wrapped simulators) and
+# install the profile as default.pgo next to each main package — go ≥ 1.21
+# consumes it automatically on `go build`.
+pgo:
+	$(GO) test -run '^$$' -bench 'CountEngineThroughput|EngineThroughputSharded|EngineThroughputLarge|SimWrapped$$' \
+	    -benchtime 1000000x -cpuprofile cpu.prof -o bench.test .
+	$(GO) tool pprof -proto cpu.prof > cmd/ppsim/default.pgo
+	cp cmd/ppsim/default.pgo cmd/experiments/default.pgo
+	rm -f cpu.prof bench.test

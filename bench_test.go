@@ -633,6 +633,49 @@ func BenchmarkCountEngineConvergence(b *testing.B) {
 	}
 }
 
+// BenchmarkStateCountsPredicate measures the counts view's two predicate
+// surfaces on a composite-keyed state space (ModuloState, whose Key() builds
+// a string): the key-based Count, which pays Key() plus a map probe on every
+// lookup, against the dense-ID pair — IDOf resolved once, CountByID per
+// evaluation. ReportAllocs pins the satellite claim: the key rows allocate
+// on every op, the id rows allocate zero.
+func BenchmarkStateCountsPredicate(b *testing.B) {
+	sys, err := popsim.NewSystem(popsim.SystemSpec{
+		Model:    popsim.TW,
+		Protocol: protocols.Modulo{M: 2},
+		Initial:  protocols.ModuloConfig(1024, 384),
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := sys.Counts()
+	odd := protocols.ModuloState{Value: 1, Active: true}
+	even := protocols.ModuloState{Value: 0, Active: true}
+	b.Run("key", func(b *testing.B) {
+		b.ReportAllocs()
+		var acc int64
+		for i := 0; i < b.N; i++ {
+			acc += sc.Count(odd) - sc.Count(even)
+		}
+		benchSink = acc
+	})
+	b.Run("id", func(b *testing.B) {
+		b.ReportAllocs()
+		idOdd, idEven := sc.IDOf(odd), sc.IDOf(even)
+		if idOdd < 0 || idEven < 0 {
+			b.Fatal("states missing from the snapshot")
+		}
+		var acc int64
+		for i := 0; i < b.N; i++ {
+			acc += sc.CountByID(idOdd) - sc.CountByID(idEven)
+		}
+		benchSink = acc
+	})
+}
+
+var benchSink int64
+
 // BenchmarkRunUntilArming is the regression guard for the convergence
 // drivers' arming cost: RunUntilEvery's exact-hitting instrumentation
 // snapshots the chunk start before every chunk — an O(n) ID copy on the

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A go test -json fragment with a result row SPLIT across two Output events
+// (the name is printed when the benchmark starts, the timing when it ends) —
+// the reassembly case naive line-oriented parsers get wrong — plus header
+// lines and a second, single-event row carrying extra metrics.
+const jsonStream = `{"Action":"start","Package":"popsim"}
+{"Action":"output","Package":"popsim","Output":"goos: linux\n"}
+{"Action":"output","Package":"popsim","Output":"goarch: amd64\n"}
+{"Action":"output","Package":"popsim","Output":"pkg: popsim\n"}
+{"Action":"output","Package":"popsim","Output":"cpu: Intel(R) Xeon(R)\n"}
+{"Action":"output","Package":"popsim","Output":"BenchmarkCountEngineThroughput/counts/n=10000-4         \t"}
+{"Action":"output","Package":"popsim","Output":" 2000000\t        18.91 ns/op\t       160.0 block\n"}
+{"Action":"output","Package":"popsim","Output":"BenchmarkCountEngineThroughput/batch/n=10000-4 \t 2000000\t 8.12 ns/op\n"}
+{"Action":"output","Package":"popsim","Output":"PASS\n"}
+{"Action":"pass","Package":"popsim"}
+`
+
+func TestParseResultsFromJSONStream(t *testing.T) {
+	text, err := readBenchText(nil, strings.NewReader(jsonStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := parseResults(text)
+	if len(results) != 2 {
+		t.Fatalf("parsed %d rows, want 2: %+v", len(results), results)
+	}
+	if results[0].Name != "BenchmarkCountEngineThroughput/counts/n=10000-4" || results[0].NsPerOp != 18.91 {
+		t.Fatalf("row 0 = %+v", results[0])
+	}
+	if results[1].NsPerOp != 8.12 {
+		t.Fatalf("row 1 = %+v", results[1])
+	}
+}
+
+func TestBenchstatLines(t *testing.T) {
+	text, err := readBenchText(nil, strings.NewReader(jsonStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := benchstatLines(text)
+	want := []string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: popsim",
+		"cpu: Intel(R) Xeon(R)",
+		"BenchmarkCountEngineThroughput/counts/n=10000-4         \t 2000000\t        18.91 ns/op\t       160.0 block",
+		"BenchmarkCountEngineThroughput/batch/n=10000-4 \t 2000000\t 8.12 ns/op",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d: %q", len(lines), len(want), lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+// Plain (non-JSON) benchmark text must parse identically — local runs gate
+// with the same tool against raw `go test -bench` output.
+func TestParsePlainText(t *testing.T) {
+	plain := "goos: linux\nBenchmarkFoo/a-8 \t 100\t 12.5 ns/op\nok popsim 1.0s\n"
+	text, err := readBenchText(nil, strings.NewReader(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := parseResults(text)
+	if len(results) != 1 || results[0].NsPerOp != 12.5 {
+		t.Fatalf("results = %+v", results)
+	}
+}
+
+func writeBudgets(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "budgets.json")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCheckBudgetsAbsoluteAndRatio(t *testing.T) {
+	results := []benchResult{
+		{Name: "BenchmarkCountEngineThroughput/counts/n=10000-4", NsPerOp: 18.9},
+		{Name: "BenchmarkCountEngineThroughput/counts/n=1000000-4", NsPerOp: 17.7},
+		{Name: "BenchmarkEngineThroughputSharded/seq-batch-4", NsPerOp: 9.0},
+		{Name: "BenchmarkEngineThroughputSharded/P=4-4", NsPerOp: 3.1},
+	}
+	rules := []budgetRule{
+		{Name: "counts", Bench: "^BenchmarkCountEngineThroughput/counts/", MaxNsOp: 20},
+		{Name: "p4", Bench: "^BenchmarkEngineThroughputSharded/P=4", Base: "^BenchmarkEngineThroughputSharded/seq-batch", MaxRatio: 1.15},
+	}
+	report, ok := checkBudgets(rules, results)
+	if !ok {
+		t.Fatalf("expected pass:\n%s", report)
+	}
+
+	// Push a counts row over budget and the P=4 row over the ratio.
+	results[0].NsPerOp = 25
+	results[3].NsPerOp = 11.0
+	report, ok = checkBudgets(rules, results)
+	if ok {
+		t.Fatalf("expected failure:\n%s", report)
+	}
+	for _, want := range []string{"FAIL counts", "FAIL p4"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// A rule whose pattern matches nothing must FAIL the gate: a renamed
+// benchmark cannot silently un-gate itself.
+func TestCheckBudgetsUnmatchedRuleFails(t *testing.T) {
+	results := []benchResult{{Name: "BenchmarkSomething-4", NsPerOp: 1}}
+	report, ok := checkBudgets([]budgetRule{{Name: "gone", Bench: "^BenchmarkRenamedAway", MaxNsOp: 5}}, results)
+	if ok || !strings.Contains(report, "matched no benchmark rows") {
+		t.Fatalf("unmatched rule passed:\n%s", report)
+	}
+}
+
+func TestLoadBudgetsValidation(t *testing.T) {
+	if _, err := loadBudgets(writeBudgets(t, `{"budgets":[{"name":"a","bench":"x","max_ns_op":5}]}`)); err != nil {
+		t.Fatalf("valid budgets rejected: %v", err)
+	}
+	for name, body := range map[string]string{
+		"empty":       `{"budgets":[]}`,
+		"no-bench":    `{"budgets":[{"name":"a","max_ns_op":5}]}`,
+		"both-kinds":  `{"budgets":[{"name":"a","bench":"x","max_ns_op":5,"base":"y","max_ratio":1.1}]}`,
+		"neither":     `{"budgets":[{"name":"a","bench":"x"}]}`,
+		"ratio-alone": `{"budgets":[{"name":"a","bench":"x","max_ratio":1.1}]}`,
+		"not-json":    `budgets: nope`,
+	} {
+		if _, err := loadBudgets(writeBudgets(t, body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// End-to-end through run(): gate a JSON stream against a budget file, both
+// passing and failing, and check -extract output lands on stdout.
+func TestRunEndToEnd(t *testing.T) {
+	pass := writeBudgets(t, `{"budgets":[{"name":"counts","bench":"^BenchmarkCountEngineThroughput/counts/","max_ns_op":20}]}`)
+	var out strings.Builder
+	if err := run([]string{"-budgets", pass, "-extract"}, strings.NewReader(jsonStream), &out); err != nil {
+		t.Fatalf("passing gate errored: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "goos: linux") || !strings.Contains(out.String(), "ok   counts") {
+		t.Fatalf("missing extract or report output:\n%s", out.String())
+	}
+
+	tight := writeBudgets(t, `{"budgets":[{"name":"counts","bench":"^BenchmarkCountEngineThroughput/counts/","max_ns_op":10}]}`)
+	if err := run([]string{"-budgets", tight}, strings.NewReader(jsonStream), &out); err == nil {
+		t.Fatal("over-budget gate did not error")
+	}
+
+	if err := run([]string{"-bogus"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run(nil, strings.NewReader(""), &out); err == nil {
+		t.Fatal("no-op invocation accepted")
+	}
+}

@@ -14,6 +14,7 @@
 //	ppsim -protocol majority -sim skno -o 0 -model IT \
 //	      -n 256 -shards 4                                  # multi-core simulation
 //	ppsim -protocol majority -n 1000 -runs 50               # seed ensemble
+//	ppsim -protocol majority -n 1000000 -counts             # O(|Q|) counts backend
 package main
 
 import (
@@ -36,11 +37,15 @@ func main() {
 }
 
 // namedWorkload bundles a protocol with its standard initial configuration
-// and convergence predicate.
+// and convergence predicate — in both observation forms: done scans the
+// agent vector (O(n)); countsDone reads a StateCounts view (O(|Q|), the
+// -counts mode's predicate, evaluated on projected counts for simulator
+// runs).
 type namedWorkload struct {
-	proto pp.TwoWay
-	cfg   func(n int) pp.Configuration
-	done  func(n int) func(pp.Configuration) bool
+	proto      pp.TwoWay
+	cfg        func(n int) pp.Configuration
+	done       func(n int) func(pp.Configuration) bool
+	countsDone func(n int) func(*popsim.StateCounts) bool
 }
 
 func workloadByName(name string) (namedWorkload, error) {
@@ -53,6 +58,10 @@ func workloadByName(name string) (namedWorkload, error) {
 				c, p := (n+1)/2, n/2
 				return func(cf pp.Configuration) bool { return protocols.PairingDone(cf, c, p) }
 			},
+			countsDone: func(n int) func(*popsim.StateCounts) bool {
+				want := int64(n / 2) // min(consumers, producers)
+				return func(sc *popsim.StateCounts) bool { return sc.Count(protocols.Served) == want }
+			},
 		}, nil
 	case "majority":
 		return namedWorkload{
@@ -61,12 +70,20 @@ func workloadByName(name string) (namedWorkload, error) {
 			done: func(n int) func(pp.Configuration) bool {
 				return func(cf pp.Configuration) bool { return protocols.MajorityConverged(cf, "A") }
 			},
+			countsDone: func(n int) func(*popsim.StateCounts) bool {
+				out := protocols.Majority{}
+				isA := func(s popsim.State) bool { return out.Output(s) == "A" }
+				return func(sc *popsim.StateCounts) bool { return sc.CountFunc(isA) == sc.N() }
+			},
 		}, nil
 	case "leader":
 		return namedWorkload{
 			proto: protocols.LeaderElection{},
 			cfg:   protocols.LeaderConfig,
 			done:  func(n int) func(pp.Configuration) bool { return protocols.LeaderElected },
+			countsDone: func(n int) func(*popsim.StateCounts) bool {
+				return func(sc *popsim.StateCounts) bool { return sc.Count(protocols.Leader) == 1 }
+			},
 		}, nil
 	case "parity":
 		return namedWorkload{
@@ -76,6 +93,27 @@ func workloadByName(name string) (namedWorkload, error) {
 				want := (n/2 + 1) % 2
 				return func(cf pp.Configuration) bool { return protocols.ModuloConverged(cf, want) }
 			},
+			countsDone: func(n int) func(*popsim.StateCounts) bool {
+				want := (n/2 + 1) % 2
+				return func(sc *popsim.StateCounts) bool {
+					// ModuloConverged in O(|Q|): every agent agrees on the
+					// residue and exactly one still carries a token.
+					var actives int64
+					ok := true
+					sc.Each(func(s popsim.State, cnt int64) bool {
+						ms, isMod := s.(protocols.ModuloState)
+						if !isMod || ms.Value != want {
+							ok = false
+							return false
+						}
+						if ms.Active {
+							actives += cnt
+						}
+						return true
+					})
+					return ok && actives == 1
+				}
+			},
 		}, nil
 	case "or":
 		return namedWorkload{
@@ -83,6 +121,9 @@ func workloadByName(name string) (namedWorkload, error) {
 			cfg:   func(n int) pp.Configuration { return protocols.OrConfig(n, 1) },
 			done: func(n int) func(pp.Configuration) bool {
 				return func(cf pp.Configuration) bool { return protocols.OrConverged(cf, protocols.One) }
+			},
+			countsDone: func(n int) func(*popsim.StateCounts) bool {
+				return func(sc *popsim.StateCounts) bool { return sc.Count(protocols.One) == sc.N() }
 			},
 		}, nil
 	}
@@ -103,6 +144,7 @@ func run(args []string) error {
 	shards := fs.Int("shards", 0, "run sharded on P worker shards (multi-core; native or simulated protocols, no adversary)")
 	runs := fs.Int("runs", 0, "run an ensemble of this many seeds (seed, seed+1, …) and print aggregates")
 	workers := fs.Int("workers", 0, "ensemble worker pool bound (0 = GOMAXPROCS)")
+	counts := fs.Bool("counts", false, "run with a count predicate (O(|Q|) observation; large populations execute on the counts backend, no adversary)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,6 +153,9 @@ func run(args []string) error {
 	}
 	if *shards > 0 && *runs > 0 {
 		return fmt.Errorf("-shards and -runs are mutually exclusive")
+	}
+	if *counts && (*shards > 0 || *runs > 0) {
+		return fmt.Errorf("-counts is mutually exclusive with -shards and -runs")
 	}
 
 	w, err := workloadByName(*protoName)
@@ -203,6 +248,35 @@ func run(args []string) error {
 		} else {
 			spec.Adversary = popsim.UOAdversary(*seed+1, *omRate, 1)
 		}
+	}
+
+	// Counts mode: one run observed through a count predicate. Populations of
+	// at least popsim.DefaultCountsBackendN execute on the O(|Q|) counts
+	// backend; smaller ones stay on the batched agent-vector engine with the
+	// counts view rebuilt per check. Adversary specs are outside the
+	// count-predicate contract and are rejected by the facade (ErrCountsSpec).
+	if *counts {
+		sys, err := popsim.NewSystem(spec)
+		if err != nil {
+			return err
+		}
+		res, err := sys.RunUntilCounts(w.countsDone(*n), 0, *horizon)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("protocol=%s sim=%s model=%v n=%d counts=true\n", *protoName, orNative(*simName), kind, *n)
+		if res.Degraded {
+			fmt.Printf("degraded to the batched engine: %s\n", res.DegradedReason)
+		}
+		if spec.Simulate != nil {
+			fmt.Printf("backend=%s steps=%d simulated-events=%d converged=%v\n", res.Backend, res.Steps, res.SimEvents, res.Converged)
+		} else {
+			fmt.Printf("backend=%s steps=%d converged=%v\n", res.Backend, res.Steps, res.Converged)
+		}
+		if !res.Converged {
+			return fmt.Errorf("did not converge within %d interactions", *horizon)
+		}
+		return nil
 	}
 
 	// Sharded mode: one run on P worker shards (count-based observation;

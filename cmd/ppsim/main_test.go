@@ -1,8 +1,12 @@
 package main
 
 import (
+	"errors"
+	"strconv"
 	"strings"
 	"testing"
+
+	"popsim"
 )
 
 func TestRunNative(t *testing.T) {
@@ -108,6 +112,65 @@ func TestRunRejectsBadParallelFlags(t *testing.T) {
 	}
 }
 
+// TestRunCounts drives the -counts mode across the workloads on small
+// populations (served by the batched backend with the counts view rebuilt
+// per check) and a simulator run (predicate on projected counts).
+func TestRunCounts(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "majority", "-n", "300", "-counts", "-seed", "4", "-horizon", "5000000"},
+		{"-protocol", "pairing", "-n", "8", "-counts", "-seed", "2"},
+		{"-protocol", "leader", "-n", "64", "-counts", "-seed", "3", "-horizon", "5000000"},
+		{"-protocol", "parity", "-n", "48", "-counts", "-seed", "5", "-horizon", "5000000"},
+		{"-protocol", "or", "-n", "64", "-counts", "-seed", "6", "-horizon", "1000000"},
+		{"-protocol", "majority", "-sim", "skno", "-o", "0", "-model", "IT",
+			"-n", "32", "-counts", "-seed", "7", "-horizon", "5000000"},
+	}
+	for _, args := range cases {
+		args := args
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := run(args); err != nil {
+				t.Fatalf("ppsim %v: %v", args, err)
+			}
+		})
+	}
+}
+
+// TestRunCountsBackend crosses the DefaultCountsBackendN threshold so the
+// run executes on the O(|Q|) counts engine end to end.
+func TestRunCountsBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-interaction counts run")
+	}
+	// The or epidemic converges in O(n log n) interactions, so crossing the
+	// backend threshold stays cheap (the CLI majority workload's fixed
+	// 2-agent margin would not converge at this n within any sane horizon).
+	n := strconv.Itoa(popsim.DefaultCountsBackendN + 1024)
+	if err := run([]string{"-protocol", "or", "-n", n, "-counts", "-seed", "1",
+		"-horizon", "100000000"}); err != nil {
+		t.Fatalf("counts-backend run: %v", err)
+	}
+}
+
+// TestRunCountsRejectsBadCombos: -counts is mutually exclusive with the
+// other execution modes, and adversary specs are outside the count-predicate
+// contract (the facade's ErrCountsSpec surfaces as a CLI error).
+func TestRunCountsRejectsBadCombos(t *testing.T) {
+	for _, args := range [][]string{
+		{"-protocol", "majority", "-n", "100", "-counts", "-shards", "2"},
+		{"-protocol", "majority", "-n", "100", "-counts", "-runs", "2"},
+		{"-protocol", "majority", "-n", "100", "-counts", "-omission-rate", "0.1"},
+	} {
+		args := args
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	err := run([]string{"-protocol", "majority", "-n", "100", "-counts", "-omission-rate", "0.1"})
+	if !errors.Is(err, popsim.ErrCountsSpec) {
+		t.Errorf("adversary under -counts: err = %v, want ErrCountsSpec", err)
+	}
+}
+
 func TestRunShardedRejectsAdversary(t *testing.T) {
 	// Sharded mode cannot host an omission adversary; the facade must
 	// refuse rather than silently drop the faults.
@@ -124,6 +187,7 @@ func TestRunNonConvergenceIsAnError(t *testing.T) {
 		{"-protocol", "leader", "-n", "64", "-horizon", "10"},
 		{"-protocol", "leader", "-n", "64", "-horizon", "10", "-shards", "2"},
 		{"-protocol", "leader", "-n", "64", "-horizon", "10", "-runs", "2"},
+		{"-protocol", "leader", "-n", "64", "-horizon", "10", "-counts"},
 	} {
 		args := args
 		if err := run(args); err == nil {

@@ -48,6 +48,19 @@ func (sc *StateCounts) Distinct() int { return len(sc.states) }
 
 // Count returns the number of agents in the state with s's canonical key.
 func (sc *StateCounts) Count(s State) int64 {
+	return sc.CountByID(sc.IDOf(s))
+}
+
+// IDOf returns the dense state ID of the state with s's canonical key, or
+// −1 when the view has not seen that state (yet). IDs index the view in
+// state-interning order and are STABLE for the lifetime of a run: backend
+// state spaces grow append-only, so an ID resolved on one predicate
+// evaluation keeps denoting the same state on every later evaluation of the
+// same run. That makes the IDOf/CountByID pair the zero-allocation predicate
+// surface: resolve the ID once (IDOf pays s.Key(), which may allocate), then
+// read CountByID per evaluation — no key built, no map probed. IDs are NOT
+// comparable across detached snapshots or separate runs.
+func (sc *StateCounts) IDOf(s State) int {
 	if sc.index == nil {
 		sc.index = make(map[string]int, len(sc.states))
 		for i, st := range sc.states {
@@ -56,9 +69,19 @@ func (sc *StateCounts) Count(s State) int64 {
 	}
 	i, ok := sc.index[s.Key()]
 	if !ok {
+		return -1
+	}
+	return i
+}
+
+// CountByID returns the number of agents in the state with dense ID id —
+// O(1), allocation-free. Out-of-range IDs (including IDOf's −1 and IDs the
+// view has not grown to cover) count zero agents.
+func (sc *StateCounts) CountByID(id int) int64 {
+	if id < 0 || id >= len(sc.counts) {
 		return 0
 	}
-	return sc.counts[i]
+	return sc.counts[id]
 }
 
 // CountFunc sums the counts of the states satisfying pred — O(|Q|), the

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"popsim"
+	"popsim/internal/pp"
 	"popsim/internal/protocols"
 )
 
@@ -303,5 +304,61 @@ func TestRunEnsembleCancellationMidSweep(t *testing.T) {
 	}
 	if !progressed {
 		t.Fatal("no run was interrupted mid-flight (all cancelled before starting)")
+	}
+}
+
+// TestStateCountsIDView pins the dense-ID observation surface: IDOf resolves
+// canonical keys to stable dense IDs, CountByID reads them in O(1), unknown
+// states and out-of-range IDs count zero, and an ID resolved on one
+// predicate evaluation keeps denoting the same state for the rest of the run
+// (state spaces grow append-only).
+func TestStateCountsIDView(t *testing.T) {
+	sys, err := popsim.NewSystem(countsMajoritySpec(60, 40, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sys.Counts()
+	a := protocols.StrongA
+	idA := sc.IDOf(a)
+	if idA < 0 {
+		t.Fatalf("IDOf(%v) = %d, want a valid ID", a, idA)
+	}
+	if got, want := sc.CountByID(idA), sc.Count(a); got != want || got != 60 {
+		t.Fatalf("CountByID(%d) = %d, Count = %d, want 60", idA, got, want)
+	}
+	if got := sc.IDOf(popsim.State(protocols.WeakA)); got == sc.IDOf(a) {
+		t.Fatalf("IDOf(weak) collided with IDOf(strong): %d", got)
+	}
+	if got := sc.IDOf(pp.Symbol("Z")); got != -1 {
+		t.Fatalf("IDOf(unknown) = %d, want -1", got)
+	}
+	if got := sc.CountByID(-1); got != 0 {
+		t.Fatalf("CountByID(-1) = %d, want 0", got)
+	}
+	if got := sc.CountByID(1 << 20); got != 0 {
+		t.Fatalf("CountByID(out of range) = %d, want 0", got)
+	}
+
+	// Stability across a run: resolve once inside the predicate, then check
+	// every later evaluation agrees with the key-based lookup.
+	idA = -1
+	mismatch := false
+	res, err := sys.RunUntilCounts(func(sc *popsim.StateCounts) bool {
+		if idA < 0 {
+			idA = sc.IDOf(a)
+		}
+		if sc.CountByID(idA) != sc.Count(a) {
+			mismatch = true
+		}
+		return allOutput("A")(sc)
+	}, 64, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("majority run did not converge")
+	}
+	if mismatch {
+		t.Fatal("CountByID diverged from Count for a stable ID mid-run")
 	}
 }

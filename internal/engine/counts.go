@@ -103,11 +103,15 @@ type CountEngine struct {
 	eventCount  int
 
 	// Chunk instrumentation for RunUntil's exact-hitting-time bisection:
-	// while logging, applied pairs are appended to chunkLog and snap holds
-	// the counts vector as of the chunk start — O(|Q|), where the
-	// agent-vector engine's equivalent (fastPath.snap) is O(n).
+	// while logging, applied pairs are appended to chunkLog, their result
+	// pairs to chunkRes, and snap holds the counts vector as of the chunk
+	// start — O(|Q|), where the agent-vector engine's equivalent
+	// (fastPath.snap) is O(n). Memoizing the result pairs makes bisection
+	// replays pure count arithmetic: four array updates per logged pair, no
+	// transition-cache re-probing and no miss branch.
 	logging  bool
 	chunkLog []sched.CountPair
+	chunkRes []sched.CountPair
 	snap     pp.Counts
 	bisect   pp.Counts
 }
@@ -253,6 +257,9 @@ func (ce *CountEngine) RunSteps(k int) error {
 				}
 			}
 			ns, nr := model.EntryStarter(ent), model.EntryReactor(ent)
+			if ce.logging {
+				ce.chunkRes = append(ce.chunkRes, sched.CountPair{S: ns, R: nr})
+			}
 			counts[s]--
 			counts[r]--
 			counts[ns]++
@@ -307,6 +314,7 @@ func (ce *CountEngine) RunUntil(pred func(pp.Counts) bool, every, maxSteps int) 
 		if armed {
 			ce.snap = append(ce.snap[:0], ce.counts...)
 			ce.chunkLog = ce.chunkLog[:0]
+			ce.chunkRes = ce.chunkRes[:0]
 			ce.logging = true
 		}
 		err := ce.RunSteps(chunk)
@@ -329,10 +337,11 @@ func (ce *CountEngine) RunUntil(pred func(pp.Counts) bool, every, maxSteps int) 
 // bisectChunk finds the exact hitting step within the just-applied chunk:
 // pred was false on the chunk-start snapshot and true after all `applied`
 // pairs, so a binary search over prefix lengths returns the smallest m with
-// pred true — exact for absorbing predicates. Replays apply count deltas
-// through the already-warm transition cache (every pair in the log was just
-// applied, so lookups cannot miss); the engine's own counts, sampler and
-// counters stay untouched.
+// pred true — exact for absorbing predicates. Replays are pure count
+// arithmetic against the memoized input (chunkLog) and result (chunkRes)
+// pairs recorded when the chunk was applied — four array updates per pair,
+// branch-free, no transition-cache re-probing; the engine's own counts,
+// sampler and counters stay untouched.
 func (ce *CountEngine) bisectChunk(pred func(pp.Counts) bool, applied int) int {
 	lo, hi := 1, applied
 	for lo < hi {
@@ -341,17 +350,15 @@ func (ce *CountEngine) bisectChunk(pred func(pp.Counts) bool, applied int) int {
 		for len(ce.bisect) < len(ce.counts) {
 			ce.bisect = append(ce.bisect, 0)
 		}
-		for _, pr := range ce.chunkLog[:mid] {
-			ent, ok := ce.cache.Lookup(pr.S, pr.R)
-			if !ok {
-				return applied // cannot replay; keep chunk-end granularity
-			}
-			ce.bisect[pr.S]--
-			ce.bisect[pr.R]--
-			ce.bisect[model.EntryStarter(ent)]++
-			ce.bisect[model.EntryReactor(ent)]++
+		bisect := ce.bisect
+		res := ce.chunkRes[:mid]
+		for j, pr := range ce.chunkLog[:mid] {
+			bisect[pr.S]--
+			bisect[pr.R]--
+			bisect[res[j].S]++
+			bisect[res[j].R]++
 		}
-		if pred(ce.bisect) {
+		if pred(bisect) {
 			hi = mid
 		} else {
 			lo = mid + 1

@@ -171,7 +171,6 @@ type ShardedRunner struct {
 
 	steps       int
 	sinceEx     int              // interactions applied since the last exchange
-	quotas      []int            // per-wave quota scratch
 	cfg         pp.Configuration // scratch for materialization
 	counts      pp.Counts        // global configuration vector, merged at waves
 	trackCounts bool             // delta streams armed (first Counts consumer)
@@ -180,10 +179,23 @@ type ShardedRunner struct {
 }
 
 // shardWorker is one shard's private execution state.
+//
+// The leading and trailing pads keep every field at least one coherence line
+// away from whatever the allocator packs next to the struct: the interior
+// fields — the RNG state advanced every interaction, the sticky error, the
+// event counter, the slice headers of the hot buffers — are written
+// barrier-free on the worker's own core, and a neighboring worker's writes
+// landing in the same line would ping-pong it between cores on every
+// interaction. The buffers those headers point to are cache-line-isolated
+// separately (alignedSlice).
 type shardWorker struct {
-	sr  *ShardedRunner
-	idx int
-	rng sched.Stream
+	_ [cacheLine]byte
+
+	sr    *ShardedRunner
+	idx   int
+	quota int // this wave's interaction quota, set by the coordinator
+	rng   sched.Stream
+	draws []uint64 // block-fill scratch: drawChunk draws swept per refill
 
 	// Private mirror of the shared transition cache: dense stride×stride
 	// table plus an overflow map for IDs beyond it. Reads are lock-free;
@@ -209,6 +221,8 @@ type shardWorker struct {
 
 	buckets [][]uint32 // per-destination outboxes for the exchange
 	err     error      // first failure in a phase (sticky)
+
+	_ [cacheLine]byte
 }
 
 // NewSharded builds a sharded runner for protocol `protocol` under model k,
@@ -321,7 +335,10 @@ func (sr *ShardedRunner) enableCounts() {
 	sr.trackCounts = true
 	sr.counts = pp.CountIDs(sr.ids, sr.in.Len(), sr.counts)
 	for _, w := range sr.workers {
-		w.delta = make([]int64, sr.maxStates)
+		// Cache-line-isolated: the delta stream takes four writes per
+		// interaction on every worker concurrently — the canonical false
+		// sharing victim if two workers' arrays touched the same line.
+		w.delta = alignedSlice[int64](sr.maxStates)
 	}
 }
 
@@ -375,10 +392,6 @@ func (sr *ShardedRunner) parallel(fn func(w *shardWorker)) {
 // always eligible: sizes sum to n and P ≤ n/2, so all-≤1 would give
 // n ≤ P ≤ n/2.
 func (sr *ShardedRunner) stepWave(quota int, deal bool) error {
-	if sr.quotas == nil {
-		sr.quotas = make([]int, sr.p)
-	}
-	quotas := sr.quotas
 	eligible := 0
 	for w := 0; w < sr.p; w++ {
 		if sr.bounds[w+1]-sr.bounds[w] >= 2 {
@@ -388,21 +401,25 @@ func (sr *ShardedRunner) stepWave(quota int, deal bool) error {
 	share, extra := quota/eligible, quota%eligible
 	first := sr.sinceEx % eligible // eligible-class of the wave's first position
 	i := 0
+	// Quotas are written into each worker's own padded struct before the
+	// wave starts (the fork in parallel orders the writes), not into a
+	// shared scratch slice: each worker reads only its own line.
 	for w := 0; w < sr.p; w++ {
+		wk := sr.workers[w]
 		if sr.bounds[w+1]-sr.bounds[w] < 2 {
-			quotas[w] = 0
+			wk.quota = 0
 			continue
 		}
-		quotas[w] = share
+		wk.quota = share
 		// Classes first, first+1, …, first+extra−1 (mod eligible) take the
 		// remainder positions.
 		if d := (i - first + eligible) % eligible; d < extra {
-			quotas[w]++
+			wk.quota++
 		}
 		i++
 	}
 	sr.parallel(func(w *shardWorker) {
-		w.step(quotas[w.idx])
+		w.step(w.quota)
 		if w.err == nil && deal && sr.p > 1 {
 			w.deal()
 		}
@@ -577,6 +594,14 @@ func (sr *ShardedRunner) runUntil(pred func() bool, every, maxSteps int) (int, b
 	return consumed, false, nil
 }
 
+// drawChunk is the worker block-fill width: one Stream.Fill sweep loads this
+// many draws (4 KiB, L1-resident next to the worker's hot state) and the
+// step loop drains them with plain slice loads — the generator state makes
+// one load/store round trip per chunk instead of one per interaction, and
+// the sequence is byte-identical to per-draw Uint64 calls by the block-fill
+// contract.
+const drawChunk = 512
+
 // step applies q uniform in-shard interactions on the worker's slice.
 func (w *shardWorker) step(q int) {
 	sr := w.sr
@@ -586,9 +611,12 @@ func (w *shardWorker) step(q int) {
 		return
 	}
 	if m < 2 {
-		// runEpoch only assigns quota to shards with ≥ 2 agents.
+		// stepWave only assigns quota to shards with ≥ 2 agents.
 		w.err = fmt.Errorf("%w: quota %d for shard of size %d", ErrSharded, q, m)
 		return
+	}
+	if w.draws == nil {
+		w.draws = alignedSlice[uint64](drawChunk)
 	}
 	slice := sr.ids[lo:hi]
 	// Index pair from one 64-bit draw: the halves map to [0,m) and [0,m-1)
@@ -597,8 +625,27 @@ func (w *shardWorker) step(q int) {
 	um, um1 := uint64(m), uint64(m-1)
 	dense, stride := w.dense, uint64(w.stride)
 	delta := w.delta
-	for i := 0; i < q; i++ {
-		x := w.rng.Uint64()
+	for done := 0; done < q; {
+		c := q - done
+		if c > drawChunk {
+			c = drawChunk
+		}
+		w.rng.Fill(w.draws[:c])
+		if err := w.stepChunk(slice, w.draws[:c], &dense, &stride, delta, um, um1, lo); err != nil {
+			w.err = err
+			return
+		}
+		done += c
+	}
+}
+
+// stepChunk applies one block-filled chunk of interactions. dense and stride
+// are passed by pointer so a mid-chunk cold-path mirror growth carries into
+// the rest of the chunk.
+func (w *shardWorker) stepChunk(slice []uint32, draws []uint64, densep *[]uint64, stridep *uint64, delta []int64, um, um1 uint64, lo int) error {
+	dense, stride := *densep, *stridep
+	defer func() { *densep, *stridep = dense, stride }()
+	for _, x := range draws {
 		a := uint32((uint64(uint32(x)) * um) >> 32)
 		b := uint32(((x >> 32) * um1) >> 32)
 		if b >= a {
@@ -612,8 +659,7 @@ func (w *shardWorker) step(q int) {
 		if ent == 0 {
 			var err error
 			if ent, err = w.lookupCold(s, r); err != nil {
-				w.err = err
-				return
+				return err
 			}
 			dense, stride = w.dense, uint64(w.stride)
 		}
@@ -636,6 +682,7 @@ func (w *shardWorker) step(q int) {
 			w.record(s, r, aux, lo+int(a), lo+int(b))
 		}
 	}
+	return nil
 }
 
 // record accounts for the simulation events of one applied transition: the
@@ -720,7 +767,10 @@ func (w *shardWorker) store(s, r uint32, ent uint64) {
 		for stride <= need && stride < strideCap {
 			stride *= 2
 		}
-		dense := make([]uint64, uint64(stride)*uint64(stride))
+		// Cache-line-isolated like the delta stream: the mirror is written
+		// on the cold path only, but it is read every interaction — a
+		// neighbor's writes in a shared edge line would evict hot rows.
+		dense := alignedSlice[uint64](int(stride) * int(stride))
 		for i := uint32(0); i < w.stride; i++ {
 			copy(dense[uint64(i)*uint64(stride):], w.dense[uint64(i)*uint64(w.stride):uint64(i+1)*uint64(w.stride)])
 		}

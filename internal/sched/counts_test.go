@@ -218,6 +218,155 @@ func TestCountSchedulerDegenerate(t *testing.T) {
 	}
 }
 
+func TestFlatPoolLoadDrawGrow(t *testing.T) {
+	var f flatPool
+	f.load([]int64{5, 0, 3, 2})
+	if f.total() != 10 {
+		t.Fatalf("total = %d, want 10", f.total())
+	}
+	// Draw the 5th unit (0-indexed): cumulative sums 5, 5, 8, 10 → entry 2
+	// (the zero-weight entry 1 replicates its predecessor and is skipped).
+	if got := f.draw(5); got != 2 {
+		t.Fatalf("draw(5) = %d, want 2", got)
+	}
+	if f.total() != 9 {
+		t.Fatalf("total after draw = %d, want 9", f.total())
+	}
+	f.grow(6)
+	f.add(5, 4)
+	if f.total() != 13 {
+		t.Fatalf("total after grow+add = %d, want 13", f.total())
+	}
+	if got := f.draw(12); got != 5 {
+		t.Fatalf("draw(12) = %d, want 5 (the grown entry)", got)
+	}
+	remaining := map[uint32]int64{0: 5, 2: 2, 3: 2, 5: 3}
+	for f.total() > 0 {
+		id := f.draw(f.total() - 1)
+		remaining[id]--
+		if remaining[id] < 0 {
+			t.Fatalf("over-drew entry %d", id)
+		}
+	}
+	for id, left := range remaining {
+		if left != 0 {
+			t.Fatalf("entry %d drained to %d, want 0", id, left)
+		}
+	}
+}
+
+// TestFlatFenwickDrawIdentity pins the inverse-CDF equivalence of the two
+// pool representations draw by draw: for the same weights and the same unit
+// index u, flatPool.draw and fenwick.draw must select the same entry — in
+// the scan tier (≤ smallPoolMax) and the binary-search tier alike — so the
+// representation choice is invisible to any caller.
+func TestFlatFenwickDrawIdentity(t *testing.T) {
+	for _, width := range []int{1, 3, smallPoolMax, smallPoolMax + 1, 200, flatPoolMax} {
+		rng := SplitStream(77, width)
+		weights := make([]int64, width)
+		for i := range weights {
+			weights[i] = int64(rng.Intn(4)) // zeros included: skip semantics
+		}
+		weights[rng.Intn(width)] += 2 // ensure a drainable pool
+		var fl flatPool
+		var fw fenwick
+		fl.load(weights)
+		fw.load(weights)
+		if fl.total() != fw.total {
+			t.Fatalf("width %d: totals diverge: %d vs %d", width, fl.total(), fw.total)
+		}
+		for fw.total > 0 {
+			u := rng.Intn(int(fw.total))
+			a, b := fl.draw(int64(u)), fw.draw(u)
+			if a != b {
+				t.Fatalf("width %d: draw(%d) = %d (flat) vs %d (fenwick)", width, u, a, b)
+			}
+			if fl.total() != fw.total {
+				t.Fatalf("width %d: totals diverge after draw: %d vs %d", width, fl.total(), fw.total)
+			}
+		}
+	}
+}
+
+// TestCountSchedulerFlatVsFenwickExactIdentity: in exact mode both pools
+// consume identical Intn draws, so forcing the Fenwick representation — by
+// zero-padding the counts vector past flatPoolMax, which changes neither
+// totals nor weighted indices — must reproduce the flat pool's pair sequence
+// byte for byte.
+func TestCountSchedulerFlatVsFenwickExactIdentity(t *testing.T) {
+	counts := []int64{40, 30, 20, 10}
+	padded := append(append([]int64(nil), counts...), make([]int64, flatPoolMax)...)
+	a := NewCountScheduler(11, 1)
+	b := NewCountScheduler(11, 1)
+	pa := drainPairs(a, append([]int64(nil), counts...), 512)
+	pb := drainPairs(b, padded, 512)
+	if a.kind != poolFlat || b.kind != poolFenwick {
+		t.Fatalf("pool kinds = %d / %d, want flat / fenwick", a.kind, b.kind)
+	}
+	if len(pa) != 512 || len(pb) != 512 {
+		t.Fatalf("drained %d / %d pairs, want 512", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("pair %d diverged: flat %v vs fenwick %v", i, pa[i], pb[i])
+		}
+	}
+}
+
+// TestCountSchedulerBlockPoolJointDistribution is the flat-sampler vs
+// Fenwick equivalence test at the distribution level for block mode, where
+// the paths legitimately consume the stream differently (one 64-bit draw
+// per pair vs two rejection-sampled Intn draws): the joint (starter,
+// reactor) distribution of the last pair of a fully drained block must
+// agree within statistical tolerance across all three pool
+// representations — the scan pool on the bare counts, the flat cumulative
+// pool and the Fenwick pool forced by zero-padding the width past their
+// respective thresholds (padding changes neither totals nor weighted
+// indices).
+func TestCountSchedulerBlockPoolJointDistribution(t *testing.T) {
+	counts := []int64{3, 2, 1}
+	pad := func(n int) []int64 {
+		return append(append([]int64(nil), counts...), make([]int64, n)...)
+	}
+	const trials = 300_000
+	sample := func(seed int64, c []int64, wantKind poolKind) map[CountPair]float64 {
+		cs := NewCountScheduler(seed, 3) // 3 pairs = 6 draws = the whole pool
+		joint := map[CountPair]float64{}
+		for i := 0; i < trials; i++ {
+			pairs := cs.Block(c, 3)
+			if len(pairs) != 3 {
+				t.Fatalf("block of %d pairs, want 3", len(pairs))
+			}
+			joint[pairs[2]]++
+		}
+		if cs.kind != wantKind {
+			t.Fatalf("pool kind = %d, want %d", cs.kind, wantKind)
+		}
+		return joint
+	}
+	dists := map[string]map[CountPair]float64{
+		"scan":    sample(17, counts, poolScan),
+		"flat":    sample(29, pad(smallPoolMax), poolFlat),
+		"fenwick": sample(23, pad(flatPoolMax), poolFenwick),
+	}
+	keys := map[CountPair]bool{}
+	for _, d := range dists {
+		for k := range d {
+			keys[k] = true
+		}
+	}
+	ref := dists["scan"]
+	for name, d := range dists {
+		for k := range keys {
+			got := d[k] / trials
+			want := ref[k] / trials
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("last-pair P(%v): %s %.4f vs scan %.4f", k, name, got, want)
+			}
+		}
+	}
+}
+
 func TestFenwickLoadDrawGrow(t *testing.T) {
 	var f fenwick
 	f.load([]int64{5, 0, 3, 2})
