@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench gate baseline pgo
+.PHONY: all build vet test bench gate baseline pgo serve loadtest smoke
 
 all: build vet test
 
@@ -40,6 +40,22 @@ baseline:
 	    | $(GO) run ./cmd/benchgate -extract > perf/baseline_counts.txt
 	$(GO) test -run '^$$' -bench 'EngineThroughputSharded' -benchtime 2000000x -count 3 . \
 	    | $(GO) run ./cmd/benchgate -extract > perf/baseline_sharded.txt
+
+# Run the simulation job server (see cmd/popsimd for the flag set and
+# internal/serve for the API).
+serve:
+	$(GO) run ./cmd/popsimd
+
+# End-to-end server smoke: million-agent job over HTTP, cache hit on
+# resubmission, metrics, clean SIGTERM drain (the CI serve-smoke job).
+smoke:
+	./examples/serve/smoke.sh
+
+# Load-test the job server over its real HTTP API and record the throughput
+# trajectory the way the engine benchmarks do (BENCH_serve.json in CI).
+loadtest:
+	$(GO) test -json -run '^$$' -bench 'ServeLoad' -benchtime 20x ./internal/serve \
+	    | tee BENCH_serve.json
 
 # Refresh the committed PGO profiles: profile the hot benchmark families
 # (count sampler, sharded workers, batched engine, wrapped simulators) and

@@ -25,17 +25,16 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
-	"sync"
 
 	"popsim/internal/experiments"
 	"popsim/internal/par"
+	"popsim/internal/report"
 )
 
 func main() {
@@ -45,43 +44,19 @@ func main() {
 	}
 }
 
-// jsonTable is one result table in the -json stream.
-type jsonTable struct {
-	Title   string     `json:"title"`
-	Caption string     `json:"caption,omitempty"`
-	Header  []string   `json:"header"`
-	Rows    [][]string `json:"rows"`
-}
-
-// jsonResult is one line of the -json stream.
-type jsonResult struct {
-	ID     string      `json:"id"`
-	Claim  string      `json:"claim"`
-	Pass   bool        `json:"pass"`
-	Seed   int64       `json:"seed"`
-	Quick  bool        `json:"quick"`
-	Notes  []string    `json:"notes,omitempty"`
-	Tables []jsonTable `json:"tables,omitempty"`
-}
-
-func toJSONResult(res *experiments.Result, claim string, cfg experiments.Config) jsonResult {
-	out := jsonResult{
-		ID:    res.ID,
-		Claim: claim,
-		Pass:  res.Pass,
-		Seed:  cfg.Seed,
-		Quick: cfg.Quick,
-		Notes: res.Notes,
+// toLine maps a harness result onto the shared JSON-lines schema
+// (report.Line) — the same shape popsimd's job stream emits, so one consumer
+// parses both.
+func toLine(res *experiments.Result, claim string, cfg experiments.Config) report.Line {
+	return report.Line{
+		ID:     res.ID,
+		Claim:  claim,
+		Pass:   res.Pass,
+		Seed:   cfg.Seed,
+		Quick:  cfg.Quick,
+		Notes:  res.Notes,
+		Tables: report.Tables(res.Tables),
 	}
-	for _, t := range res.Tables {
-		out.Tables = append(out.Tables, jsonTable{
-			Title:   t.Title,
-			Caption: t.Caption,
-			Header:  t.Header(),
-			Rows:    t.RowData(),
-		})
-	}
-	return out
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -135,8 +110,7 @@ func run(args []string, stdout io.Writer) error {
 			pooled = append(pooled, i)
 		}
 	}
-	var streamMu sync.Mutex
-	enc := json.NewEncoder(stdout)
+	enc := report.NewEncoder(stdout)
 	runOne := func(i int) error {
 		id := strings.ToUpper(ids[i])
 		res, out, err := experiments.Run(id, cfg)
@@ -149,9 +123,7 @@ func run(args []string, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
-			streamMu.Lock()
-			defer streamMu.Unlock()
-			return enc.Encode(toJSONResult(res, exp.Claim, cfg))
+			return enc.Encode(toLine(res, exp.Claim, cfg))
 		}
 		return nil
 	}

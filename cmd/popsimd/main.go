@@ -1,0 +1,103 @@
+// Command popsimd is the simulation job server: population-protocol
+// scenarios submitted as declarative JSON specs over HTTP, executed on the
+// same backends the library exposes (agent vector or O(|Q|) counts), with a
+// bounded queue, per-job timeouts, a content-addressed result cache and
+// O(|Q|) checkpoint/resume for interrupted counts jobs.
+//
+//	popsimd -addr :8080
+//
+// API (see internal/serve):
+//
+//	POST /jobs              submit a scenario spec; 429 + Retry-After when the
+//	                        queue is full
+//	GET  /jobs/{id}         job status (state, progress, parked checkpoints)
+//	GET  /jobs/{id}/stream  per-seed results as JSON lines — the same pinned
+//	                        schema as `experiments -json`
+//	POST /jobs/{id}/resume  continue an interrupted job
+//	POST /jobs/{id}/cancel  interrupt a job (counts runs park a checkpoint)
+//	GET  /healthz           liveness
+//	GET  /metrics           queue depth, running jobs, cache hit rate,
+//	                        interactions/sec
+//
+// On SIGTERM/SIGINT the server stops accepting work, interrupts running jobs
+// (counts runs checkpoint in O(|Q|)), and exits once the drain completes or
+// the -drain-timeout expires.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"popsim/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "popsimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("popsimd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 2, "concurrent jobs")
+	queue := fs.Int("queue", 16, "queued-job bound (submissions past it get 429 + Retry-After)")
+	cacheEntries := fs.Int("cache", 4096, "result-cache entries (0 disables caching)")
+	checkpointEvery := fs.Int("checkpoint-every", 1<<20, "counts-backend snapshot cadence in interactions")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock cap; expired jobs park as resumable (0 = none)")
+	seedWorkers := fs.Int("seed-workers", 0, "per-job seed fan-out bound (0 = GOMAXPROCS)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound on SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m := serve.NewManager(serve.Options{
+		Workers:         *workers,
+		QueueCap:        *queue,
+		CacheEntries:    *cacheEntries,
+		DisableCache:    *cacheEntries == 0,
+		JobTimeout:      *jobTimeout,
+		CheckpointEvery: *checkpointEvery,
+		SeedWorkers:     *seedWorkers,
+	})
+	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(m)}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("popsimd: listening on %s (workers=%d queue=%d cache=%d)", *addr, *workers, *queue, *cacheEntries)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		m.Close()
+		return err
+	case s := <-sig:
+		log.Printf("popsimd: %v — draining (bound %s)", s, *drainTimeout)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("popsimd: http shutdown: %v", err)
+	}
+	if err := m.Drain(ctx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	log.Printf("popsimd: drained cleanly")
+	return nil
+}

@@ -15,6 +15,12 @@
 //	      -n 256 -shards 4                                  # multi-core simulation
 //	ppsim -protocol majority -n 1000 -runs 50               # seed ensemble
 //	ppsim -protocol majority -n 1000000 -counts             # O(|Q|) counts backend
+//	ppsim -spec scenario.json                               # declarative spec
+//
+// The workload registry (protocol + standard initial configuration +
+// convergence predicate) lives in internal/serve and is shared with the
+// popsimd job server, so `-spec scenario.json` here and POST /jobs there
+// mean exactly the same run.
 package main
 
 import (
@@ -26,7 +32,8 @@ import (
 	"popsim"
 	"popsim/internal/model"
 	"popsim/internal/pp"
-	"popsim/internal/protocols"
+	"popsim/internal/report"
+	"popsim/internal/serve"
 )
 
 func main() {
@@ -36,103 +43,9 @@ func main() {
 	}
 }
 
-// namedWorkload bundles a protocol with its standard initial configuration
-// and convergence predicate — in both observation forms: done scans the
-// agent vector (O(n)); countsDone reads a StateCounts view (O(|Q|), the
-// -counts mode's predicate, evaluated on projected counts for simulator
-// runs).
-type namedWorkload struct {
-	proto      pp.TwoWay
-	cfg        func(n int) pp.Configuration
-	done       func(n int) func(pp.Configuration) bool
-	countsDone func(n int) func(*popsim.StateCounts) bool
-}
-
-func workloadByName(name string) (namedWorkload, error) {
-	switch name {
-	case "pairing":
-		return namedWorkload{
-			proto: protocols.Pairing{},
-			cfg:   func(n int) pp.Configuration { return protocols.PairingConfig((n+1)/2, n/2) },
-			done: func(n int) func(pp.Configuration) bool {
-				c, p := (n+1)/2, n/2
-				return func(cf pp.Configuration) bool { return protocols.PairingDone(cf, c, p) }
-			},
-			countsDone: func(n int) func(*popsim.StateCounts) bool {
-				want := int64(n / 2) // min(consumers, producers)
-				return func(sc *popsim.StateCounts) bool { return sc.Count(protocols.Served) == want }
-			},
-		}, nil
-	case "majority":
-		return namedWorkload{
-			proto: protocols.Majority{},
-			cfg:   func(n int) pp.Configuration { return protocols.MajorityConfig(n/2+1, n-n/2-1) },
-			done: func(n int) func(pp.Configuration) bool {
-				return func(cf pp.Configuration) bool { return protocols.MajorityConverged(cf, "A") }
-			},
-			countsDone: func(n int) func(*popsim.StateCounts) bool {
-				out := protocols.Majority{}
-				isA := func(s popsim.State) bool { return out.Output(s) == "A" }
-				return func(sc *popsim.StateCounts) bool { return sc.CountFunc(isA) == sc.N() }
-			},
-		}, nil
-	case "leader":
-		return namedWorkload{
-			proto: protocols.LeaderElection{},
-			cfg:   protocols.LeaderConfig,
-			done:  func(n int) func(pp.Configuration) bool { return protocols.LeaderElected },
-			countsDone: func(n int) func(*popsim.StateCounts) bool {
-				return func(sc *popsim.StateCounts) bool { return sc.Count(protocols.Leader) == 1 }
-			},
-		}, nil
-	case "parity":
-		return namedWorkload{
-			proto: protocols.Modulo{M: 2},
-			cfg:   func(n int) pp.Configuration { return protocols.ModuloConfig(n, n/2+1) },
-			done: func(n int) func(pp.Configuration) bool {
-				want := (n/2 + 1) % 2
-				return func(cf pp.Configuration) bool { return protocols.ModuloConverged(cf, want) }
-			},
-			countsDone: func(n int) func(*popsim.StateCounts) bool {
-				want := (n/2 + 1) % 2
-				return func(sc *popsim.StateCounts) bool {
-					// ModuloConverged in O(|Q|): every agent agrees on the
-					// residue and exactly one still carries a token.
-					var actives int64
-					ok := true
-					sc.Each(func(s popsim.State, cnt int64) bool {
-						ms, isMod := s.(protocols.ModuloState)
-						if !isMod || ms.Value != want {
-							ok = false
-							return false
-						}
-						if ms.Active {
-							actives += cnt
-						}
-						return true
-					})
-					return ok && actives == 1
-				}
-			},
-		}, nil
-	case "or":
-		return namedWorkload{
-			proto: protocols.Or{},
-			cfg:   func(n int) pp.Configuration { return protocols.OrConfig(n, 1) },
-			done: func(n int) func(pp.Configuration) bool {
-				return func(cf pp.Configuration) bool { return protocols.OrConverged(cf, protocols.One) }
-			},
-			countsDone: func(n int) func(*popsim.StateCounts) bool {
-				return func(sc *popsim.StateCounts) bool { return sc.Count(protocols.One) == sc.N() }
-			},
-		}, nil
-	}
-	return namedWorkload{}, fmt.Errorf("unknown protocol %q (pairing|majority|leader|parity|or)", name)
-}
-
 func run(args []string) error {
 	fs := flag.NewFlagSet("ppsim", flag.ContinueOnError)
-	protoName := fs.String("protocol", "majority", "workload: pairing|majority|leader|parity|or")
+	protoName := fs.String("protocol", "majority", "workload: "+serve.WorkloadNames())
 	simName := fs.String("sim", "", "simulator: skno|sid|naming (empty = run natively)")
 	modelName := fs.String("model", "TW", "interaction model: TW|T1|T2|T3|IT|IO|I1|I2|I3|I4")
 	n := fs.Int("n", 8, "population size")
@@ -145,8 +58,29 @@ func run(args []string) error {
 	runs := fs.Int("runs", 0, "run an ensemble of this many seeds (seed, seed+1, …) and print aggregates")
 	workers := fs.Int("workers", 0, "ensemble worker pool bound (0 = GOMAXPROCS)")
 	counts := fs.Bool("counts", false, "run with a count predicate (O(|Q|) observation; large populations execute on the counts backend, no adversary)")
+	specPath := fs.String("spec", "", "run a declarative JSON scenario spec (the popsimd job document); mutually exclusive with the scenario flags")
+	defaultUsage := fs.Usage
+	fs.Usage = func() {
+		defaultUsage()
+		fmt.Fprintln(fs.Output(), `
+Note: composing complex scenarios from long flag forms is deprecated;
+prefer -spec scenario.json (the same declarative document the popsimd
+job server accepts — see internal/serve.Spec for the schema).`)
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *specPath != "" {
+		var extra []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name != "spec" {
+				extra = append(extra, "-"+f.Name)
+			}
+		})
+		if len(extra) > 0 {
+			return fmt.Errorf("-spec is mutually exclusive with scenario flags (got %v); put the scenario in the spec file", extra)
+		}
+		return runSpec(*specPath)
 	}
 	if *shards < 0 || *runs < 0 || *workers < 0 {
 		return fmt.Errorf("-shards, -runs and -workers must be ≥ 0")
@@ -158,7 +92,7 @@ func run(args []string) error {
 		return fmt.Errorf("-counts is mutually exclusive with -shards and -runs")
 	}
 
-	w, err := workloadByName(*protoName)
+	w, err := serve.WorkloadByName(*protoName)
 	if err != nil {
 		return err
 	}
@@ -169,30 +103,30 @@ func run(args []string) error {
 
 	spec := popsim.SystemSpec{
 		Model:   kind,
-		Initial: w.cfg(*n),
+		Initial: w.Config(*n),
 		Seed:    *seed,
 	}
 	switch *simName {
 	case "":
 		if kind.OneWay() {
-			spec.Protocol = pp.OneWayAdapter{P: w.proto}
+			spec.Protocol = pp.OneWayAdapter{P: w.Proto}
 		} else {
-			spec.Protocol = w.proto
+			spec.Protocol = w.Proto
 		}
 	case "skno":
-		s := popsim.SKnO(w.proto, *o)
+		s := popsim.SKnO(w.Proto, *o)
 		if !kind.OneWay() {
 			s = s.TwoWayEmbedded()
 		}
 		spec.Simulate = &s
 	case "sid":
-		s := popsim.SID(w.proto)
+		s := popsim.SID(w.Proto)
 		if !kind.OneWay() {
 			s = s.TwoWayEmbedded()
 		}
 		spec.Simulate = &s
 	case "naming":
-		s := popsim.Naming(w.proto, *n)
+		s := popsim.Naming(w.Proto, *n)
 		if !kind.OneWay() {
 			s = s.TwoWayEmbedded()
 		}
@@ -212,7 +146,7 @@ func run(args []string) error {
 			Spec:    spec,
 			Seeds:   seeds,
 			Workers: *workers,
-			Until:   w.done(*n),
+			Until:   w.Done(*n),
 			Horizon: *horizon,
 		}
 		if *omRate > 0 {
@@ -260,7 +194,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := sys.RunUntilCounts(w.countsDone(*n), 0, *horizon)
+		res, err := sys.RunUntilCounts(w.CountsDone(*n), 0, *horizon)
 		if err != nil {
 			return err
 		}
@@ -290,7 +224,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := sys.RunSharded(popsim.ShardedOptions{Shards: *shards}, w.done(*n), 0, *horizon)
+		res, err := sys.RunSharded(popsim.ShardedOptions{Shards: *shards}, w.Done(*n), 0, *horizon)
 		if err != nil {
 			return err
 		}
@@ -313,7 +247,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	done, err := sys.RunUntil(w.done(*n), *horizon)
+	done, err := sys.RunUntil(w.Done(*n), *horizon)
 	if err != nil {
 		return err
 	}
@@ -340,4 +274,48 @@ func orNative(s string) string {
 		return "native"
 	}
 	return s
+}
+
+// runSpec executes a declarative scenario document through an in-process job
+// manager — the same execution path popsimd serves over HTTP — streaming one
+// JSON line per seed run to stdout as results land (the pinned
+// `experiments -json` schema).
+func runSpec(path string) error {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := serve.ParseSpec(doc)
+	if err != nil {
+		return err
+	}
+	m := serve.NewManager(serve.Options{Workers: 1, QueueCap: 1, DisableCache: true})
+	defer m.Close()
+	job, err := m.Submit(spec)
+	if err != nil {
+		return err
+	}
+	enc := report.NewEncoder(os.Stdout)
+	next := 0
+	for {
+		watch := job.Watch()
+		lines, terminal := job.Lines()
+		for ; next < len(lines); next++ {
+			if err := enc.Encode(lines[next]); err != nil {
+				return err
+			}
+		}
+		if terminal {
+			break
+		}
+		<-watch
+	}
+	st := job.Status()
+	if st.State != serve.JobDone {
+		return fmt.Errorf("job %s: %s", st.State, st.Error)
+	}
+	if st.Passed < st.Runs {
+		return fmt.Errorf("%d run(s) did not converge within %d interactions", st.Runs-st.Passed, spec.Horizon)
+	}
+	return nil
 }

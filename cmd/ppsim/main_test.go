@@ -2,11 +2,14 @@ package main
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
 
 	"popsim"
+	"popsim/internal/serve"
 )
 
 func TestRunNative(t *testing.T) {
@@ -55,12 +58,62 @@ func TestRunRejectsBadFlags(t *testing.T) {
 
 func TestWorkloadByName(t *testing.T) {
 	for _, name := range []string{"pairing", "majority", "leader", "parity", "or"} {
-		if _, err := workloadByName(name); err != nil {
+		if _, err := serve.WorkloadByName(name); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
-	if _, err := workloadByName("threshold-of-doom"); err == nil {
+	if _, err := serve.WorkloadByName("threshold-of-doom"); err == nil {
 		t.Error("unknown workload accepted")
+	}
+}
+
+// TestRunSpec drives the declarative path: a scenario file runs through the
+// in-process job manager and must succeed (or fail) exactly like its flag
+// form.
+func TestRunSpec(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, doc string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	good := write("good.json", `{"protocol":"or","n":64,"runs":2,"seed":9,"horizon":1000000}`)
+	if err := run([]string{"-spec", good}); err != nil {
+		t.Fatalf("spec run: %v", err)
+	}
+	sim := write("sim.json", `{"protocol":"leader","sim":"sid","model":"IO","n":6,"seed":6}`)
+	if err := run([]string{"-spec", sim}); err != nil {
+		t.Fatalf("simulator spec run: %v", err)
+	}
+	short := write("short.json", `{"protocol":"leader","n":64,"horizon":10}`)
+	if err := run([]string{"-spec", short}); err == nil {
+		t.Error("non-convergence under -spec not reported")
+	}
+	typo := write("typo.json", `{"protocol":"or","n":64,"horizont":5}`)
+	if err := run([]string{"-spec", typo}); err == nil {
+		t.Error("typoed spec field accepted")
+	}
+	if err := run([]string{"-spec", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}
+
+func TestRunSpecExclusiveWithFlags(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(p, []byte(`{"protocol":"or","n":64}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-spec", p, "-protocol", "majority"},
+		{"-spec", p, "-n", "128"},
+		{"-spec", p, "-counts"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }
 

@@ -1,0 +1,178 @@
+package popsim_test
+
+import (
+	"errors"
+	"testing"
+
+	"popsim"
+	"popsim/internal/protocols"
+)
+
+// majorityCountsDone is the O(|Q|) convergence predicate the CLI and the
+// serving layer use for the majority workload.
+func majorityCountsDone(sc *popsim.StateCounts) bool {
+	out := protocols.Majority{}
+	return sc.CountFunc(func(s popsim.State) bool { return out.Output(s) == "A" }) == sc.N()
+}
+
+func countsJobSpec(n int) popsim.SystemSpec {
+	return popsim.SystemSpec{
+		Model:    popsim.TW,
+		Protocol: protocols.Majority{},
+		Initial:  protocols.MajorityConfig(n/2+16, n/2-16),
+		Seed:     9,
+	}
+}
+
+// TestCountsJobInterruptResume pins the facade-level round trip the job
+// server relies on: a run driven in slices with a checkpoint mid-way, handed
+// to a *fresh* System built from the same spec, converges at the identical
+// exact hitting step with identical final counts as the uninterrupted run.
+func TestCountsJobInterruptResume(t *testing.T) {
+	const n = 2048
+	const horizon = 40 * n * 10
+
+	// Uninterrupted reference.
+	sysRef, err := popsim.NewSystem(countsJobSpec(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sysRef.NewCountsJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refHit, ok, err := ref.Run(majorityCountsDone, 64, horizon)
+	if err != nil || !ok {
+		t.Fatalf("reference run: hit=%d ok=%v err=%v", refHit, ok, err)
+	}
+
+	// Interrupted run: slice, checkpoint, abandon, resume on a new System.
+	sysA, err := popsim.NewSystem(countsJobSpec(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobA, err := sysA.NewCountsJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice := refHit / 2
+	if _, ok, err := jobA.Run(majorityCountsDone, 64, slice); err != nil || ok {
+		t.Fatalf("converged or failed before interruption: ok=%v err=%v", ok, err)
+	}
+	ck, err := jobA.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Steps() < slice || ck.N() != int64(n) || ck.States() == 0 || ck.SizeBytes() <= 0 {
+		t.Fatalf("checkpoint meta: steps=%d n=%d states=%d bytes=%d", ck.Steps(), ck.N(), ck.States(), ck.SizeBytes())
+	}
+
+	sysB, err := popsim.NewSystem(countsJobSpec(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobB, err := sysB.ResumeCountsJob(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobB.Steps() != ck.Steps() {
+		t.Fatalf("resumed at %d, checkpoint says %d", jobB.Steps(), ck.Steps())
+	}
+	hit, ok, err := jobB.Run(majorityCountsDone, 64, horizon)
+	if err != nil || !ok {
+		t.Fatalf("resumed run: ok=%v err=%v", ok, err)
+	}
+	if hit != refHit {
+		t.Fatalf("resumed hitting step %d, uninterrupted %d", hit, refHit)
+	}
+
+	// Final counts agree state by state.
+	want, got := ref.Counts(), jobB.Counts()
+	if want.N() != got.N() || want.Distinct() != got.Distinct() {
+		t.Fatalf("final views differ: n %d vs %d, distinct %d vs %d", want.N(), got.N(), want.Distinct(), got.Distinct())
+	}
+	want.Each(func(s popsim.State, cnt int64) bool {
+		if got.Count(s) != cnt {
+			t.Fatalf("final count of %v: %d vs %d", s, got.Count(s), cnt)
+		}
+		return true
+	})
+}
+
+// TestCountsJobSimulatorEvents checks wrapped simulator runs checkpoint with
+// their event totals and projected observation intact.
+func TestCountsJobSimulatorEvents(t *testing.T) {
+	const n = 48
+	simulate := popsim.SID(protocols.Majority{})
+	spec := popsim.SystemSpec{
+		Model:    popsim.IO,
+		Simulate: &simulate,
+		Initial:  protocols.MajorityConfig(n/2+4, n/2-4),
+		Seed:     3,
+	}
+	mk := func() *popsim.CountsJob {
+		sys, err := popsim.NewSystem(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := sys.NewCountsJob()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	budget := 300 * n
+
+	ref := mk()
+	if err := ref.RunSteps(budget); err != nil {
+		t.Fatal(err)
+	}
+
+	job := mk()
+	if err := job.RunSteps(budget / 2); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := job.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := popsim.NewSystem(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys2.ResumeCountsJob(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.RunSteps(budget - ck.Steps()); err != nil {
+		t.Fatal(err)
+	}
+	if res.SimEvents() != ref.SimEvents() {
+		t.Fatalf("simulation events: resumed %d, uninterrupted %d", res.SimEvents(), ref.SimEvents())
+	}
+	// Projected views match (simulated states, counts folded).
+	want, got := ref.Counts(), res.Counts()
+	want.Each(func(s popsim.State, cnt int64) bool {
+		if got.Count(s) != cnt {
+			t.Fatalf("projected count of %v: %d vs %d", s, got.Count(s), cnt)
+		}
+		return true
+	})
+}
+
+// TestCountsJobSpecContract pins the rejection of specs outside the counts
+// contract.
+func TestCountsJobSpecContract(t *testing.T) {
+	spec := countsJobSpec(64)
+	spec.Adversary = popsim.UOAdversary(1, 0.1, 1)
+	sys, err := popsim.NewSystem(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.NewCountsJob(); !errors.Is(err, popsim.ErrCountsSpec) {
+		t.Fatalf("adversary spec: got %v, want ErrCountsSpec", err)
+	}
+	if _, err := sys.ResumeCountsJob(nil); !errors.Is(err, popsim.ErrCountsSpec) {
+		t.Fatalf("nil checkpoint: got %v, want ErrCountsSpec", err)
+	}
+}

@@ -1,0 +1,189 @@
+// Example serve is a popsimd client: it drives the full job-server flow
+// over plain HTTP — health check, submit a declarative scenario, poll to
+// completion, read the JSON-lines result stream, resubmit the identical
+// scenario to demonstrate the content-addressed cache, and print /metrics.
+//
+// Start a server and point the client at it:
+//
+//	go run ./cmd/popsimd -addr :8080 &
+//	go run ./examples/serve -addr http://localhost:8080
+//
+// The default scenario runs a million-agent OR epidemic on the O(|Q|)
+// counts backend to convergence (~28M interactions, well under a second);
+// pass any popsimd job document via -spec.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "popsimd base URL")
+	spec := flag.String("spec", `{"protocol":"or","n":1000000,"seed":1}`, "scenario spec JSON")
+	flag.Parse()
+	if err := drive(*addr, *spec); err != nil {
+		fmt.Fprintln(os.Stderr, "serve example:", err)
+		os.Exit(1)
+	}
+}
+
+type status struct {
+	ID        string  `json:"id"`
+	State     string  `json:"state"`
+	Runs      int     `json:"runs"`
+	Completed int     `json:"completed"`
+	Passed    int     `json:"passed"`
+	Error     string  `json:"error"`
+	Elapsed   float64 `json:"elapsed_sec"`
+}
+
+func terminal(s string) bool { return s == "done" || s == "failed" || s == "interrupted" }
+
+func drive(base, spec string) error {
+	// The server may still be binding its listener (smoke scripts start it
+	// in the background); retry the health check briefly.
+	if err := waitHealthy(base, 10*time.Second); err != nil {
+		return err
+	}
+
+	fmt.Printf("submitting: %s\n", spec)
+	st, err := submit(base, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("accepted: job %s (%d run(s))\n", st.ID, st.Runs)
+
+	st, err = poll(base, st.ID, 5*time.Minute)
+	if err != nil {
+		return err
+	}
+	if st.State != "done" {
+		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	fmt.Printf("done in %.2fs: %d/%d run(s) converged\n", st.Elapsed, st.Passed, st.Runs)
+
+	cold, err := stream(base, st.ID)
+	if err != nil {
+		return err
+	}
+
+	// Identical resubmission: a new job, every seed served from the
+	// content-addressed result cache without re-simulating.
+	again, err := submit(base, spec)
+	if err != nil {
+		return err
+	}
+	if again.ID == st.ID {
+		return fmt.Errorf("resubmission reused job ID %s", st.ID)
+	}
+	again, err = poll(base, again.ID, time.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resubmitted as %s: done in %.2fs\n", again.ID, again.Elapsed)
+	warm, err := stream(base, again.ID)
+	if err != nil {
+		return err
+	}
+	if len(warm) != len(cold) {
+		return fmt.Errorf("warm stream has %d lines, cold %d", len(warm), len(cold))
+	}
+	for _, line := range warm {
+		if !strings.Contains(line, `"cache=hit"`) {
+			return fmt.Errorf("resubmitted run not served from cache: %s", line)
+		}
+	}
+	fmt.Printf("all %d resubmitted run(s) served from cache\n", len(warm))
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	metrics, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics: %s", metrics)
+	return nil
+}
+
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %s: %v", base, timeout, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func submit(base, spec string) (status, error) {
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		return status{}, fmt.Errorf("submit: %d %s", resp.StatusCode, body)
+	}
+	var st status
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func poll(base, id string, timeout time.Duration) (status, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			return status{}, err
+		}
+		var st status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return status{}, err
+		}
+		if terminal(st.State) {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s still %s after %s", id, st.State, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// stream fetches the job's JSON-lines result stream (the same pinned schema
+// `experiments -json` emits), echoing and returning the lines.
+func stream(base, id string) ([]string, error) {
+	resp, err := http.Get(base + "/jobs/" + id + "/stream")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	for _, l := range lines {
+		fmt.Printf("  %s\n", l)
+	}
+	return lines, nil
+}

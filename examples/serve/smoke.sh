@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Smoke-test the popsimd job server end to end: build it, start it, run a
+# million-agent majority job through the HTTP API (the fixed 2-agent margin
+# means it runs its full horizon on the counts backend — completion, not
+# convergence, is the check), verify the identical resubmission is served
+# from the content-addressed cache, print /metrics, and confirm SIGTERM
+# drains cleanly. CI's serve-smoke job runs this script verbatim.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+ADDR="${POPSIMD_ADDR:-127.0.0.1:18080}"
+
+go build -o /tmp/popsimd ./cmd/popsimd
+/tmp/popsimd -addr "$ADDR" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# A million agents, 10M interactions, O(|Q|) checkpointable counts backend.
+go run ./examples/serve -addr "http://$ADDR" \
+    -spec '{"protocol":"majority","n":1000000,"backend":"counts","horizon":10000000}'
+
+curl -sf "http://$ADDR/metrics"; echo
+
+kill -TERM "$PID"
+wait "$PID"  # non-zero if the drain did not complete cleanly
+trap - EXIT
+echo "serve smoke: OK"

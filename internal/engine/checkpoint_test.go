@@ -1,0 +1,296 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+	"popsim/internal/sim"
+)
+
+// The checkpoint/resume determinism suite: a CountCheckpoint taken mid-run
+// must continue the run bit-identically — same counts vector (same dense-ID
+// indexing, not merely the same multiset), same step counter, same exact
+// hitting step, same event totals — for every protocol × sampler mode the
+// counts backend supports, under both a two-way and a one-way model, with
+// the snapshot taken both on and off block boundaries (the off-boundary case
+// exercises Checkpoint's boundary fill). The serving layer (internal/serve)
+// builds its job interrupt/resume on exactly this contract.
+
+type ckptWorkload struct {
+	name  string
+	proto pp.TwoWay
+	cfg   func(n int) pp.Configuration
+}
+
+func ckptWorkloads() []ckptWorkload {
+	return []ckptWorkload{
+		{"pairing", protocols.Pairing{}, func(n int) pp.Configuration { return protocols.PairingConfig((n+1)/2, n/2) }},
+		{"majority", protocols.Majority{}, func(n int) pp.Configuration { return protocols.MajorityConfig(n/2+8, n/2-8) }},
+		{"leader", protocols.LeaderElection{}, protocols.LeaderConfig},
+		{"parity", protocols.Modulo{M: 2}, func(n int) pp.Configuration { return protocols.ModuloConfig(n, n/2+1) }},
+		{"or", protocols.Or{}, func(n int) pp.Configuration { return protocols.OrConfig(n, 1) }},
+	}
+}
+
+// ckptModes are the two sampler modes of the counts backend: exact per-pair
+// sampling and collision-free block sampling.
+var ckptModes = []struct {
+	name     string
+	blockLen int
+}{
+	{"exact", 1},
+	{"block", 16},
+}
+
+func countsEqual(t *testing.T, tag string, a, b pp.Counts) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: counts lengths %d vs %d (dense-ID indexing diverged)", tag, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: counts[%d] = %d vs %d", tag, i, a[i], b[i])
+		}
+	}
+}
+
+// TestCountCheckpointDeterminism runs every protocol × model × sampler mode
+// to a fixed budget twice — uninterrupted, and interrupted at an arbitrary
+// (deliberately block-misaligned) step with a checkpoint/resume round trip —
+// and asserts byte-identical final counts and step counters. It also pins
+// that taking a checkpoint leaves the original engine unperturbed: the
+// snapshotted engine finishes to the same final counts as the reference.
+func TestCountCheckpointDeterminism(t *testing.T) {
+	const n = 512
+	const seed = int64(11)
+	budget := 40 * n
+	for _, w := range ckptWorkloads() {
+		for _, kind := range []model.Kind{model.TW, model.IO} {
+			for _, mode := range ckptModes {
+				w, kind, mode := w, kind, mode
+				t.Run(fmt.Sprintf("%s/%v/%s", w.name, kind, mode.name), func(t *testing.T) {
+					var protocol any = w.proto
+					if kind.OneWay() {
+						protocol = pp.OneWayAdapter{P: w.proto}
+					}
+					opts := engine.CountOptions{BlockLen: mode.blockLen}
+					newEngine := func() *engine.CountEngine {
+						ce, err := engine.NewCountEngine(kind, protocol, w.cfg(n), seed, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return ce
+					}
+
+					ref := newEngine()
+					if err := ref.RunSteps(budget); err != nil {
+						t.Fatal(err)
+					}
+
+					// Interrupt at a step that is NOT a multiple of the block
+					// length, so Checkpoint's boundary fill is exercised in
+					// block mode.
+					k1 := budget/3 + 7
+					ce := newEngine()
+					if err := ce.RunSteps(k1); err != nil {
+						t.Fatal(err)
+					}
+					ck, err := ce.Checkpoint()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ck.Steps < k1 || ck.Steps >= k1+mode.blockLen {
+						t.Fatalf("checkpoint at step %d, want in [%d, %d)", ck.Steps, k1, k1+mode.blockLen)
+					}
+					res, err := engine.ResumeCountEngine(kind, protocol, ck, engine.CountOptions{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Steps() != ck.Steps || res.BlockLen() != mode.blockLen {
+						t.Fatalf("resumed at step %d blockLen %d, want %d/%d", res.Steps(), res.BlockLen(), ck.Steps, mode.blockLen)
+					}
+					if err := res.RunSteps(budget - ck.Steps); err != nil {
+						t.Fatal(err)
+					}
+					if res.Steps() != budget || ref.Steps() != budget {
+						t.Fatalf("steps: resumed %d, ref %d, want %d", res.Steps(), ref.Steps(), budget)
+					}
+					countsEqual(t, "resumed vs uninterrupted", res.Counts(), ref.Counts())
+
+					// The checkpoint is passive: the engine it came from must
+					// finish exactly like the reference too.
+					if err := ce.RunSteps(budget - ce.Steps()); err != nil {
+						t.Fatal(err)
+					}
+					countsEqual(t, "snapshotted engine vs uninterrupted", ce.Counts(), ref.Counts())
+				})
+			}
+		}
+	}
+}
+
+// TestCountCheckpointHittingStep pins the convergence-observability half of
+// the contract: an interrupted-and-resumed run reports the same exact
+// hitting step (absorbing predicate, chunk bisection) as the uninterrupted
+// run, even though the two runs' predicate-evaluation boundaries differ.
+func TestCountCheckpointHittingStep(t *testing.T) {
+	const n = 512
+	const seed = int64(5)
+	maj := protocols.Majority{}
+	cfg := protocols.MajorityConfig(n/2+8, n/2-8)
+	for _, mode := range ckptModes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			opts := engine.CountOptions{BlockLen: mode.blockLen}
+			pred := func(in *pp.Interner) func(pp.Counts) bool {
+				return func(c pp.Counts) bool {
+					var a int64
+					for id, cnt := range c {
+						if cnt > 0 && maj.Output(in.State(uint32(id))) == "A" {
+							a += cnt
+						}
+					}
+					return a == int64(n)
+				}
+			}
+
+			ref, err := engine.NewCountEngine(model.TW, maj, cfg, seed, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refHit, ok, err := ref.RunUntil(pred(ref.Interner()), 64, 50*n*n)
+			if err != nil || !ok {
+				t.Fatalf("reference did not converge: hit=%d ok=%v err=%v", refHit, ok, err)
+			}
+
+			k1 := refHit / 2
+			ce, err := engine.NewCountEngine(model.TW, maj, cfg, seed, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ce.RunSteps(k1); err != nil {
+				t.Fatal(err)
+			}
+			ck, err := ce.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := engine.ResumeCountEngine(model.TW, maj, ck, engine.CountOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hit, ok, err := res.RunUntil(pred(res.Interner()), 64, 50*n*n)
+			if err != nil || !ok {
+				t.Fatalf("resumed run did not converge: ok=%v err=%v", ok, err)
+			}
+			if got := ck.Steps + hit; got != refHit {
+				t.Fatalf("resumed hitting step %d (checkpoint %d + %d), uninterrupted %d", got, ck.Steps, hit, refHit)
+			}
+		})
+	}
+}
+
+// TestCountCheckpointWrapped covers the fault-tolerant simulator wrappers:
+// canonical behavioral keys intern, so SKnO/SID/Naming runs checkpoint like
+// any other counts run — including the simulation-event totals TrackEvents
+// accumulates across the interruption.
+func TestCountCheckpointWrapped(t *testing.T) {
+	const n = 48
+	maj := protocols.Majority{}
+	simCfg := protocols.MajorityConfig(n/2+4, n/2-4)
+	workloads := []struct {
+		name     string
+		kind     model.Kind
+		protocol any
+		wrap     pp.Configuration
+	}{
+		{"skno", model.IT, sim.SKnO{P: maj, O: 0}, sim.SKnO{P: maj, O: 0}.WrapConfig(simCfg)},
+		{"sid", model.IO, sim.SID{P: maj}, sim.SID{P: maj}.WrapConfig(simCfg)},
+		{"naming", model.IO, sim.Naming{P: maj, N: n}, sim.Naming{P: maj, N: n}.WrapConfig(simCfg)},
+	}
+	budget := 400 * n
+	for _, w := range workloads {
+		for _, mode := range ckptModes {
+			w, mode := w, mode
+			blockLen := mode.blockLen
+			if blockLen > n/4 {
+				blockLen = 8 // stay within the B ≤ n/4 clamp at this population
+			}
+			t.Run(fmt.Sprintf("%s/%s", w.name, mode.name), func(t *testing.T) {
+				opts := engine.CountOptions{BlockLen: blockLen, TrackEvents: true}
+				ref, err := engine.NewCountEngine(w.kind, w.protocol, w.wrap, 3, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.RunSteps(budget); err != nil {
+					t.Fatal(err)
+				}
+
+				ce, err := engine.NewCountEngine(w.kind, w.protocol, w.wrap, 3, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ce.RunSteps(budget/2 + 3); err != nil {
+					t.Fatal(err)
+				}
+				ck, err := ce.Checkpoint()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ck.TrackEvents {
+					t.Fatal("checkpoint dropped TrackEvents")
+				}
+				res, err := engine.ResumeCountEngine(w.kind, w.protocol, ck, engine.CountOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := res.RunSteps(budget - ck.Steps); err != nil {
+					t.Fatal(err)
+				}
+				countsEqual(t, "wrapped resumed vs uninterrupted", res.Counts(), ref.Counts())
+				if res.EventCount() != ref.EventCount() {
+					t.Fatalf("simulation events: resumed %d, uninterrupted %d", res.EventCount(), ref.EventCount())
+				}
+			})
+		}
+	}
+}
+
+// TestCountCheckpointValidation pins the resume-time sanity checks.
+func TestCountCheckpointValidation(t *testing.T) {
+	const n = 64
+	maj := protocols.Majority{}
+	ce, err := engine.NewCountEngine(model.TW, maj, protocols.MajorityConfig(n/2+2, n/2-2), 1, engine.CountOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ce.RunSteps(100); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := ce.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.SizeBytes() <= 0 || ck.N() != int64(n) {
+		t.Fatalf("checkpoint meta: size=%d n=%d", ck.SizeBytes(), ck.N())
+	}
+
+	bad := *ck
+	bad.Counts = ck.Counts[:len(ck.Counts)-1]
+	if _, err := engine.ResumeCountEngine(model.TW, maj, &bad, engine.CountOptions{}); err == nil {
+		t.Fatal("mismatched table lengths resumed without error")
+	}
+	dup := *ck
+	dup.States = append(append([]pp.State(nil), ck.States...), ck.States[0])
+	dup.Counts = append(ck.Counts.Clone(), 0)
+	if _, err := engine.ResumeCountEngine(model.TW, maj, &dup, engine.CountOptions{}); err == nil {
+		t.Fatal("duplicate state key resumed without error")
+	}
+	if _, err := engine.ResumeCountEngine(model.IO, maj, ck, engine.CountOptions{}); err == nil {
+		t.Fatal("one-way model with two-way protocol resumed without error")
+	}
+}

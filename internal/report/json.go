@@ -1,0 +1,95 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// The JSON-lines result schema. Every machine-readable result stream in the
+// repo — `experiments -json` on stdout and popsimd's GET /jobs/{id}/stream —
+// emits the same line shape through this one encoder, so external consumers
+// (sweep orchestrators, the serve smoke test, dashboards) parse one schema:
+//
+//	{"id","claim","pass","seed","quick","notes":[...],
+//	 "tables":[{"title","caption","header":[...],"rows":[[...]]}]}
+//
+// The schema is pinned by tests in both emitters; widen it only by adding
+// optional (omitempty) fields.
+
+// TableJSON is one result table in a JSON line, cells pre-rendered as strings
+// (the same values the ASCII and CSV renderings show).
+type TableJSON struct {
+	Title   string     `json:"title"`
+	Caption string     `json:"caption,omitempty"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Line is one self-identifying result in a JSON-lines stream.
+type Line struct {
+	// ID names the unit of work: an experiment ID (E1, PERF, ...) for the
+	// harness, a "seed=N" run label for job streams.
+	ID string `json:"id"`
+	// Claim is the human-readable statement the unit checks.
+	Claim string `json:"claim"`
+	// Pass reports whether the claim held.
+	Pass bool `json:"pass"`
+	// Seed is the RNG seed of the run.
+	Seed int64 `json:"seed"`
+	// Quick marks reduced-sweep (smoke) runs.
+	Quick bool `json:"quick"`
+	// Notes carries free-form diagnostics.
+	Notes []string `json:"notes,omitempty"`
+	// Tables carries the result tables.
+	Tables []TableJSON `json:"tables,omitempty"`
+}
+
+// FromTable converts a Table into its JSON form. Header and row slices are
+// shared with the table; treat the result as read-only.
+func FromTable(t *Table) TableJSON {
+	return TableJSON{
+		Title:   t.Title,
+		Caption: t.Caption,
+		Header:  t.Header(),
+		Rows:    t.RowData(),
+	}
+}
+
+// Tables converts a result's table list.
+func Tables(ts []*Table) []TableJSON {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]TableJSON, len(ts))
+	for i, t := range ts {
+		out[i] = FromTable(t)
+	}
+	return out
+}
+
+// Encoder writes Lines as newline-delimited JSON. It serializes concurrent
+// Encode calls, so parallel producers (the experiment pool, a job's per-seed
+// fan-out) can share one stream without interleaving partial lines.
+type Encoder struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{enc: json.NewEncoder(w)}
+}
+
+// Encode writes one line.
+func (e *Encoder) Encode(l Line) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.enc.Encode(l)
+}
+
+// Marshal renders one line without a trailing newline — for consumers that
+// frame lines themselves (the HTTP stream endpoint flushes per line).
+func Marshal(l Line) ([]byte, error) {
+	return json.Marshal(l)
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestLineSchema pins the serialized shape of the shared JSON-lines schema —
+// field names, order and omission rules. `experiments -json` and popsimd's
+// job stream both emit through this encoder, and their own tests cross-check
+// against the same constants; changing this string is a breaking change for
+// every stream consumer.
+func TestLineSchema(t *testing.T) {
+	tbl := NewTable("steps", "n", "steps")
+	tbl.Caption = "Fig. 4"
+	tbl.AddRow(100, 2345)
+	line := Line{
+		ID:     "E1",
+		Claim:  "pairing completes",
+		Pass:   true,
+		Seed:   42,
+		Quick:  true,
+		Notes:  []string{"note"},
+		Tables: []TableJSON{FromTable(tbl)},
+	}
+	got, err := Marshal(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"id":"E1","claim":"pairing completes","pass":true,"seed":42,"quick":true,` +
+		`"notes":["note"],"tables":[{"title":"steps","caption":"Fig. 4",` +
+		`"header":["n","steps"],"rows":[["100","2345"]]}]}`
+	if string(got) != want {
+		t.Fatalf("schema drifted:\n got %s\nwant %s", got, want)
+	}
+
+	// Optional fields drop cleanly.
+	bare, err := Marshal(Line{ID: "seed=7", Claim: "job run", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"id":"seed=7","claim":"job run","pass":false,"seed":7,"quick":false}`; string(bare) != want {
+		t.Fatalf("bare line:\n got %s\nwant %s", bare, want)
+	}
+}
+
+// TestEncoderConcurrent checks parallel producers sharing one Encoder never
+// interleave partial lines.
+func TestEncoderConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := enc.Encode(Line{ID: "X", Seed: int64(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 16*50 {
+		t.Fatalf("got %d lines, want %d", len(lines), 16*50)
+	}
+	for _, l := range lines {
+		var out Line
+		if err := json.Unmarshal([]byte(l), &out); err != nil {
+			t.Fatalf("corrupt line %q: %v", l, err)
+		}
+		if out.ID != "X" {
+			t.Fatalf("line %q: interleaved", l)
+		}
+	}
+}

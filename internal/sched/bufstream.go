@@ -62,6 +62,25 @@ func (b *BufStream) Fill(dst []uint64) {
 	b.src.Fill(dst[n:])
 }
 
+// Snapshot returns the logical SplitMix64 state at the current consumption
+// point: the state a fresh Stream would need to continue this BufStream's
+// sequence exactly. The buffer is an execution strategy, not part of the
+// stream contract — buffered-but-unconsumed draws are un-advanced by
+// rewinding the source state one goldenGamma per draw (the SplitMix64 state
+// is a pure counter, so the rewind is exact). Together with ResumeBufStream
+// this is the checkpointing surface of the counts backend: one uint64
+// captures the whole RNG position.
+func (b *BufStream) Snapshot() uint64 {
+	return b.src.state - uint64(rngBufLen-b.pos)*goldenGamma
+}
+
+// ResumeBufStream reconstructs a buffered drain from a Snapshot value. The
+// resumed stream's draw sequence is byte-identical to what the snapshotted
+// stream would have produced next (the stream-identity tests pin this).
+func ResumeBufStream(state uint64) BufStream {
+	return NewBufStream(Stream{state: state})
+}
+
 // Intn returns a uniform int in [0, n); it panics for n ≤ 0. Identical
 // algorithm and draw consumption to Stream.Intn (Lemire multiply-shift with
 // rejection), sourced from the buffer.

@@ -1,0 +1,98 @@
+package sched
+
+import "testing"
+
+// TestBufStreamSnapshotResume pins the checkpoint contract of BufStream:
+// Snapshot at any consumption point (buffer-aligned or not), and the resumed
+// stream replays the identical remaining sequence — Uint64, Fill and Intn.
+func TestBufStreamSnapshotResume(t *testing.T) {
+	for _, consumed := range []int{0, 1, 7, rngBufLen - 1, rngBufLen, rngBufLen + 3, 5*rngBufLen + 111} {
+		a := NewBufStream(SplitStream(42, CountStreamIndex))
+		for i := 0; i < consumed; i++ {
+			a.Uint64()
+		}
+		b := ResumeBufStream(a.Snapshot())
+		for i := 0; i < 1000; i++ {
+			if x, y := a.Uint64(), b.Uint64(); x != y {
+				t.Fatalf("consumed=%d draw %d: original %#x, resumed %#x", consumed, i, x, y)
+			}
+		}
+		// Mixed consumption styles after the snapshot point.
+		c := ResumeBufStream(b.Snapshot())
+		var got, want [97]uint64
+		b.Fill(want[:])
+		c.Fill(got[:])
+		if got != want {
+			t.Fatalf("consumed=%d: Fill diverged after second snapshot", consumed)
+		}
+		for i := 0; i < 100; i++ {
+			if x, y := b.Intn(17), c.Intn(17); x != y {
+				t.Fatalf("consumed=%d Intn %d: original %d, resumed %d", consumed, i, x, y)
+			}
+		}
+	}
+}
+
+// TestCountSchedulerResume pins the scheduler-level round trip: drive a
+// scheduler to a block boundary against an evolving counts vector, resume a
+// second one from (StreamState, BlockLen), and assert the two sample the
+// identical pair sequence from the same counts.
+func TestCountSchedulerResume(t *testing.T) {
+	for _, blockLen := range []int{1, 8, 32} {
+		counts := []int64{500, 300, 200, 100, 50}
+		cs := NewCountScheduler(7, blockLen)
+		// Consume a few whole blocks (exact mode reports every result).
+		for consumed := 0; consumed < 3*blockLen; {
+			pairs := cs.Block(counts, 3*blockLen-consumed)
+			if len(pairs) == 0 {
+				t.Fatalf("blockLen=%d: starved", blockLen)
+			}
+			if blockLen == 1 {
+				cs.ApplyDelta(pairs[0].S, pairs[0].R)
+			}
+			consumed += len(pairs)
+		}
+		if rem := cs.BlockRemaining(); rem != 0 {
+			t.Fatalf("blockLen=%d: BlockRemaining=%d after whole blocks", blockLen, rem)
+		}
+		res := ResumeCountScheduler(cs.StreamState(), blockLen)
+		for round := 0; round < 5; round++ {
+			a := cs.Block(counts, blockLen)
+			b := res.Block(counts, blockLen)
+			if len(a) != len(b) {
+				t.Fatalf("blockLen=%d round %d: lengths %d vs %d", blockLen, round, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("blockLen=%d round %d pair %d: %v vs %v", blockLen, round, i, a[i], b[i])
+				}
+			}
+			if blockLen == 1 {
+				cs.ApplyDelta(a[0].S, a[0].R)
+				res.ApplyDelta(b[0].S, b[0].R)
+			}
+		}
+	}
+}
+
+// TestCountSchedulerBlockRemaining pins the boundary arithmetic the engine's
+// Checkpoint relies on: after consuming k pairs mid-block, BlockRemaining is
+// exactly what RunSteps must consume to land on a boundary.
+func TestCountSchedulerBlockRemaining(t *testing.T) {
+	counts := []int64{4000, 4000}
+	cs := NewCountScheduler(3, 16)
+	consume := func(k int) {
+		for k > 0 {
+			pairs := cs.Block(counts, k)
+			k -= len(pairs)
+		}
+	}
+	consume(5)
+	if rem := cs.BlockRemaining(); rem != 11 {
+		t.Fatalf("after 5 of 16: BlockRemaining=%d, want 11", rem)
+	}
+	consume(11)
+	if rem := cs.BlockRemaining(); rem != 0 {
+		t.Fatalf("at boundary: BlockRemaining=%d, want 0", rem)
+	}
+}

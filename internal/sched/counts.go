@@ -163,6 +163,42 @@ func NewCountScheduler(seed int64, blockLen int) *CountScheduler {
 // BlockLen returns the pool-reload cadence (1 = exact mode).
 func (cs *CountScheduler) BlockLen() int { return cs.blockLen }
 
+// BlockRemaining returns how many pairs remain until the next pool-reload
+// boundary (0 when the scheduler is exactly at one). Exact mode is always at
+// a boundary: its pool mirrors the live counts, so every position is fully
+// determined by (counts, stream state).
+func (cs *CountScheduler) BlockRemaining() int {
+	if cs.blockLen <= 1 || cs.sinceRel == 0 {
+		return 0
+	}
+	return cs.blockLen - cs.sinceRel
+}
+
+// StreamState returns the logical SplitMix64 state at the scheduler's current
+// draw position — with BlockRemaining() == 0 it is, together with the live
+// counts vector and BlockLen, the scheduler's complete state: at a block
+// boundary the pool is a pure function of the counts (the next Block call
+// reloads it), so ResumeCountScheduler(StreamState(), BlockLen()) continues
+// the identical pair sequence. This is what makes counts-backend checkpoints
+// O(|Q|): the whole sampler position is one uint64.
+func (cs *CountScheduler) StreamState() uint64 { return cs.rng.Snapshot() }
+
+// ResumeCountScheduler reconstructs a scheduler from a StreamState value
+// captured at a block boundary. The pool starts unloaded and is rebuilt from
+// the caller's counts on the first Block call — exactly what an uninterrupted
+// scheduler does at every boundary, so the resumed pair sequence is
+// byte-identical (the checkpoint determinism tests in internal/engine pin
+// this end to end).
+func ResumeCountScheduler(state uint64, blockLen int) *CountScheduler {
+	if blockLen < 1 {
+		blockLen = 1
+	}
+	return &CountScheduler{
+		rng:      ResumeBufStream(state),
+		blockLen: blockLen,
+	}
+}
+
 // reload rebuilds the pool from counts, choosing the representation. Block
 // mode prefers the scan pool for the narrowest spaces (its fused inline
 // sampling needs nothing but a weights copy), then the flat cumulative

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"popsim/internal/report"
+)
+
+// Cache is the content-addressed result cache: completed seed-run results
+// (report.Line) keyed by Spec.CacheKey — the SHA-256 of (canonical spec,
+// seed). Identical resubmissions are served without re-simulating; any
+// semantic change to the scenario changes the key. Bounded LRU; safe for
+// concurrent use. Hit/miss accounting feeds the Metrics the /metrics
+// endpoint exports.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recent
+	max     int
+	metrics *Metrics
+}
+
+type cacheEntry struct {
+	key  string
+	line report.Line
+}
+
+// NewCache builds a cache bounded to max entries (≤ 0 disables caching —
+// every lookup misses and stores are dropped). Hits and misses are counted
+// on m when non-nil.
+func NewCache(max int, m *Metrics) *Cache {
+	return &Cache{
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		max:     max,
+		metrics: m,
+	}
+}
+
+// Get looks a run result up, marking it most-recently-used on a hit.
+func (c *Cache) Get(key string) (report.Line, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		if c.metrics != nil {
+			c.metrics.CacheMisses.Add(1)
+		}
+		return report.Line{}, false
+	}
+	c.order.MoveToFront(el)
+	if c.metrics != nil {
+		c.metrics.CacheHits.Add(1)
+	}
+	return el.Value.(*cacheEntry).line, true
+}
+
+// Put stores a run result, evicting the least-recently-used entries past the
+// bound.
+func (c *Cache) Put(key string, line report.Line) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).line = line
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, line: line})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,606 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"popsim"
+	"popsim/internal/par"
+	"popsim/internal/report"
+)
+
+// Submission errors. The HTTP layer maps ErrQueueFull and ErrDraining to
+// 429 + Retry-After (backpressure), everything else to 400.
+var (
+	ErrQueueFull    = errors.New("serve: job queue full")
+	ErrDraining     = errors.New("serve: server draining")
+	ErrUnknownJob   = errors.New("serve: unknown job")
+	ErrNotResumable = errors.New("serve: job is not interrupted")
+)
+
+// errInterrupted marks a seed run stopped by cancellation/drain/timeout —
+// the job parks as JobInterrupted (resumable) instead of failing.
+var errInterrupted = errors.New("serve: run interrupted")
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is executing seed runs.
+	JobRunning JobState = "running"
+	// JobDone: every seed run completed (terminal).
+	JobDone JobState = "done"
+	// JobFailed: a seed run errored (terminal).
+	JobFailed JobState = "failed"
+	// JobInterrupted: stopped by drain, cancel or timeout; completed seed
+	// results are retained, in-flight counts runs parked as O(|Q|)
+	// checkpoints. Resumable via Manager.Resume (terminal until then).
+	JobInterrupted JobState = "interrupted"
+)
+
+// Terminal reports whether the state ends a (possibly resumable) run.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobInterrupted
+}
+
+// Job is one submitted scenario: Spec.Runs seed runs fanned out on the
+// per-job pool, each producing one report.Line. Results append in completion
+// order and stream live; an interrupted job retains them plus per-seed
+// checkpoints, and Resume continues exactly where it stopped —
+// bit-identically for counts-backend seeds, from scratch for vector seeds.
+type Job struct {
+	// ID is the job handle: "j<seq>-<spec hash>". Unique per submission, so
+	// resubmitting a scenario makes a new job whose seed runs are served
+	// from the result cache.
+	ID string
+	// Spec is the normalized scenario.
+	Spec *Spec
+
+	mu          sync.Mutex
+	state       JobState
+	errMsg      string
+	lines       []report.Line
+	doneSeeds   map[int64]bool
+	checkpoints map[int64]*popsim.CountCheckpoint
+	cancel      context.CancelFunc
+	notify      chan struct{}
+	created     time.Time
+	finished    time.Time
+}
+
+// CheckpointStatus describes one parked seed checkpoint in a job status.
+type CheckpointStatus struct {
+	Seed      int64 `json:"seed"`
+	Steps     int   `json:"steps"`
+	States    int   `json:"states"`
+	SizeBytes int   `json:"size_bytes"`
+}
+
+// JobStatus is the JSON form of GET /jobs/{id}.
+type JobStatus struct {
+	ID          string             `json:"id"`
+	State       JobState           `json:"state"`
+	Spec        *Spec              `json:"spec"`
+	Runs        int                `json:"runs"`
+	Completed   int                `json:"completed"`
+	Passed      int                `json:"passed"`
+	Error       string             `json:"error,omitempty"`
+	Checkpoints []CheckpointStatus `json:"checkpoints,omitempty"`
+	ElapsedSec  float64            `json:"elapsed_sec"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.ID,
+		State:     j.state,
+		Spec:      j.Spec,
+		Runs:      j.Spec.Runs,
+		Completed: len(j.lines),
+	}
+	for _, l := range j.lines {
+		if l.Pass {
+			st.Passed++
+		}
+	}
+	st.Error = j.errMsg
+	for seed, ck := range j.checkpoints {
+		st.Checkpoints = append(st.Checkpoints, CheckpointStatus{
+			Seed: seed, Steps: ck.Steps(), States: ck.States(), SizeBytes: ck.SizeBytes(),
+		})
+	}
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	st.ElapsedSec = end.Sub(j.created).Seconds()
+	return st
+}
+
+// Lines returns the completed result lines (append-only; safe shared
+// snapshot) and whether the job is terminal.
+func (j *Job) Lines() ([]report.Line, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lines[:len(j.lines):len(j.lines)], j.state.Terminal()
+}
+
+// Watch returns a channel closed at the next job change (new line or state
+// transition); callers re-Watch after each wake.
+func (j *Job) Watch() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.notify
+}
+
+// changed wakes watchers; callers hold j.mu.
+func (j *Job) changed() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+func (j *Job) appendLine(seed int64, line report.Line) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.lines = append(j.lines, line)
+	j.doneSeeds[seed] = true
+	delete(j.checkpoints, seed)
+	j.changed()
+}
+
+func (j *Job) seedDone(seed int64) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.doneSeeds[seed]
+}
+
+func (j *Job) checkpointFor(seed int64) *popsim.CountCheckpoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.checkpoints[seed]
+}
+
+func (j *Job) storeCheckpoint(seed int64, ck *popsim.CountCheckpoint) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.checkpoints[seed] = ck
+	j.changed()
+}
+
+func (j *Job) setState(s JobState, errMsg string, cancel context.CancelFunc) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = s
+	if errMsg != "" {
+		j.errMsg = errMsg
+	}
+	j.cancel = cancel
+	if s.Terminal() {
+		j.finished = time.Now()
+	}
+	j.changed()
+}
+
+// Cancel interrupts a queued or running job (no-op once terminal).
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Options tunes a Manager.
+type Options struct {
+	// Workers is the number of concurrent jobs (default 2).
+	Workers int
+	// QueueCap bounds the queued-not-running backlog; submissions past it
+	// bounce with ErrQueueFull (default 16).
+	QueueCap int
+	// CacheEntries bounds the result cache (default 4096; ≤ 0 with
+	// DisableCache disables it).
+	CacheEntries int
+	// DisableCache turns the result cache off.
+	DisableCache bool
+	// JobTimeout caps each job's wall-clock run time; expired jobs park as
+	// interrupted, checkpoints in hand (0 = none).
+	JobTimeout time.Duration
+	// CheckpointEvery is the counts-backend snapshot cadence in
+	// interactions: between slices of this size a run stores a fresh O(|Q|)
+	// checkpoint and honors cancellation (default 1<<20).
+	CheckpointEvery int
+	// SeedWorkers bounds each job's per-seed fan-out (0 = GOMAXPROCS).
+	SeedWorkers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 16
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 4096
+	}
+	if o.DisableCache {
+		o.CacheEntries = 0
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1 << 20
+	}
+	return o
+}
+
+// Manager owns the job queue, the worker pool, the result cache and the
+// metrics — the server behind the HTTP API. Jobs flow
+// queued → running → done|failed|interrupted; interrupted jobs re-enter the
+// queue via Resume.
+type Manager struct {
+	opts    Options
+	metrics *Metrics
+	cache   *Cache
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	queue    chan *Job
+	seq      int64
+	draining bool
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewManager starts a manager and its workers.
+func NewManager(opts Options) *Manager {
+	opts = opts.withDefaults()
+	m := &Manager{
+		opts:    opts,
+		metrics: NewMetrics(),
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, opts.QueueCap),
+	}
+	m.cache = NewCache(opts.CacheEntries, m.metrics)
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for job := range m.queue {
+				m.runJob(job)
+			}
+		}()
+	}
+	return m
+}
+
+// Metrics returns the manager's counter set.
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// Cache returns the result cache.
+func (m *Manager) Cache() *Cache { return m.cache }
+
+// Submit validates nothing further (the spec is already normalized) and
+// enqueues a new job, bouncing with ErrQueueFull/ErrDraining under
+// backpressure.
+func (m *Manager) Submit(spec *Spec) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.metrics.JobsRejected.Add(1)
+		return nil, ErrDraining
+	}
+	m.seq++
+	job := &Job{
+		ID:          fmt.Sprintf("j%d-%s", m.seq, spec.Hash()),
+		Spec:        spec,
+		state:       JobQueued,
+		doneSeeds:   make(map[int64]bool),
+		checkpoints: make(map[int64]*popsim.CountCheckpoint),
+		notify:      make(chan struct{}),
+		created:     time.Now(),
+	}
+	select {
+	case m.queue <- job:
+		m.jobs[job.ID] = job
+		m.metrics.JobsSubmitted.Add(1)
+		m.metrics.QueueDepth.Add(1)
+		return job, nil
+	default:
+		m.seq--
+		m.metrics.JobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Job looks a job up by ID.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Resume re-enqueues an interrupted job: completed seed results stay, parked
+// counts checkpoints continue bit-identically, seeds that never got a
+// checkpoint restart.
+func (m *Manager) Resume(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.metrics.JobsRejected.Add(1)
+		return nil, ErrDraining
+	}
+	job, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	job.mu.Lock()
+	resumable := job.state == JobInterrupted
+	if resumable {
+		job.state = JobQueued
+		job.errMsg = ""
+		job.changed()
+	}
+	job.mu.Unlock()
+	if !resumable {
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotResumable, id, job.Status().State)
+	}
+	select {
+	case m.queue <- job:
+		m.metrics.QueueDepth.Add(1)
+		return job, nil
+	default:
+		job.setState(JobInterrupted, "", nil)
+		m.metrics.JobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Drain stops accepting work, interrupts running jobs (counts runs park
+// their checkpoints) and waits for the workers, bounded by ctx — the
+// SIGTERM path of cmd/popsimd.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	var active []*Job
+	for _, j := range m.jobs {
+		active = append(active, j)
+	}
+	if !already {
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	for _, j := range active {
+		j.Cancel()
+	}
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close drains with no deadline (tests; prefer Drain with a ctx in servers).
+func (m *Manager) Close() { _ = m.Drain(context.Background()) }
+
+func (m *Manager) isDraining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// runJob executes one job on a worker.
+func (m *Manager) runJob(job *Job) {
+	m.metrics.QueueDepth.Add(-1)
+	if m.isDraining() {
+		// Never started: fully resumable, nothing to checkpoint.
+		job.setState(JobInterrupted, "server draining", nil)
+		m.metrics.JobsInterrupted.Add(1)
+		return
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if m.opts.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), m.opts.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	defer cancel()
+	job.setState(JobRunning, "", cancel)
+	m.metrics.Running.Add(1)
+	defer m.metrics.Running.Add(-1)
+
+	results := par.Ensemble(ctx, job.Spec.Seeds(), m.opts.SeedWorkers, func(ctx context.Context, seed int64) (struct{}, error) {
+		return struct{}{}, m.runSeed(ctx, job, seed)
+	})
+	var interrupted bool
+	var firstErr error
+	for _, r := range results {
+		switch {
+		case r.Err == nil:
+		case errors.Is(r.Err, errInterrupted), errors.Is(r.Err, context.Canceled), errors.Is(r.Err, context.DeadlineExceeded):
+			interrupted = true
+		case firstErr == nil:
+			firstErr = fmt.Errorf("seed %d: %w", r.Seed, r.Err)
+		}
+	}
+	switch {
+	case firstErr != nil:
+		job.setState(JobFailed, firstErr.Error(), nil)
+		m.metrics.JobsFailed.Add(1)
+	case interrupted:
+		msg := "interrupted"
+		if ctx.Err() == context.DeadlineExceeded {
+			msg = fmt.Sprintf("job timeout (%s) exceeded", m.opts.JobTimeout)
+		}
+		job.setState(JobInterrupted, msg, nil)
+		m.metrics.JobsInterrupted.Add(1)
+	default:
+		job.setState(JobDone, "", nil)
+		m.metrics.JobsDone.Add(1)
+	}
+}
+
+// runSeed completes one seed run: cache lookup first, then simulation on the
+// backend the spec selects. Counts-backend runs execute in CheckpointEvery
+// slices, storing a fresh checkpoint and honoring cancellation between
+// slices; on interruption the final checkpoint parks in the job.
+func (m *Manager) runSeed(ctx context.Context, job *Job, seed int64) error {
+	if job.seedDone(seed) {
+		return nil
+	}
+	key, err := job.Spec.CacheKey(seed)
+	if err != nil {
+		return err
+	}
+	if line, ok := m.cache.Get(key); ok {
+		line.Notes = append(line.Notes[:len(line.Notes):len(line.Notes)], "cache=hit")
+		job.appendLine(seed, line)
+		return nil
+	}
+	line, err := m.simulateSeed(ctx, job, seed)
+	if err != nil {
+		return err
+	}
+	m.cache.Put(key, line)
+	job.appendLine(seed, line)
+	return nil
+}
+
+func (m *Manager) simulateSeed(ctx context.Context, job *Job, seed int64) (report.Line, error) {
+	spec := job.Spec
+	sysSpec, w, err := spec.Build(seed)
+	if err != nil {
+		return report.Line{}, err
+	}
+	sys, err := popsim.NewSystem(sysSpec)
+	if err != nil {
+		return report.Line{}, err
+	}
+	useCounts := spec.Backend == BackendCounts ||
+		(spec.Backend == BackendAuto && spec.OmissionRate == 0 && spec.N >= popsim.DefaultCountsBackendN)
+	if useCounts {
+		return m.runCountsSeed(ctx, job, seed, sys, w)
+	}
+	return m.runVectorSeed(ctx, spec, seed, sys, w)
+}
+
+func (m *Manager) runCountsSeed(ctx context.Context, job *Job, seed int64, sys *popsim.System, w Workload) (report.Line, error) {
+	spec := job.Spec
+	var cj *popsim.CountsJob
+	var err error
+	if ck := job.checkpointFor(seed); ck != nil {
+		cj, err = sys.ResumeCountsJob(ck)
+	} else {
+		cj, err = sys.NewCountsJob()
+	}
+	if err != nil {
+		return report.Line{}, err
+	}
+	pred := w.CountsDone(spec.N)
+	start := cj.Steps()
+	hit, converged := 0, false
+	for {
+		if ctx.Err() != nil {
+			ck, ckErr := cj.Checkpoint()
+			if ckErr != nil {
+				return report.Line{}, ckErr
+			}
+			job.storeCheckpoint(seed, ck)
+			m.metrics.Interactions.Add(int64(cj.Steps() - start))
+			return report.Line{}, errInterrupted
+		}
+		remaining := spec.Horizon - cj.Steps()
+		if remaining <= 0 {
+			break
+		}
+		slice := min(m.opts.CheckpointEvery, remaining)
+		hit, converged, err = cj.Run(pred, 0, slice)
+		if err != nil {
+			return report.Line{}, err
+		}
+		if converged {
+			break
+		}
+		// Periodic snapshot: even a hard kill loses at most one slice.
+		ck, ckErr := cj.Checkpoint()
+		if ckErr != nil {
+			return report.Line{}, ckErr
+		}
+		job.storeCheckpoint(seed, ck)
+	}
+	steps := cj.Steps()
+	if converged {
+		steps = hit
+	}
+	m.metrics.Interactions.Add(int64(cj.Steps() - start))
+	return m.resultLine(spec, seed, BackendCounts, steps, converged, cj.SimEvents()), nil
+}
+
+func (m *Manager) runVectorSeed(ctx context.Context, spec *Spec, seed int64, sys *popsim.System, w Workload) (report.Line, error) {
+	pred := w.Done(spec.N)
+	const every = 64
+	quantum := 16 * every
+	steps, converged := 0, false
+	for steps < spec.Horizon {
+		// Vector runs are not checkpointable; interruption restarts the
+		// seed on resume.
+		if ctx.Err() != nil {
+			m.metrics.Interactions.Add(int64(steps))
+			return report.Line{}, errInterrupted
+		}
+		chunk := min(quantum, spec.Horizon-steps)
+		hit, ok, err := sys.RunUntilEvery(pred, every, chunk)
+		if err != nil {
+			m.metrics.Interactions.Add(int64(steps))
+			return report.Line{}, err
+		}
+		if ok {
+			steps += hit
+			converged = true
+			break
+		}
+		steps += chunk
+	}
+	m.metrics.Interactions.Add(int64(steps))
+	return m.resultLine(spec, seed, BackendVector, steps, converged, sys.SimulatedSteps()), nil
+}
+
+// resultLine renders one completed seed run in the shared JSON-lines schema
+// — the same shape `experiments -json` emits, cross-checked by tests on
+// both sides.
+func (m *Manager) resultLine(spec *Spec, seed int64, backend string, steps int, converged bool, simEvents int) report.Line {
+	claim := fmt.Sprintf("%s converges (model %s, n=%d)", spec.Protocol, spec.Model, spec.N)
+	if spec.Sim != "" {
+		claim = fmt.Sprintf("%s via %s simulator converges (model %s, n=%d)", spec.Protocol, spec.Sim, spec.Model, spec.N)
+	}
+	tbl := report.NewTable("run", "protocol", "model", "n", "backend", "steps", "converged")
+	tbl.AddRow(spec.Protocol, spec.Model, spec.N, backend, steps, converged)
+	notes := []string{"backend=" + backend, fmt.Sprintf("steps=%d", steps)}
+	if spec.Sim != "" {
+		notes = append(notes, fmt.Sprintf("simulated_events=%d", simEvents))
+	}
+	return report.Line{
+		ID:     fmt.Sprintf("seed=%d", seed),
+		Claim:  claim,
+		Pass:   converged,
+		Seed:   seed,
+		Notes:  notes,
+		Tables: []report.TableJSON{report.FromTable(tbl)},
+	}
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the server's counter set, exported by GET /metrics as one JSON
+// object (expvar-style: flat keys, monotonic counters plus point-in-time
+// gauges). Each Manager owns its own Metrics rather than publishing to the
+// process-global expvar map, so tests run many servers in one process
+// without counter collisions.
+type Metrics struct {
+	// QueueDepth is the current number of queued-not-yet-running jobs.
+	QueueDepth atomic.Int64
+	// Running is the current number of running jobs.
+	Running atomic.Int64
+	// JobsSubmitted counts accepted submissions (cache-served ones too).
+	JobsSubmitted atomic.Int64
+	// JobsRejected counts submissions bounced with backpressure (429).
+	JobsRejected atomic.Int64
+	// JobsDone / JobsFailed / JobsInterrupted count terminal outcomes.
+	JobsDone        atomic.Int64
+	JobsFailed      atomic.Int64
+	JobsInterrupted atomic.Int64
+	// CacheHits / CacheMisses count result-cache lookups (per seed run).
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// Interactions counts simulated interactions applied by completed seed
+	// runs (cache hits add nothing — nothing was simulated).
+	Interactions atomic.Int64
+
+	start time.Time
+}
+
+// MetricsSnapshot is the JSON form of /metrics.
+type MetricsSnapshot struct {
+	QueueDepth      int64   `json:"queue_depth"`
+	Running         int64   `json:"running"`
+	JobsSubmitted   int64   `json:"jobs_submitted"`
+	JobsRejected    int64   `json:"jobs_rejected"`
+	JobsDone        int64   `json:"jobs_done"`
+	JobsFailed      int64   `json:"jobs_failed"`
+	JobsInterrupted int64   `json:"jobs_interrupted"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	Interactions    int64   `json:"interactions"`
+	InteractionsSec float64 `json:"interactions_per_sec"`
+	UptimeSec       float64 `json:"uptime_sec"`
+}
+
+// NewMetrics starts a counter set; uptime and interactions/sec are measured
+// from this instant.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// Snapshot captures every counter plus the derived rates.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	up := time.Since(m.start).Seconds()
+	hits, misses := m.CacheHits.Load(), m.CacheMisses.Load()
+	s := MetricsSnapshot{
+		QueueDepth:      m.QueueDepth.Load(),
+		Running:         m.Running.Load(),
+		JobsSubmitted:   m.JobsSubmitted.Load(),
+		JobsRejected:    m.JobsRejected.Load(),
+		JobsDone:        m.JobsDone.Load(),
+		JobsFailed:      m.JobsFailed.Load(),
+		JobsInterrupted: m.JobsInterrupted.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		Interactions:    m.Interactions.Load(),
+		UptimeSec:       up,
+	}
+	if total := hits + misses; total > 0 {
+		s.CacheHitRate = float64(hits) / float64(total)
+	}
+	if up > 0 {
+		s.InteractionsSec = float64(s.Interactions) / up
+	}
+	return s
+}
+
+// MarshalJSON renders the snapshot, so a Metrics can be written directly.
+func (m *Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.Snapshot())
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"popsim/internal/report"
+)
+
+// maxSpecBytes bounds POST /jobs bodies; scenario specs are small documents.
+const maxSpecBytes = 1 << 20
+
+// Server is the HTTP face of a Manager:
+//
+//	POST /jobs              submit a scenario spec (JSON); 202 + job handle,
+//	                        or 429 + Retry-After under backpressure
+//	GET  /jobs/{id}         job status
+//	GET  /jobs/{id}/stream  per-seed results as JSON lines (replay + live),
+//	                        the same pinned schema as `experiments -json`
+//	POST /jobs/{id}/resume  re-enqueue an interrupted job
+//	POST /jobs/{id}/cancel  interrupt a running job (checkpoints park)
+//	GET  /healthz           liveness
+//	GET  /metrics           counters (queue depth, running jobs, cache hit
+//	                        rate, interactions/sec)
+type Server struct {
+	manager *Manager
+	mux     *http.ServeMux
+	// RetryAfterSec is the Retry-After hint on 429 responses (default 1).
+	RetryAfterSec int
+}
+
+// NewServer wraps a manager.
+func NewServer(m *Manager) *Server {
+	s := &Server{manager: m, mux: http.NewServeMux(), RetryAfterSec: 1}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("POST /jobs/{id}/resume", s.handleResume)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining) {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.RetryAfterSec))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	spec, err := ParseSpec(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	job, err := s.manager.Submit(spec)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	job, ok := s.manager.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown job %q", id)})
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, job.Status())
+	}
+}
+
+// handleStream replays the job's completed seed-run lines and follows live
+// until the job is terminal or the client goes away. One report.Line per
+// line — byte-compatible with `experiments -json`.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	for {
+		watch := job.Watch()
+		lines, terminal := job.Lines()
+		for ; sent < len(lines); sent++ {
+			buf, err := report.Marshal(lines[sent])
+			if err != nil {
+				return
+			}
+			if _, err := w.Write(append(buf, '\n')); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-watch:
+		}
+	}
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	resumed, err := s.manager.Resume(job.ID)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+			s.writeSubmitError(w, err)
+		case errors.Is(err, ErrNotResumable):
+			writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, resumed.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.manager.Metrics().Snapshot())
+}

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"popsim"
+	"popsim/internal/model"
+	"popsim/internal/pp"
+)
+
+// Spec is a declarative scenario: everything cmd/ppsim expresses as flags, as
+// one JSON document the job server accepts over HTTP and ppsim accepts via
+// -spec. A Spec names a registered workload and tuning; it is validated
+// against the workload/model/simulator registries before anything runs, and
+// its normalized form (defaults filled, canonical casing) is the identity the
+// result cache hashes.
+type Spec struct {
+	// Protocol names a registered workload (WorkloadByName).
+	Protocol string `json:"protocol"`
+	// Model is the interaction model (model.ParseKind); default TW.
+	Model string `json:"model,omitempty"`
+	// Sim runs the protocol through a fault-tolerant simulator:
+	// skno|sid|naming; empty = native.
+	Sim string `json:"sim,omitempty"`
+	// O is the omission bound for the skno simulator.
+	O int `json:"o,omitempty"`
+	// N is the population size.
+	N int `json:"n"`
+	// Seed is the base RNG seed; default 1. Runs > 1 uses seeds
+	// Seed..Seed+Runs−1.
+	Seed int64 `json:"seed,omitempty"`
+	// Runs is the ensemble width; default 1.
+	Runs int `json:"runs,omitempty"`
+	// Horizon bounds scheduled interactions per run; default
+	// max(2e6, 64·N).
+	Horizon int `json:"horizon,omitempty"`
+	// OmissionRate enables the omission adversary (vector backend only).
+	OmissionRate float64 `json:"omission_rate,omitempty"`
+	// OmissionBudget bounds the adversary's omissions; 0 = unbounded.
+	OmissionBudget int `json:"omission_budget,omitempty"`
+	// Backend selects the execution backend: auto (counts at large N, the
+	// facade's RunUntilCounts policy), counts (O(|Q|); checkpointable), or
+	// vector (agent vector; required for adversary specs). Default auto.
+	Backend string `json:"backend,omitempty"`
+	// MaxStates overrides the counts backend's interned-state bound.
+	MaxStates int `json:"max_states,omitempty"`
+}
+
+// Backend names.
+const (
+	BackendAuto   = "auto"
+	BackendCounts = "counts"
+	BackendVector = "vector"
+)
+
+// Normalize validates the spec against the registries and fills defaults
+// in place, so that two specs meaning the same scenario hash identically.
+func (s *Spec) Normalize() error {
+	w, err := WorkloadByName(s.Protocol)
+	if err != nil {
+		return err
+	}
+	s.Protocol = w.Name
+	if s.Model == "" {
+		s.Model = "TW"
+	}
+	kind, err := model.ParseKind(s.Model)
+	if err != nil {
+		return err
+	}
+	s.Model = fmt.Sprintf("%v", kind)
+	switch s.Sim {
+	case "", "skno", "sid", "naming":
+	default:
+		return fmt.Errorf("unknown simulator %q (skno|sid|naming)", s.Sim)
+	}
+	if s.Sim != "skno" {
+		s.O = 0
+	}
+	if s.O < 0 {
+		return fmt.Errorf("omission bound o must be ≥ 0, got %d", s.O)
+	}
+	if s.N < 2 {
+		return fmt.Errorf("population size n must be ≥ 2, got %d", s.N)
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Runs == 0 {
+		s.Runs = 1
+	}
+	if s.Runs < 1 {
+		return fmt.Errorf("runs must be ≥ 1, got %d", s.Runs)
+	}
+	if s.Horizon == 0 {
+		s.Horizon = 2_000_000
+		if h := 64 * s.N; h > s.Horizon {
+			s.Horizon = h
+		}
+	}
+	if s.Horizon < 1 {
+		return fmt.Errorf("horizon must be ≥ 1, got %d", s.Horizon)
+	}
+	if s.OmissionRate < 0 || s.OmissionRate >= 1 {
+		return fmt.Errorf("omission_rate must be in [0,1), got %g", s.OmissionRate)
+	}
+	if s.OmissionBudget < 0 {
+		return fmt.Errorf("omission_budget must be ≥ 0 (0 = unbounded), got %d", s.OmissionBudget)
+	}
+	if s.Backend == "" {
+		s.Backend = BackendAuto
+	}
+	switch s.Backend {
+	case BackendAuto, BackendVector:
+	case BackendCounts:
+		if s.OmissionRate > 0 {
+			return fmt.Errorf("the counts backend is outside the adversary contract: use backend %q with omission_rate", BackendVector)
+		}
+	default:
+		return fmt.Errorf("unknown backend %q (%s|%s|%s)", s.Backend, BackendAuto, BackendCounts, BackendVector)
+	}
+	if s.MaxStates < 0 {
+		return fmt.Errorf("max_states must be ≥ 0, got %d", s.MaxStates)
+	}
+	return nil
+}
+
+// Canonical renders the normalized spec as canonical JSON — the
+// content-addressed identity of the scenario. Call Normalize first; the
+// encoding is deterministic (fixed field order, defaults filled).
+func (s *Spec) Canonical() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// CacheKey returns the content address of one run of the scenario: the
+// SHA-256 of the canonical spec and the run's seed. Identical resubmissions
+// hit the result cache under this key; any semantic difference — protocol,
+// model, n, horizon, backend — changes it.
+func (s *Spec) CacheKey(seed int64) (string, error) {
+	canon, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write(canon)
+	h.Write([]byte("\nseed="))
+	h.Write([]byte(strconv.FormatInt(seed, 10)))
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Hash returns the first 8 hex digits of the canonical spec hash — the
+// human-readable scenario tag job IDs embed.
+func (s *Spec) Hash() string {
+	canon, err := s.Canonical()
+	if err != nil {
+		return "00000000"
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:4])
+}
+
+// Seeds expands the ensemble seed list: Seed, Seed+1, …, Seed+Runs−1.
+func (s *Spec) Seeds() []int64 {
+	out := make([]int64, s.Runs)
+	for i := range out {
+		out[i] = s.Seed + int64(i)
+	}
+	return out
+}
+
+// Build resolves the spec into the workload and a popsim.SystemSpec for one
+// seed, mirroring cmd/ppsim's flag handling exactly — the spec is the
+// declarative form of the same scenario space.
+func (s *Spec) Build(seed int64) (popsim.SystemSpec, Workload, error) {
+	w, err := WorkloadByName(s.Protocol)
+	if err != nil {
+		return popsim.SystemSpec{}, Workload{}, err
+	}
+	kind, err := model.ParseKind(s.Model)
+	if err != nil {
+		return popsim.SystemSpec{}, Workload{}, err
+	}
+	spec := popsim.SystemSpec{
+		Model:         kind,
+		Initial:       w.Config(s.N),
+		Seed:          seed,
+		MaxFastStates: s.MaxStates,
+	}
+	switch s.Sim {
+	case "":
+		if kind.OneWay() {
+			spec.Protocol = pp.OneWayAdapter{P: w.Proto}
+		} else {
+			spec.Protocol = w.Proto
+		}
+	case "skno":
+		sm := popsim.SKnO(w.Proto, s.O)
+		if !kind.OneWay() {
+			sm = sm.TwoWayEmbedded()
+		}
+		spec.Simulate = &sm
+	case "sid":
+		sm := popsim.SID(w.Proto)
+		if !kind.OneWay() {
+			sm = sm.TwoWayEmbedded()
+		}
+		spec.Simulate = &sm
+	case "naming":
+		sm := popsim.Naming(w.Proto, s.N)
+		if !kind.OneWay() {
+			sm = sm.TwoWayEmbedded()
+		}
+		spec.Simulate = &sm
+	default:
+		return popsim.SystemSpec{}, Workload{}, fmt.Errorf("unknown simulator %q", s.Sim)
+	}
+	if s.OmissionRate > 0 {
+		if s.OmissionBudget > 0 {
+			spec.Adversary = popsim.BudgetedAdversary(seed+1, s.OmissionRate, s.OmissionBudget)
+		} else {
+			spec.Adversary = popsim.UOAdversary(seed+1, s.OmissionRate, 1)
+		}
+	}
+	return spec, w, nil
+}
+
+// ParseSpec decodes and normalizes a JSON scenario document, rejecting
+// unknown fields (a typoed knob must not silently mean a different scenario).
+func ParseSpec(doc []byte) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(doc))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario spec: %w", err)
+	}
+	if err := s.Normalize(); err != nil {
+		return nil, fmt.Errorf("scenario spec: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,146 @@
+// Package serve is the simulation job server behind cmd/popsimd: declarative
+// scenario specs validated against the protocol/model/simulator registries, a
+// bounded job queue with backpressure and graceful drain, O(|Q|)
+// checkpoint/resume for interrupted counts-backend jobs, and a
+// content-addressed result cache keyed by (canonical spec, seed). Results
+// stream in the same pinned JSON-lines schema as `experiments -json`
+// (internal/report).
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"popsim"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+)
+
+// Workload bundles a named protocol with its standard initial configuration
+// and convergence predicate, in both observation forms: Done scans the agent
+// vector (O(n)); CountsDone reads a StateCounts view (O(|Q|), evaluated on
+// projected counts for simulator runs). The registry is shared by cmd/ppsim
+// and the job server, so a scenario spec means the same run everywhere.
+type Workload struct {
+	// Name is the registry key.
+	Name string
+	// Proto is the underlying two-way protocol.
+	Proto pp.TwoWay
+	// Config builds the standard initial configuration for n agents.
+	Config func(n int) pp.Configuration
+	// Done builds the O(n) agent-vector convergence predicate.
+	Done func(n int) func(pp.Configuration) bool
+	// CountsDone builds the O(|Q|) counts-view convergence predicate.
+	CountsDone func(n int) func(*popsim.StateCounts) bool
+}
+
+// WorkloadByName resolves a registered workload.
+func WorkloadByName(name string) (Workload, error) {
+	switch name {
+	case "pairing":
+		return Workload{
+			Name:  name,
+			Proto: protocols.Pairing{},
+			Config: func(n int) pp.Configuration {
+				return protocols.PairingConfig((n+1)/2, n/2)
+			},
+			Done: func(n int) func(pp.Configuration) bool {
+				c, p := (n+1)/2, n/2
+				return func(cf pp.Configuration) bool { return protocols.PairingDone(cf, c, p) }
+			},
+			CountsDone: func(n int) func(*popsim.StateCounts) bool {
+				want := int64(n / 2) // min(consumers, producers)
+				return func(sc *popsim.StateCounts) bool { return sc.Count(protocols.Served) == want }
+			},
+		}, nil
+	case "majority":
+		return Workload{
+			Name:  name,
+			Proto: protocols.Majority{},
+			Config: func(n int) pp.Configuration {
+				return protocols.MajorityConfig(n/2+1, n-n/2-1)
+			},
+			Done: func(n int) func(pp.Configuration) bool {
+				return func(cf pp.Configuration) bool { return protocols.MajorityConverged(cf, "A") }
+			},
+			CountsDone: func(n int) func(*popsim.StateCounts) bool {
+				out := protocols.Majority{}
+				isA := func(s popsim.State) bool { return out.Output(s) == "A" }
+				return func(sc *popsim.StateCounts) bool { return sc.CountFunc(isA) == sc.N() }
+			},
+		}, nil
+	case "leader":
+		return Workload{
+			Name:   name,
+			Proto:  protocols.LeaderElection{},
+			Config: protocols.LeaderConfig,
+			Done:   func(n int) func(pp.Configuration) bool { return protocols.LeaderElected },
+			CountsDone: func(n int) func(*popsim.StateCounts) bool {
+				return func(sc *popsim.StateCounts) bool { return sc.Count(protocols.Leader) == 1 }
+			},
+		}, nil
+	case "parity":
+		return Workload{
+			Name:  name,
+			Proto: protocols.Modulo{M: 2},
+			Config: func(n int) pp.Configuration {
+				return protocols.ModuloConfig(n, n/2+1)
+			},
+			Done: func(n int) func(pp.Configuration) bool {
+				want := (n/2 + 1) % 2
+				return func(cf pp.Configuration) bool { return protocols.ModuloConverged(cf, want) }
+			},
+			CountsDone: func(n int) func(*popsim.StateCounts) bool {
+				want := (n/2 + 1) % 2
+				return func(sc *popsim.StateCounts) bool {
+					// ModuloConverged in O(|Q|): every agent agrees on the
+					// residue and exactly one still carries a token.
+					var actives int64
+					ok := true
+					sc.Each(func(s popsim.State, cnt int64) bool {
+						ms, isMod := s.(protocols.ModuloState)
+						if !isMod || ms.Value != want {
+							ok = false
+							return false
+						}
+						if ms.Active {
+							actives += cnt
+						}
+						return true
+					})
+					return ok && actives == 1
+				}
+			},
+		}, nil
+	case "or":
+		return Workload{
+			Name:  name,
+			Proto: protocols.Or{},
+			Config: func(n int) pp.Configuration {
+				return protocols.OrConfig(n, 1)
+			},
+			Done: func(n int) func(pp.Configuration) bool {
+				return func(cf pp.Configuration) bool { return protocols.OrConverged(cf, protocols.One) }
+			},
+			CountsDone: func(n int) func(*popsim.StateCounts) bool {
+				return func(sc *popsim.StateCounts) bool { return sc.Count(protocols.One) == sc.N() }
+			},
+		}, nil
+	}
+	return Workload{}, fmt.Errorf("unknown protocol %q (%s)", name, WorkloadNames())
+}
+
+// WorkloadNames lists the registered workloads, pipe-separated for usage
+// strings.
+func WorkloadNames() string {
+	names := []string{"pairing", "majority", "leader", "parity", "or"}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "|"
+		}
+		out += n
+	}
+	return out
+}
