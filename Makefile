@@ -30,6 +30,8 @@ gate:
 	else \
 	  echo "skipping sharded gate: P=4 workers serialize below 4 cores (CI enforces it on 4-core runners)" ; \
 	fi
+	$(GO) test -run '^$$' -bench 'EdgeSampler' -benchtime 2000000x ./internal/sched \
+	    | $(GO) run ./cmd/benchgate -budgets perf/budgets_topology.json
 
 # Refresh the committed benchstat baselines (perf/baseline_*.txt) from this
 # machine. CI's delta report compares its fresh runs against these, so

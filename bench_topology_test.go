@@ -1,0 +1,45 @@
+package popsim_test
+
+import (
+	"testing"
+
+	popsim "popsim"
+	"popsim/internal/protocols"
+)
+
+// BenchmarkTopologyConvergence measures end-to-end facade runs on graph
+// topologies: the walking-majority protocol on a cycle versus the complete
+// graph (the CI bench-topology artifact's convergence rows; the edge-sampler
+// throughput rows live in internal/sched BenchmarkEdgeSampler).
+func BenchmarkTopologyConvergence(b *testing.B) {
+	const n = 256
+	run := func(b *testing.B, topology string) {
+		topo, err := popsim.ParseTopology(topology)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps := 0
+		for i := 0; i < b.N; i++ {
+			sys, err := popsim.NewSystem(popsim.SystemSpec{
+				Model:    popsim.TW,
+				Protocol: protocols.WalkMajority{},
+				Initial:  protocols.WalkMajorityConfig(n/2+n/8, n-n/2-n/8),
+				Seed:     int64(i + 1),
+				Topology: topo,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, ok, err := sys.RunUntilEvery(func(c popsim.Configuration) bool {
+				return protocols.WalkMajorityConverged(c, "A")
+			}, 256, 200_000_000)
+			if err != nil || !ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+			steps += sys.Steps()
+		}
+		b.ReportMetric(float64(steps)/float64(b.N), "steps/run")
+	}
+	b.Run("walkmajority/complete/n=256", func(b *testing.B) { run(b, "complete") })
+	b.Run("walkmajority/cycle/n=256", func(b *testing.B) { run(b, "cycle") })
+}

@@ -59,6 +59,27 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be ≥ 1, got %d", *workers)
+	}
+	if *queue < 1 {
+		return fmt.Errorf("-queue must be ≥ 1, got %d", *queue)
+	}
+	if *cacheEntries < 0 {
+		return fmt.Errorf("-cache must be ≥ 0 (0 disables caching), got %d", *cacheEntries)
+	}
+	if *checkpointEvery < 1 {
+		return fmt.Errorf("-checkpoint-every must be ≥ 1 interaction, got %d", *checkpointEvery)
+	}
+	if *jobTimeout < 0 {
+		return fmt.Errorf("-job-timeout must be ≥ 0 (0 = none), got %s", *jobTimeout)
+	}
+	if *seedWorkers < 0 {
+		return fmt.Errorf("-seed-workers must be ≥ 0 (0 = GOMAXPROCS), got %d", *seedWorkers)
+	}
+	if *drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be > 0, got %s", *drainTimeout)
+	}
 
 	m := serve.NewManager(serve.Options{
 		Workers:         *workers,

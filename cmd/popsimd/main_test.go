@@ -1,0 +1,53 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+)
+
+// TestRunRejectsBadFlags: every flag bound is checked before the server
+// binds a socket, and flag-parse failures surface as errors rather than
+// os.Exit.
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "0"},
+		{"-workers", "-3"},
+		{"-queue", "0"},
+		{"-queue", "-1"},
+		{"-cache", "-1"},
+		{"-checkpoint-every", "0"},
+		{"-checkpoint-every", "-5"},
+		{"-job-timeout", "-1s"},
+		{"-seed-workers", "-1"},
+		{"-drain-timeout", "0s"},
+		{"-drain-timeout", "-2s"},
+		{"-workers", "notanumber"}, // flag parse error
+		{"-job-timeout", "soon"},   // duration parse error
+		{"-no-such-flag"},          // unknown flag
+	} {
+		args := args
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := run(args); err == nil {
+				t.Errorf("args %v accepted", args)
+			}
+		})
+	}
+}
+
+// TestRunListenErrors: an unbindable address and an already-occupied port
+// both fail fast with the listener's error instead of hanging the server
+// loop.
+func TestRunListenErrors(t *testing.T) {
+	if err := run([]string{"-addr", "not-an-address:::"}); err == nil {
+		t.Error("bad listen address accepted")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := run([]string{"-addr", ln.Addr().String()}); err == nil {
+		t.Error("occupied port accepted")
+	}
+}

@@ -15,6 +15,7 @@
 //	      -n 256 -shards 4                                  # multi-core simulation
 //	ppsim -protocol majority -n 1000 -runs 50               # seed ensemble
 //	ppsim -protocol majority -n 1000000 -counts             # O(|Q|) counts backend
+//	ppsim -protocol or -topology cycle -n 256               # graphical: cycle topology
 //	ppsim -spec scenario.json                               # declarative spec
 //
 // The workload registry (protocol + standard initial configuration +
@@ -48,6 +49,7 @@ func run(args []string) error {
 	protoName := fs.String("protocol", "majority", "workload: "+serve.WorkloadNames())
 	simName := fs.String("sim", "", "simulator: skno|sid|naming (empty = run natively)")
 	modelName := fs.String("model", "TW", "interaction model: TW|T1|T2|T3|IT|IO|I1|I2|I3|I4")
+	topoName := fs.String("topology", "", "interaction topology: complete|cycle|grid|cliques[:k]|regular[:d]|powerlaw[:m] (empty = complete graph, the classical scheduler)")
 	n := fs.Int("n", 8, "population size")
 	o := fs.Int("o", 1, "omission bound for skno")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -100,11 +102,21 @@ job server accepts — see internal/serve.Spec for the schema).`)
 	if err != nil {
 		return err
 	}
+	topo, err := popsim.ParseTopology(*topoName)
+	if err != nil {
+		return err
+	}
+	if !topo.IsComplete() {
+		if err := topo.Validate(*n); err != nil {
+			return err
+		}
+	}
 
 	spec := popsim.SystemSpec{
-		Model:   kind,
-		Initial: w.Config(*n),
-		Seed:    *seed,
+		Model:    kind,
+		Initial:  w.Config(*n),
+		Seed:     *seed,
+		Topology: topo,
 	}
 	switch *simName {
 	case "":
@@ -167,7 +179,7 @@ job server accepts — see internal/serve.Spec for the schema).`)
 				return fmt.Errorf("seed %d: %w", r.Seed, r.Err)
 			}
 		}
-		fmt.Printf("protocol=%s sim=%s model=%v n=%d runs=%d\n", *protoName, orNative(*simName), kind, *n, *runs)
+		fmt.Printf("protocol=%s sim=%s model=%v topology=%v n=%d runs=%d\n", *protoName, orNative(*simName), kind, topo, *n, *runs)
 		fmt.Printf("converged=%d/%d success-rate=%.2f mean-steps=%.0f p50=%.0f p90=%.0f\n",
 			res.Converged, len(res.Runs), res.SuccessRate, res.MeanSteps, res.StepsP50, res.StepsP90)
 		if res.Converged < len(res.Runs) {
@@ -198,7 +210,7 @@ job server accepts — see internal/serve.Spec for the schema).`)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("protocol=%s sim=%s model=%v n=%d counts=true\n", *protoName, orNative(*simName), kind, *n)
+		fmt.Printf("protocol=%s sim=%s model=%v topology=%v n=%d counts=true\n", *protoName, orNative(*simName), kind, topo, *n)
 		if res.Degraded {
 			fmt.Printf("degraded to the batched engine: %s\n", res.DegradedReason)
 		}
@@ -228,7 +240,7 @@ job server accepts — see internal/serve.Spec for the schema).`)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("protocol=%s sim=%s model=%v n=%d shards=%d\n", *protoName, orNative(*simName), kind, *n, *shards)
+		fmt.Printf("protocol=%s sim=%s model=%v topology=%v n=%d shards=%d\n", *protoName, orNative(*simName), kind, topo, *n, *shards)
 		if res.Degraded {
 			fmt.Printf("degraded to the sequential batched engine: %s\n", res.DegradedReason)
 		}
@@ -251,7 +263,7 @@ job server accepts — see internal/serve.Spec for the schema).`)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("protocol=%s sim=%s model=%v n=%d\n", *protoName, orNative(*simName), kind, *n)
+	fmt.Printf("protocol=%s sim=%s model=%v topology=%v n=%d\n", *protoName, orNative(*simName), kind, topo, *n)
 	fmt.Printf("steps=%d omissions=%d simulated-events=%d converged=%v\n",
 		sys.Steps(), sys.Omissions(), sys.SimulatedSteps(), done)
 	fmt.Printf("final: %v\n", sys.Projected())

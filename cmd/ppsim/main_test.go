@@ -248,3 +248,67 @@ func TestRunNonConvergenceIsAnError(t *testing.T) {
 		}
 	}
 }
+
+// TestRunTopology drives -topology through every execution mode: native,
+// counts, sharded (block-local graph), sharded-degrade (scattered graph) and
+// ensemble.
+func TestRunTopology(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "or", "-topology", "cycle", "-n", "64", "-seed", "3"},
+		{"-protocol", "or", "-topology", "grid", "-n", "64", "-seed", "3"},
+		{"-protocol", "or", "-topology", "cliques:4", "-n", "64", "-seed", "3"},
+		{"-protocol", "or", "-topology", "regular:4", "-n", "64", "-seed", "3"},
+		{"-protocol", "or", "-topology", "powerlaw:3", "-n", "64", "-seed", "3"},
+		{"-protocol", "walkmajority", "-topology", "cycle", "-n", "32", "-seed", "5", "-horizon", "20000000"},
+		{"-protocol", "walkleader", "-topology", "cycle", "-n", "16", "-seed", "5", "-horizon", "20000000"},
+		{"-protocol", "or", "-topology", "cycle", "-n", "64", "-counts", "-seed", "3"},
+		{"-protocol", "or", "-topology", "cycle", "-n", "256", "-shards", "2", "-seed", "2", "-horizon", "50000000"},
+		{"-protocol", "or", "-topology", "powerlaw:3", "-n", "256", "-shards", "4", "-seed", "2"}, // degrades, still converges
+		{"-protocol", "or", "-topology", "cycle", "-n", "64", "-runs", "3", "-seed", "9", "-horizon", "5000000"},
+	}
+	for _, args := range cases {
+		args := args
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := run(args); err != nil {
+				t.Fatalf("ppsim %v: %v", args, err)
+			}
+		})
+	}
+}
+
+// TestRunTopologyRejects: unknown families and graphs invalid at the given n
+// fail before anything runs.
+func TestRunTopologyRejects(t *testing.T) {
+	for _, args := range [][]string{
+		{"-protocol", "or", "-topology", "moebius", "-n", "64"},
+		{"-protocol", "or", "-topology", "cycle:3", "-n", "64"},
+		{"-protocol", "or", "-topology", "grid", "-n", "13"},      // prime n has no grid
+		{"-protocol", "or", "-topology", "regular:1", "-n", "64"}, // matchings never connect
+	} {
+		args := args
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunSpecTopology: the declarative path carries the topology too — the
+// same scenario document popsimd accepts over HTTP.
+func TestRunSpecTopology(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "cycle.json")
+	doc := `{"protocol":"or","n":64,"topology":"cycle","seed":9,"horizon":1000000}`
+	if err := os.WriteFile(good, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", good}); err != nil {
+		t.Fatalf("topology spec run: %v", err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"protocol":"or","n":64,"topology":"moebius"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", bad}); err == nil {
+		t.Error("unknown topology in spec accepted")
+	}
+}

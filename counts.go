@@ -244,7 +244,11 @@ func (s *System) RunUntilCounts(pred func(*StateCounts) bool, every, horizon int
 		protocol = s.spec.Simulate.Protocol
 	}
 	cfg := s.eng.Config()
-	if len(cfg) >= DefaultCountsBackendN && sim.Canonicalized(cfg) {
+	// The counts backend's annealed (mean-field) contract coincides with the
+	// quenched graph only on the complete topology; every non-complete
+	// topology runs its fixed graph exactly on the batched edge-sampling
+	// engine, whatever the population size.
+	if len(cfg) >= DefaultCountsBackendN && sim.Canonicalized(cfg) && s.spec.Topology.IsComplete() {
 		res, err := s.runUntilCountsBackend(protocol, cfg, pred, every, horizon)
 		if err == nil {
 			return res.CountsRunResult, nil
@@ -281,11 +285,29 @@ func (s *System) freshBatchedEngine(protocol any, cfg Configuration) (*trace.Rec
 	if s.spec.MaxFastStates > 0 || s.spec.MaxBatchChunk > 0 {
 		opts = append(opts, engine.WithFastLimits(s.spec.MaxFastStates, s.spec.MaxBatchChunk))
 	}
-	eng, err := engine.New(s.spec.Model, protocol, cfg, sched.NewRandom(s.spec.Seed), opts...)
+	eng, err := engine.New(s.spec.Model, protocol, cfg, s.detachedScheduler(), opts...)
 	if err != nil {
 		return nil, nil, err
 	}
 	return rec, eng, nil
+}
+
+// detachedScheduler builds a fresh scheduler for a detached run: the
+// topology's edge sampler over the system's materialized graph, or — for the
+// complete topology — the plain uniform scheduler, both restarted from the
+// spec seed (detached runs never consume the system's own stream).
+func (s *System) detachedScheduler() sched.Batcher {
+	return sched.NewEdgeScheduler(schedGraph(s.graph), s.spec.Seed)
+}
+
+// schedGraph converts the facade's *Graph into sched's structural interface
+// with nil-ness preserved (a typed nil inside a non-nil interface would
+// defeat NewEdgeScheduler's complete-topology arm).
+func schedGraph(g *Graph) sched.Graph {
+	if g == nil {
+		return nil
+	}
+	return g
 }
 
 // countsResult is CountsRunResult plus the mid-run failure configuration the
@@ -300,6 +322,7 @@ func (s *System) runUntilCountsBackend(protocol any, cfg Configuration, pred fun
 	ce, err := engine.NewCountEngine(s.spec.Model, protocol, cfg, s.spec.Seed, engine.CountOptions{
 		MaxStates:   s.spec.MaxFastStates,
 		TrackEvents: s.spec.Simulate != nil,
+		Topology:    s.spec.Topology,
 	})
 	if err != nil {
 		if errors.Is(err, engine.ErrStateSpace) {

@@ -69,6 +69,7 @@ func (s *System) NewCountsJob() (*CountsJob, error) {
 	ce, err := engine.NewCountEngine(s.spec.Model, protocol, s.eng.Config(), s.spec.Seed, engine.CountOptions{
 		MaxStates:   s.spec.MaxFastStates,
 		TrackEvents: s.spec.Simulate != nil,
+		Topology:    s.spec.Topology,
 	})
 	if err != nil {
 		return nil, err
@@ -95,6 +96,7 @@ func (s *System) ResumeCountsJob(ck *CountCheckpoint) (*CountsJob, error) {
 	}
 	ce, err := engine.ResumeCountEngine(s.spec.Model, protocol, ck.ck, engine.CountOptions{
 		MaxStates: s.spec.MaxFastStates,
+		Topology:  s.spec.Topology,
 	})
 	if err != nil {
 		return nil, err

@@ -19,6 +19,11 @@ trap 'kill "$PID" 2>/dev/null || true' EXIT
 go run ./examples/serve -addr "http://$ADDR" \
     -spec '{"protocol":"majority","n":1000000,"backend":"counts","horizon":10000000}'
 
+# A graphical scenario: the walking-majority protocol on a cycle topology
+# (non-complete graphs run on the quenched edge-sampling engine).
+go run ./examples/serve -addr "http://$ADDR" \
+    -spec "$(cat examples/graph/scenario.json)"
+
 curl -sf "http://$ADDR/metrics"; echo
 
 kill -TERM "$PID"

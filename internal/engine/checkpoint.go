@@ -126,6 +126,9 @@ func ResumeCountEngine(k model.Kind, p any, ck *CountCheckpoint, opts CountOptio
 	if wrapped && !sim.Canonicalized(table) {
 		return nil, fmt.Errorf("%w: checkpoint carries wrapped states without canonical keys (sim.CanonicalKeyed)", ErrConfig)
 	}
+	if err := opts.topologyErr(); err != nil {
+		return nil, err
+	}
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = DefaultMaxFastStates

@@ -44,6 +44,17 @@ import (
 // reason), mirroring the slow-path fallback of WithFastLimits.
 var ErrStateSpace = errors.New("engine: state space exceeds the counts-backend bound")
 
+// ErrTopology is returned when a counts run names an interaction topology
+// the counts backend cannot aggregate. Counts collapse the population to
+// per-state multiplicities, which is only a faithful chain when every agent
+// is exchangeable — on vertex-transitive families (complete, cycle, grid,
+// random d-regular) under the annealed contract below, but never on graphs
+// with distinguishable vertex classes (ring-of-cliques, power-law), where
+// which *vertices* hold a state changes the reachable transitions. Callers
+// should finish such runs on the agent-vector backends, which execute the
+// quenched graph exactly (popsim.System routes there automatically).
+var ErrTopology = errors.New("engine: topology is not counts-aggregable (not vertex-transitive)")
+
 const (
 	// DefaultCountExactN is the population threshold below which the counts
 	// backend samples per pair (block length 1) — the exact sequential count
@@ -69,6 +80,24 @@ type CountOptions struct {
 	// like the sharded runner's option of the same name: one counter, no
 	// event values built or retained. Read the total with EventCount.
 	TrackEvents bool
+	// Topology names the interaction graph family. The zero value (complete)
+	// is the backend's native setting and changes nothing. Other
+	// vertex-transitive families are accepted under the ANNEALED contract:
+	// the engine models the graph's mean-field (per-step re-randomized
+	// embedding) dynamics, under which picking a degree-proportional starter
+	// and a uniform neighbor is distributed exactly like the complete-graph
+	// ordered pair — so stepping is unchanged and stays O(|Q|). Quenched
+	// (fixed-embedding) graph dynamics need an agent-vector backend.
+	// Non-vertex-transitive topologies are rejected with ErrTopology.
+	Topology model.Topology
+}
+
+// topologyErr validates the counts-aggregation contract of opts.Topology.
+func (o CountOptions) topologyErr() error {
+	if !o.Topology.VertexTransitive() {
+		return fmt.Errorf("%w: %s", ErrTopology, o.Topology)
+	}
+	return nil
 }
 
 // blockLenFor picks the auto block length for a population of n agents.
@@ -136,6 +165,9 @@ func NewCountEngine(k model.Kind, p any, initial pp.Configuration, seed int64, o
 	wrapped := sim.AnyWrapped(initial)
 	if wrapped && !sim.Canonicalized(initial) {
 		return nil, fmt.Errorf("%w: wrapped states without canonical keys (sim.CanonicalKeyed) cannot run on the counts backend", ErrConfig)
+	}
+	if err := opts.topologyErr(); err != nil {
+		return nil, err
 	}
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {

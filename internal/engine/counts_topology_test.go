@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+)
+
+// TestCountEngineTopologyGate: vertex-transitive families are accepted under
+// the annealed contract — and behave byte-identically to complete, since the
+// annealed chain IS the complete-graph chain — while non-vertex-transitive
+// families fail with ErrTopology.
+func TestCountEngineTopologyGate(t *testing.T) {
+	cfg := protocols.MajorityConfig(40, 24)
+	for _, name := range []string{"complete", "cycle", "grid", "regular:4"} {
+		topo, err := model.ParseTopology(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ce, err := NewCountEngine(model.TW, protocols.Majority{}, cfg, 7,
+			CountOptions{Topology: topo})
+		if err != nil {
+			t.Fatalf("%s rejected: %v", name, err)
+		}
+		if err := ce.RunSteps(5000); err != nil {
+			t.Fatalf("%s: RunSteps: %v", name, err)
+		}
+	}
+	// The annealed chain of any accepted topology is the complete chain:
+	// identical seeds give identical counts trajectories.
+	run := func(name string) pp.Counts {
+		topo, err := model.ParseTopology(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ce, err := NewCountEngine(model.TW, protocols.Majority{}, cfg, 7,
+			CountOptions{Topology: topo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ce.RunSteps(20000); err != nil {
+			t.Fatal(err)
+		}
+		return ce.Counts()
+	}
+	base := run("complete")
+	for _, name := range []string{"cycle", "regular:4"} {
+		got := run(name)
+		if len(got) != len(base) {
+			t.Fatalf("%s: %d count slots vs %d", name, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("%s: annealed chain diverged from complete at state %d", name, i)
+			}
+		}
+	}
+	for _, name := range []string{"cliques:4", "powerlaw:3"} {
+		topo, err := model.ParseTopology(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = NewCountEngine(model.TW, protocols.Majority{}, cfg, 7,
+			CountOptions{Topology: topo})
+		if !errors.Is(err, ErrTopology) {
+			t.Errorf("%s: err = %v, want ErrTopology", name, err)
+		}
+	}
+}
+
+// TestResumeCountEngineTopologyGate: the resume path enforces the same
+// contract.
+func TestResumeCountEngineTopologyGate(t *testing.T) {
+	cfg := protocols.MajorityConfig(40, 24)
+	ce, err := NewCountEngine(model.TW, protocols.Majority{}, cfg, 7, CountOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ce.RunSteps(1000); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := ce.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	badTopo, err := model.ParseTopology("powerlaw:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ResumeCountEngine(model.TW, protocols.Majority{}, ck, CountOptions{Topology: badTopo})
+	if !errors.Is(err, ErrTopology) {
+		t.Errorf("resume with powerlaw: err = %v, want ErrTopology", err)
+	}
+	okTopo, err := model.ParseTopology("cycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeCountEngine(model.TW, protocols.Majority{}, ck, CountOptions{Topology: okTopo}); err != nil {
+		t.Errorf("resume with cycle: %v", err)
+	}
+}

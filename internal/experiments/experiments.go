@@ -88,6 +88,7 @@ func All() []Experiment {
 		{ID: "THM45", Claim: "Theorem 4.5: SID simulates TW in IO with unique IDs", Run: Thm45},
 		{ID: "THM46", Claim: "Theorem 4.6: naming + SID simulate TW in IO knowing n", Run: Thm46},
 		{ID: "FIG4", Claim: "Figure 4: map of possibility/impossibility results", Run: Fig4},
+		{ID: "GRAPHS", Claim: "Graphical protocols: cycle vs complete convergence under edge scheduling", Run: Graphs},
 		{ID: "PERF", Claim: "Engine throughput and simulation slow-down", Run: Perf},
 	}
 }

@@ -1,0 +1,283 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTopologyCanonical(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "complete"},
+		{"complete", "complete"},
+		{"cycle", "cycle"},
+		{"grid", "grid"},
+		{"cliques", "cliques:8"},
+		{"cliques:4", "cliques:4"},
+		{"regular", "regular:4"},
+		{"regular:6", "regular:6"},
+		{"powerlaw", "powerlaw:3"},
+		{"powerlaw:2", "powerlaw:2"},
+	}
+	for _, c := range cases {
+		topo, err := ParseTopology(c.in)
+		if err != nil {
+			t.Fatalf("ParseTopology(%q): %v", c.in, err)
+		}
+		if got := topo.String(); got != c.want {
+			t.Errorf("ParseTopology(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+		// Canonical forms round-trip to themselves.
+		again, err := ParseTopology(topo.String())
+		if err != nil || again != topo {
+			t.Errorf("canonical %q does not round-trip: %v %v", topo, again, err)
+		}
+	}
+}
+
+func TestParseTopologyRejects(t *testing.T) {
+	for _, in := range []string{
+		"torus", "complete:2", "cycle:3", "grid:4",
+		"cliques:1", "cliques:x", "regular:1", "regular:0", "powerlaw:0",
+		"regular:", "REGULAR",
+	} {
+		if _, err := ParseTopology(in); err == nil {
+			t.Errorf("ParseTopology(%q) accepted", in)
+		}
+	}
+}
+
+func TestTopologyPredicates(t *testing.T) {
+	vt := map[string]bool{
+		"complete": true, "cycle": true, "grid": true, "regular:4": true,
+		"cliques:4": false, "powerlaw:3": false,
+	}
+	for name, want := range vt {
+		topo, err := ParseTopology(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := topo.VertexTransitive(); got != want {
+			t.Errorf("%s.VertexTransitive() = %v, want %v", name, got, want)
+		}
+		if topo.IsComplete() != (name == "complete") {
+			t.Errorf("%s.IsComplete() wrong", name)
+		}
+	}
+	var zero Topology
+	if !zero.IsComplete() {
+		t.Error("zero-value Topology is not complete")
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	reject := []struct {
+		topo string
+		n    int
+	}{
+		{"complete", 1},
+		{"complete", completeBuildCap + 1},
+		{"grid", 7},      // prime: no r×c with r ≥ 2
+		{"grid", 2},      // too small for two dimensions
+		{"regular:4", 4}, // d must be < n
+		{"regular:3", 7}, // odd n·d
+		{"powerlaw:3", 4},
+	}
+	for _, c := range reject {
+		topo, err := ParseTopology(c.topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := topo.Validate(c.n); err == nil {
+			t.Errorf("%s at n=%d accepted", c.topo, c.n)
+		}
+		if _, err := topo.Build(c.n, 1); err == nil {
+			t.Errorf("Build(%s, n=%d) accepted", c.topo, c.n)
+		}
+	}
+}
+
+// checkGraph verifies structural invariants every family must satisfy:
+// CSR symmetry (each directed slot has its reverse), no self-loops,
+// declared degrees, and connectivity.
+func checkGraph(t *testing.T, g *Graph, n int) {
+	t.Helper()
+	if g.N() != n {
+		t.Fatalf("N = %d, want %d", g.N(), n)
+	}
+	offs, adj := g.Adjacency()
+	if len(offs) != n+1 || int(offs[n]) != len(adj) || len(adj) != 2*g.Edges() {
+		t.Fatalf("CSR shape: len(offs)=%d offs[n]=%d len(adj)=%d edges=%d",
+			len(offs), offs[n], len(adj), g.Edges())
+	}
+	// Directed slot multiset must be symmetric: count(u→v) == count(v→u).
+	dir := make(map[[2]int32]int)
+	for u := 0; u < n; u++ {
+		for i := offs[u]; i < offs[u+1]; i++ {
+			v := adj[i]
+			if int(v) == u {
+				t.Fatalf("self-loop at vertex %d", u)
+			}
+			if v < 0 || int(v) >= n {
+				t.Fatalf("neighbor %d out of range", v)
+			}
+			dir[[2]int32{int32(u), v}]++
+		}
+	}
+	for k, c := range dir {
+		if dir[[2]int32{k[1], k[0]}] != c {
+			t.Fatalf("asymmetric multiplicity for edge %v", k)
+		}
+	}
+	// Connectivity via BFS.
+	seen := make([]bool, n)
+	queue := []int32{0}
+	seen[0] = true
+	reached := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for i := offs[u]; i < offs[u+1]; i++ {
+			if v := adj[i]; !seen[v] {
+				seen[v] = true
+				reached++
+				queue = append(queue, v)
+			}
+		}
+	}
+	if reached != n {
+		t.Fatalf("graph disconnected: reached %d of %d", reached, n)
+	}
+}
+
+func TestTopologyBuildFamilies(t *testing.T) {
+	cases := []struct {
+		topo string
+		n    int
+		reg  int // expected RegularDegree, −1 for irregular
+	}{
+		{"complete", 16, 15},
+		{"complete", 2, 1},
+		{"cycle", 2, 1},
+		{"cycle", 3, 2},
+		{"cycle", 64, 2},
+		{"grid", 4, 4},  // 2×2 torus: parallel edges, still 4-regular
+		{"grid", 36, 4}, // 6×6
+		{"grid", 30, 4}, // 5×6
+		{"cliques:4", 64, -1},
+		{"cliques:4", 66, -1}, // remainder spread over leading cliques
+		{"cliques:8", 8, 7},   // single clique degenerates to complete
+		{"regular:2", 64, 2},
+		{"regular:4", 64, 4},
+		{"regular:3", 64, 3},
+		{"powerlaw:1", 32, -1},
+		{"powerlaw:3", 64, -1},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.topo+"/"+strings.ReplaceAll(t.Name(), "/", "_"), func(t *testing.T) {
+			topo, err := ParseTopology(c.topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := topo.Build(c.n, 42)
+			if err != nil {
+				t.Fatalf("Build(%s, n=%d): %v", c.topo, c.n, err)
+			}
+			checkGraph(t, g, c.n)
+			if g.RegularDegree() != c.reg {
+				t.Errorf("%s n=%d: RegularDegree = %d, want %d", c.topo, c.n, g.RegularDegree(), c.reg)
+			}
+			if g.Topology() != topo {
+				t.Errorf("Topology() = %v, want %v", g.Topology(), topo)
+			}
+		})
+	}
+}
+
+func TestTopologyBuildDeterministicPerSeed(t *testing.T) {
+	for _, name := range []string{"regular:4", "powerlaw:3"} {
+		topo, err := ParseTopology(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := topo.Build(128, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := topo.Build(128, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aOffs, aAdj := a.Adjacency()
+		bOffs, bAdj := b.Adjacency()
+		for i := range aOffs {
+			if aOffs[i] != bOffs[i] {
+				t.Fatalf("%s: offs differ at %d", name, i)
+			}
+		}
+		for i := range aAdj {
+			if aAdj[i] != bAdj[i] {
+				t.Fatalf("%s: adjacency differs at slot %d", name, i)
+			}
+		}
+		// A different seed must produce a different graph (overwhelmingly).
+		c, err := topo.Build(128, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cAdj := c.Adjacency()
+		same := len(cAdj) == len(aAdj)
+		if same {
+			for i := range aAdj {
+				if aAdj[i] != cAdj[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 7 and 8 built identical graphs", name)
+		}
+	}
+	// Deterministic families ignore the seed entirely.
+	topo, _ := ParseTopology("cycle")
+	a, _ := topo.Build(32, 1)
+	b, _ := topo.Build(32, 99)
+	_, aAdj := a.Adjacency()
+	_, bAdj := b.Adjacency()
+	for i := range aAdj {
+		if aAdj[i] != bAdj[i] {
+			t.Fatal("cycle build depends on seed")
+		}
+	}
+}
+
+func TestPowerlawDegreeSkew(t *testing.T) {
+	topo, err := ParseTopology("powerlaw:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topo.Build(512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGraph(t, g, 512)
+	max, min := 0, 1<<30
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		if d > max {
+			max = d
+		}
+		if d < min {
+			min = d
+		}
+	}
+	if min < 2 {
+		t.Errorf("minimum degree %d < attachment count", min)
+	}
+	// Preferential attachment must produce hubs: the max degree far above
+	// the minimum is the family's defining property.
+	if max < 4*min {
+		t.Errorf("no degree skew: max %d, min %d", max, min)
+	}
+}

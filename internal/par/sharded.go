@@ -73,6 +73,15 @@ type ShardedOptions struct {
 	// Implies TrackEvents. Off by default: the merged stream grows with
 	// the run — long runs that only need totals should use TrackEvents.
 	RecordEvents bool
+	// Topology restricts interactions to the edges of a fixed graph over
+	// the agent indices (graphical population protocols). nil means the
+	// complete graph — the historical behavior. With a graph set, vertices
+	// are pinned to contiguous shard blocks (no agent re-deal), workers
+	// sample their block-local edges, and boundary-crossing edges are
+	// applied serially at wave barriers; graphs whose cross-shard edge
+	// fraction exceeds 25% are rejected with ErrTopology (run those on the
+	// sequential edge-sampling engine). See topo.go.
+	Topology *model.Graph
 }
 
 // MaxShardedStates caps ShardedOptions.MaxStates. The per-worker dense
@@ -168,6 +177,8 @@ type ShardedRunner struct {
 	scratch []uint32 // double buffer for the exchange
 	bounds  []int    // p+1 shard boundaries into ids
 	workers []*shardWorker
+
+	topo *topoShards // topology mode (nil: complete graph, uniform pairs)
 
 	steps       int
 	sinceEx     int              // interactions applied since the last exchange
@@ -319,6 +330,17 @@ func NewSharded(k model.Kind, protocol any, initial pp.Configuration, seed int64
 			buckets: make([][]uint32, p),
 		}
 	}
+	if g := opts.Topology; g != nil {
+		if g.N() != n {
+			return nil, fmt.Errorf("%w: topology %s over %d vertices for population %d",
+				ErrSharded, g.Topology(), g.N(), n)
+		}
+		topo, err := newTopoShards(g, sr.bounds, seed)
+		if err != nil {
+			return nil, err
+		}
+		sr.topo = topo
+	}
 	return sr, nil
 }
 
@@ -392,6 +414,10 @@ func (sr *ShardedRunner) parallel(fn func(w *shardWorker)) {
 // always eligible: sizes sum to n and P ≤ n/2, so all-≤1 would give
 // n ≤ P ≤ n/2.
 func (sr *ShardedRunner) stepWave(quota int, deal bool) error {
+	if sr.topo != nil {
+		// Topology mode: edge-bucket quotas, no deal (vertices are pinned).
+		return sr.stepWaveTopo(quota)
+	}
 	eligible := 0
 	for w := 0; w < sr.p; w++ {
 		if sr.bounds[w+1]-sr.bounds[w] >= 2 {
@@ -508,7 +534,9 @@ func (sr *ShardedRunner) Events() []verify.Event { return sr.events }
 // for t, in worker order.
 func (sr *ShardedRunner) exchange() {
 	sr.sinceEx = 0
-	if sr.p == 1 {
+	if sr.p == 1 || sr.topo != nil {
+		// Topology mode pins vertices to their blocks: the epoch cadence
+		// only resets the in-epoch position the wave allocator splits.
 		return
 	}
 	off := 0

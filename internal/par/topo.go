@@ -1,0 +1,246 @@
+// Topology-aware sharded execution: graphical population protocols on the
+// P-shard runner. Vertices are pinned to contiguous blocks (the existing
+// bounds partition), each worker samples uniformly from the edges with BOTH
+// endpoints in its block, and the edges crossing a block boundary form one
+// extra sampling bucket the coordinator applies serially at wave barriers
+// from a dedicated split stream. Wave quotas are split over the P+1 buckets
+// proportionally to their edge counts by an exact cumulative-floor formula,
+// so every edge of the graph is drawn with probability 1/m per interaction
+// and the execution stays deterministic per (seed, P) and chunking-invariant
+// — the same contract as the complete-graph sharded mode.
+//
+// The mode is only an efficient parallelization when most edges are
+// shard-local, which is a property of the topology's vertex numbering:
+// cycles, torus grids and ring-of-cliques are near-block-local by
+// construction, while random d-regular and power-law graphs scatter
+// ~(1−1/P) of their edges across blocks. Graphs whose cross fraction
+// exceeds 25% are rejected with ErrTopology — the coordinator's serial
+// bucket would dominate the run — and callers degrade to the sequential
+// edge-sampling engine (popsim.System does so automatically, reporting the
+// reason).
+package par
+
+import (
+	"errors"
+	"fmt"
+
+	"popsim/internal/model"
+	"popsim/internal/sched"
+)
+
+// ErrTopology is returned when an interaction graph cannot be sharded by
+// contiguous vertex blocks — too many of its edges cross shard boundaries
+// for barrier-serialized cross-edge application to stay off the critical
+// path. Callers should run such graphs on the sequential edge-sampling
+// engine instead.
+var ErrTopology = errors.New("par: topology not shardable by contiguous vertex blocks")
+
+// crossStreamIndex is the SplitStream index of the coordinator's cross-edge
+// stream: adjacent to the edge sampler's family (1<<29), far above any
+// worker-shard index, distinct from the counts stream (1<<30).
+const crossStreamIndex = 1<<29 + 1
+
+// maxCrossNum/maxCrossDen is the rejection threshold on the cross-edge
+// fraction: above 1/4, the serial bucket stops being a small correction.
+const (
+	maxCrossNum = 1
+	maxCrossDen = 4
+)
+
+// topoShards is the runner's topology mode state: per-bucket edge lists
+// (packed u<<32|v with GLOBAL vertex indices) and the cumulative weights
+// the wave allocator splits quotas with.
+type topoShards struct {
+	g     *model.Graph
+	intra [][]uint64 // bucket w: edges with both endpoints in shard w
+	cross []uint64   // bucket P: edges crossing a shard boundary
+	cum   []int64    // cumulative bucket weights, len P+2; cum[P+1] = m
+	rng   sched.Stream
+	draws []uint64
+}
+
+// newTopoShards splits g's edges over the runner's vertex-block bounds.
+// Each undirected edge appears in exactly one bucket exactly once per
+// multiplicity; orientation is drawn at sampling time.
+func newTopoShards(g *model.Graph, bounds []int, seed int64) (*topoShards, error) {
+	p := len(bounds) - 1
+	t := &topoShards{
+		g:     g,
+		intra: make([][]uint64, p),
+		cum:   make([]int64, p+2),
+		rng:   sched.SplitStream(seed, crossStreamIndex),
+	}
+	offs, adj := g.Adjacency()
+	shard := 0
+	for u := 0; u < g.N(); u++ {
+		for u >= bounds[shard+1] {
+			shard++
+		}
+		for i := offs[u]; i < offs[u+1]; i++ {
+			v := int(adj[i])
+			if v <= u { // each undirected edge once, from its smaller endpoint
+				continue
+			}
+			e := uint64(u)<<32 | uint64(v)
+			if v < bounds[shard+1] {
+				t.intra[shard] = append(t.intra[shard], e)
+			} else {
+				t.cross = append(t.cross, e)
+			}
+		}
+	}
+	m := int64(g.Edges())
+	mc := int64(len(t.cross))
+	if mc*maxCrossDen > m*maxCrossNum {
+		return nil, fmt.Errorf("%w: %s: %d of %d edges (%.0f%%) cross the %d shard boundaries (> %d%%); run on the sequential edge-sampling engine",
+			ErrTopology, g.Topology(), mc, m, 100*float64(mc)/float64(m), p, 100*maxCrossNum/maxCrossDen)
+	}
+	for w := 0; w < p; w++ {
+		t.cum[w+1] = t.cum[w] + int64(len(t.intra[w]))
+	}
+	t.cum[p+1] = t.cum[p] + mc
+	return t, nil
+}
+
+// alloc returns bucket k's interaction count over the in-epoch position
+// range [a, b): the floor-of-cumulative-weight split
+// ⌊pos·cum[k+1]/m⌋ − ⌊pos·cum[k]/m⌋ evaluated at both ends. Per position the
+// buckets telescope to exactly one interaction, so any sequence of waves
+// covering the same positions hands every bucket the same counts
+// (chunking-invariance), and over a full epoch bucket k receives its weight
+// share exactly (±1 rounding within the epoch).
+func (t *topoShards) alloc(k int, a, b int64) int {
+	m := t.cum[len(t.cum)-1]
+	at := a*t.cum[k+1]/m - a*t.cum[k]/m
+	bt := b*t.cum[k+1]/m - b*t.cum[k]/m
+	return int(bt - at)
+}
+
+// stepWaveTopo is stepWave in topology mode: per-shard quotas over intra
+// edges in parallel, then the wave's cross-edge quota applied serially by
+// the coordinator (through worker 0's transition mirror — every worker's
+// private state is idle at that point) from the dedicated cross stream.
+// No deal: vertices are pinned, epochs only pace the (now no-op) exchange.
+func (sr *ShardedRunner) stepWaveTopo(quota int) error {
+	t := sr.topo
+	a, b := int64(sr.sinceEx), int64(sr.sinceEx+quota)
+	for w := 0; w < sr.p; w++ {
+		sr.workers[w].quota = t.alloc(w, a, b)
+	}
+	sr.parallel(func(w *shardWorker) { w.stepTopo(w.quota) })
+	for _, w := range sr.workers {
+		if w.err != nil {
+			return w.err
+		}
+	}
+	if kc := t.alloc(sr.p, a, b); kc > 0 {
+		if err := sr.applyCross(kc); err != nil {
+			return err
+		}
+	}
+	sr.steps += quota
+	sr.sinceEx += quota
+	sr.mergeCounts()
+	if sr.trackEvents {
+		sr.mergeEvents()
+	}
+	return nil
+}
+
+// stepTopo applies q interactions drawn uniformly from the worker's intra
+// edge bucket, off the worker's private stream.
+func (w *shardWorker) stepTopo(q int) {
+	if q <= 0 {
+		return
+	}
+	sr := w.sr
+	edges := sr.topo.intra[w.idx]
+	if len(edges) == 0 {
+		// alloc gives zero-weight buckets zero quota.
+		w.err = fmt.Errorf("%w: quota %d for shard %d with no intra edges", ErrSharded, q, w.idx)
+		return
+	}
+	if w.draws == nil {
+		w.draws = alignedSlice[uint64](drawChunk)
+	}
+	for done := 0; done < q; {
+		c := q - done
+		if c > drawChunk {
+			c = drawChunk
+		}
+		w.rng.Fill(w.draws[:c])
+		if err := w.stepTopoChunk(edges, w.draws[:c]); err != nil {
+			w.err = err
+			return
+		}
+		done += c
+	}
+}
+
+// stepTopoChunk applies one block-filled chunk of edge interactions: bits
+// 0–31 select the edge by multiply-shift (bias < |edges|/2³², inside the
+// statistical contract), bit 63 orients it. State updates, count deltas and
+// event recording mirror stepChunk, with GLOBAL vertex indices.
+func (w *shardWorker) stepTopoChunk(edges []uint64, draws []uint64) error {
+	ids := w.sr.ids
+	ue := uint64(len(edges))
+	dense, stride := w.dense, uint64(w.stride)
+	delta := w.delta
+	for _, x := range draws {
+		e := edges[(uint64(uint32(x))*ue)>>32]
+		u, v := int(e>>32), int(uint32(e))
+		if x>>63 != 0 {
+			u, v = v, u
+		}
+		s, r := ids[u], ids[v]
+		var ent uint64
+		if uint64(s|r) < stride {
+			ent = dense[uint64(s)*stride+uint64(r)]
+		}
+		if ent == 0 {
+			var err error
+			if ent, err = w.lookupCold(s, r); err != nil {
+				return err
+			}
+			dense, stride = w.dense, uint64(w.stride)
+		}
+		ns, nr := model.EntryStarter(ent), model.EntryReactor(ent)
+		ids[u] = ns
+		ids[v] = nr
+		if delta != nil {
+			delta[s]--
+			delta[r]--
+			delta[ns]++
+			delta[nr]++
+		}
+		if aux := model.EntryAux(ent); aux != 0 {
+			w.record(s, r, aux, u, v)
+		}
+	}
+	return nil
+}
+
+// applyCross applies k cross-edge interactions serially on the coordinator,
+// drawing from the dedicated cross stream (worker streams depend only on
+// their own intra quotas — chunking-invariance) and routing through worker
+// 0's transition mirror and delta/event buffers, which the wave barrier has
+// left idle.
+func (sr *ShardedRunner) applyCross(k int) error {
+	t := sr.topo
+	w0 := sr.workers[0]
+	if t.draws == nil {
+		t.draws = alignedSlice[uint64](drawChunk)
+	}
+	for done := 0; done < k; {
+		c := k - done
+		if c > drawChunk {
+			c = drawChunk
+		}
+		t.rng.Fill(t.draws[:c])
+		if err := w0.stepTopoChunk(t.cross, t.draws[:c]); err != nil {
+			return err
+		}
+		done += c
+	}
+	return nil
+}

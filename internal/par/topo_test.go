@@ -1,0 +1,193 @@
+package par_test
+
+import (
+	"errors"
+	"testing"
+
+	"popsim/internal/model"
+	"popsim/internal/par"
+	"popsim/internal/pp"
+	"popsim/internal/protocols"
+)
+
+func buildTopoGraph(t testing.TB, name string, n int, seed int64) *model.Graph {
+	t.Helper()
+	topo, err := model.ParseTopology(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topo.Build(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestShardedTopologyDeterminism: same (seed, P) on the same graph
+// reproduces the same execution bit for bit, and the execution depends only
+// on the total interactions applied, not on how they were chunked — the
+// contract the complete-graph mode already pins, extended to topology mode.
+func TestShardedTopologyDeterminism(t *testing.T) {
+	const n, seed = 256, 11
+	g := buildTopoGraph(t, "cycle", n, seed)
+	cfg := protocols.MajorityConfig(150, 106)
+	build := func() *par.ShardedRunner {
+		sr, err := par.NewSharded(model.TW, protocols.Majority{}, cfg, seed,
+			par.ShardedOptions{Shards: 2, Topology: g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+	a, b, c := build(), build(), build()
+	if err := a.RunSteps(9000); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RunSteps(9000); err != nil {
+		t.Fatal(err)
+	}
+	// c covers the same 9000 interactions in ragged chunks.
+	for _, k := range []int{1, 63, 64, 500, 1337, 7035} {
+		if err := c.RunSteps(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ca, cb, cc := a.Config(), b.Config(), c.Config()
+	for i := range ca {
+		if !pp.Equal(ca[i], cb[i]) {
+			t.Fatalf("same-chunking runs diverged at agent %d", i)
+		}
+		if !pp.Equal(ca[i], cc[i]) {
+			t.Fatalf("chunking changed the execution at agent %d", i)
+		}
+	}
+	if a.Steps() != c.Steps() {
+		t.Fatalf("step counts differ: %d vs %d", a.Steps(), c.Steps())
+	}
+}
+
+// TestShardedTopologyCountsConserved: the count-delta streams stay exact in
+// topology mode — the merged counts vector always sums to n.
+func TestShardedTopologyCountsConserved(t *testing.T) {
+	const n = 300
+	g := buildTopoGraph(t, "grid", n, 3)
+	cfg := protocols.MajorityConfig(170, 130)
+	sr, err := par.NewSharded(model.TW, protocols.Majority{}, cfg, 5,
+		par.ShardedOptions{Shards: 3, Topology: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := sr.RunSteps(777); err != nil {
+			t.Fatal(err)
+		}
+		var sum int64
+		for _, c := range sr.Counts() {
+			if c < 0 {
+				t.Fatalf("negative count after %d steps", sr.Steps())
+			}
+			sum += c
+		}
+		if sum != n {
+			t.Fatalf("counts sum %d != %d after %d steps", sum, n, sr.Steps())
+		}
+	}
+}
+
+// TestShardedTopologyCrossEdgesCarryInformation: with vertices pinned to
+// blocks, an epidemic seeded in shard 0 can only reach the last shard
+// through cross-edge applications — convergence of OR proves the
+// coordinator's serial bucket really runs.
+func TestShardedTopologyCrossEdgesCarryInformation(t *testing.T) {
+	const n = 256
+	g := buildTopoGraph(t, "cycle", n, 1)
+	cfg := protocols.OrConfig(n, 1) // one seed, at vertex 0
+	sr, err := par.NewSharded(model.TW, protocols.Or{}, cfg, 9,
+		par.ShardedOptions{Shards: 4, Topology: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sr.Interner()
+	_, ok, err := sr.RunUntilCounts(func(c pp.Counts) bool {
+		id, found := in.Lookup(protocols.One)
+		return found && int(c[id]) == n
+	}, 1000, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("epidemic did not cover the cycle — cross-shard edges not applied?")
+	}
+}
+
+// TestShardedTopologyConvergesSlowerThanComplete: the OR epidemic covers
+// the cycle in Θ(n²) interactions where the complete graph needs Θ(n log n)
+// — the separation the graphical-protocols literature predicts, visible at
+// moderate n through the sharded runner. (The epidemic is used because it is
+// graph-correct; protocols with static strongholds, like 4-state exact
+// majority or pairwise-elimination leader election, do not converge on
+// sparse graphs at all.)
+func TestShardedTopologyConvergesSlowerThanComplete(t *testing.T) {
+	const n = 256
+	cfg := protocols.OrConfig(n, 1)
+	run := func(g *model.Graph, seed int64) int {
+		sr, err := par.NewSharded(model.TW, protocols.Or{}, cfg, seed,
+			par.ShardedOptions{Shards: 2, Topology: g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := sr.Interner()
+		steps, ok, err := sr.RunUntilCounts(func(c pp.Counts) bool {
+			id, found := in.Lookup(protocols.One)
+			return found && int(c[id]) == n
+		}, 200, 50_000_000)
+		if err != nil || !ok {
+			t.Fatalf("epidemic run (graph=%v): ok=%v err=%v", g != nil, ok, err)
+		}
+		return steps
+	}
+	var cycleSteps, completeSteps int
+	for seed := int64(1); seed <= 3; seed++ {
+		cycleSteps += run(buildTopoGraph(t, "cycle", n, seed), seed)
+		completeSteps += run(nil, seed)
+	}
+	if cycleSteps <= 2*completeSteps {
+		t.Errorf("cycle (%d steps) not clearly slower than complete (%d steps)", cycleSteps, completeSteps)
+	}
+}
+
+// TestShardedTopologyDegrades: scattered graphs (random regular, power-law)
+// cross too many shard boundaries and must be rejected with ErrTopology;
+// the same graphs shard fine at P=1 (no boundaries to cross).
+func TestShardedTopologyDegrades(t *testing.T) {
+	const n = 256
+	cfg := protocols.MajorityConfig(150, 106)
+	for _, name := range []string{"regular:4", "powerlaw:3"} {
+		g := buildTopoGraph(t, name, n, 2)
+		_, err := par.NewSharded(model.TW, protocols.Majority{}, cfg, 2,
+			par.ShardedOptions{Shards: 4, Topology: g})
+		if !errors.Is(err, par.ErrTopology) {
+			t.Errorf("%s at P=4: err = %v, want ErrTopology", name, err)
+		}
+		sr, err := par.NewSharded(model.TW, protocols.Majority{}, cfg, 2,
+			par.ShardedOptions{Shards: 1, Topology: g})
+		if err != nil {
+			t.Errorf("%s at P=1: %v", name, err)
+			continue
+		}
+		if err := sr.RunSteps(10000); err != nil {
+			t.Errorf("%s at P=1: RunSteps: %v", name, err)
+		}
+	}
+}
+
+// TestShardedTopologyPopulationMismatch: the graph must cover exactly the
+// population.
+func TestShardedTopologyPopulationMismatch(t *testing.T) {
+	g := buildTopoGraph(t, "cycle", 64, 1)
+	cfg := protocols.MajorityConfig(40, 26) // n = 66 ≠ 64
+	if _, err := par.NewSharded(model.TW, protocols.Majority{}, cfg, 1,
+		par.ShardedOptions{Shards: 2, Topology: g}); err == nil {
+		t.Fatal("population/graph size mismatch accepted")
+	}
+}

@@ -1,0 +1,135 @@
+// Graph-correct token-walk protocols. The classical elimination protocols
+// (pairwise leader election, 4-state exact majority) rely on the complete
+// interaction graph: their strong agents are STATIC, so on a sparse topology
+// two non-adjacent leaders — or an A-stronghold and a B-stronghold separated
+// by frozen weak regions — never interact and the protocol never stabilizes.
+// The graphical-population-protocol literature (Alistarh–Gelashvili–Rybicki,
+// arXiv:2102.08808) fixes this by making tokens random-walk over the edges:
+// a token swaps onto its partner's vertex whenever it interacts, so on any
+// connected graph opposing tokens meet with probability 1 and the protocols
+// below are correct under the uniform edge scheduler on every topology —
+// only their convergence time depends on the graph.
+package protocols
+
+import "popsim/internal/pp"
+
+// WalkLeader is leader election with a walking token: leaders eliminate on
+// meeting (as in LeaderElection) and otherwise swap onto their partner's
+// vertex. On the complete graph the swap is statistically invisible and the
+// dynamics match the folklore protocol; on a cycle the endgame is two random
+// walks meeting — Θ(n²) token moves, Θ(n³) interactions.
+//
+//	(L, L) → (L, F);  (L, F) → (F, L);  (F, L) → (L, F)
+type WalkLeader struct{}
+
+var _ pp.TwoWay = WalkLeader{}
+
+// Name implements pp.TwoWay.
+func (WalkLeader) Name() string { return "walkleader" }
+
+// Delta implements pp.TwoWay.
+func (WalkLeader) Delta(s, r pp.State) (pp.State, pp.State) {
+	sl, rl := pp.Equal(s, Leader), pp.Equal(r, Leader)
+	switch {
+	case sl && rl:
+		return Leader, Follower
+	case sl || rl:
+		return r, s // the token walks to the other vertex
+	default:
+		return s, r
+	}
+}
+
+// Walking-majority states: strong tokens carry the opinion and walk; weak
+// agents remember the last token that visited them.
+const (
+	// TokenA is a walking strong-A token.
+	TokenA = pp.Symbol("A")
+	// TokenB is a walking strong-B token.
+	TokenB = pp.Symbol("B")
+	// WalkWeakA is a converted weak-A agent.
+	WalkWeakA = pp.Symbol("a")
+	// WalkWeakB is a converted weak-B agent.
+	WalkWeakB = pp.Symbol("b")
+)
+
+// WalkMajority is exact majority with walking tokens: every agent starts as
+// a strong token of its opinion; opposing tokens annihilate into weak agents
+// on meeting, and a surviving token both converts the weak partner it meets
+// and walks onto its vertex. The initial majority's tokens survive the
+// annihilation phase and sweep the graph, so every connected topology
+// stabilizes to the majority opinion — unlike the static 4-state protocol
+// (Majority), whose strongholds freeze on sparse graphs.
+//
+//	(A, B) → (a, b)                 annihilation (either orientation)
+//	(A, x) → (a, A)  for x ∈ {a,b}  convert + walk
+//	(B, x) → (b, B)  for x ∈ {a,b}  convert + walk
+//	(a, b) → (a, b)                 weak agents are inert
+type WalkMajority struct{}
+
+var (
+	_ pp.TwoWay    = WalkMajority{}
+	_ pp.Outputter = WalkMajority{}
+)
+
+// Name implements pp.TwoWay.
+func (WalkMajority) Name() string { return "walkmajority" }
+
+// Delta implements pp.TwoWay.
+func (WalkMajority) Delta(s, r pp.State) (pp.State, pp.State) {
+	sa, sb := pp.Equal(s, TokenA), pp.Equal(s, TokenB)
+	ra, rb := pp.Equal(r, TokenA), pp.Equal(r, TokenB)
+	switch {
+	case (sa && rb) || (sb && ra):
+		if sa {
+			return WalkWeakA, WalkWeakB
+		}
+		return WalkWeakB, WalkWeakA
+	case sa && !ra && !rb:
+		return WalkWeakA, TokenA
+	case sb && !ra && !rb:
+		return WalkWeakB, TokenB
+	case ra && !sa && !sb:
+		return TokenA, WalkWeakA
+	case rb && !sa && !sb:
+		return TokenB, WalkWeakB
+	default:
+		return s, r
+	}
+}
+
+// Output implements pp.Outputter: the agent's current opinion letter.
+func (WalkMajority) Output(s pp.State) string {
+	switch s.Key() {
+	case "A", "a":
+		return "A"
+	case "B", "b":
+		return "B"
+	default:
+		return "?"
+	}
+}
+
+// WalkMajorityConfig builds an initial configuration of as strong-A and bs
+// strong-B tokens.
+func WalkMajorityConfig(as, bs int) pp.Configuration {
+	cfg := make(pp.Configuration, 0, as+bs)
+	for i := 0; i < as; i++ {
+		cfg = append(cfg, TokenA)
+	}
+	for i := 0; i < bs; i++ {
+		cfg = append(cfg, TokenB)
+	}
+	return cfg
+}
+
+// WalkMajorityConverged reports whether every agent outputs the letter.
+func WalkMajorityConverged(c pp.Configuration, letter string) bool {
+	var p WalkMajority
+	for _, s := range c {
+		if p.Output(s) != letter {
+			return false
+		}
+	}
+	return true
+}

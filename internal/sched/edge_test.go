@@ -1,0 +1,247 @@
+package sched_test
+
+import (
+	"math"
+	"testing"
+
+	"popsim/internal/model"
+	"popsim/internal/sched"
+)
+
+func buildGraph(t testing.TB, name string, n int, seed int64) *model.Graph {
+	t.Helper()
+	topo, err := model.ParseTopology(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topo.Build(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestEdgeSchedulerCompletePin is the refactor's load-bearing invariant:
+// the complete topology is served by the pre-existing Random scheduler
+// itself — same concrete type, byte-identical interaction stream — so every
+// existing equivalence suite and ns/op budget transfers unchanged.
+func TestEdgeSchedulerCompletePin(t *testing.T) {
+	const n, steps = 64, 20000
+	edge := sched.NewEdgeScheduler(nil, 42)
+	if _, ok := edge.(*sched.Random); !ok {
+		t.Fatalf("complete topology scheduler is %T, want *sched.Random", edge)
+	}
+	base := sched.NewRandom(42)
+	for i := 0; i < steps; i++ {
+		a, okA := base.Next(n)
+		b, okB := edge.Next(n)
+		if !okA || !okB || a != b {
+			t.Fatalf("step %d: complete-edge stream diverged: %v vs %v", i, a, b)
+		}
+	}
+	// And the batched draw keeps the same stream.
+	baseB := sched.NewRandom(7).NextBatch(n, steps)
+	edgeB := sched.NewEdgeScheduler(nil, 7).NextBatch(n, steps)
+	for i := range baseB {
+		if baseB[i] != edgeB[i] {
+			t.Fatalf("batch step %d diverged", i)
+		}
+	}
+}
+
+// TestEdgeRandomBatchStreamIdentity: NextBatch must consume the RNG exactly
+// as k Next calls — the Batcher contract the engine fast path relies on —
+// on both the regular fast path and the alias path.
+func TestEdgeRandomBatchStreamIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    int
+	}{
+		{"cycle", 64},      // regular fast path
+		{"powerlaw:2", 64}, // irregular: alias path
+		{"cliques:4", 66},  // irregular with remainder cliques
+	} {
+		g := buildGraph(t, tc.name, tc.n, 5)
+		step := sched.NewEdgeRandom(g, 5)
+		batch := sched.NewEdgeRandom(g, 5)
+		const k = 5000
+		got := batch.NextBatch(tc.n, k)
+		if len(got) != k {
+			t.Fatalf("%s: batch len %d", tc.name, len(got))
+		}
+		for i := 0; i < k; i++ {
+			want, ok := step.Next(tc.n)
+			if !ok || want != got[i] {
+				t.Fatalf("%s: step %d: batch %v vs stepwise %v", tc.name, i, got[i], want)
+			}
+		}
+		// Mixed consumption stays on the same stream.
+		mixed := sched.NewEdgeRandom(g, 5)
+		pos := 0
+		for _, chunk := range []int{1, 17, 256, 1000, 1, 3725} {
+			if chunk == 1 {
+				iv, _ := mixed.Next(tc.n)
+				if iv != got[pos] {
+					t.Fatalf("%s: mixed stream diverged at %d", tc.name, pos)
+				}
+				pos++
+				continue
+			}
+			for j, iv := range mixed.NextBatch(tc.n, chunk) {
+				if iv != got[pos+j] {
+					t.Fatalf("%s: mixed stream diverged at %d", tc.name, pos+j)
+				}
+			}
+			pos += chunk
+		}
+	}
+}
+
+// TestEdgeRandomWrongPopulation: an edge scheduler is bound to its graph.
+func TestEdgeRandomWrongPopulation(t *testing.T) {
+	g := buildGraph(t, "cycle", 16, 1)
+	er := sched.NewEdgeRandom(g, 1)
+	if _, ok := er.Next(17); ok {
+		t.Error("Next accepted a population that is not the graph's")
+	}
+	if b := er.NextBatch(17, 8); b != nil {
+		t.Error("NextBatch accepted a population that is not the graph's")
+	}
+}
+
+// TestEdgeRandomUniformOverDirectedSlots: every directed adjacency slot must
+// be drawn with probability 1/(2m), on a regular graph (direct path), an
+// irregular graph (alias path), and a multigraph (multiplicity-weighted).
+func TestEdgeRandomUniformOverDirectedSlots(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    int
+	}{
+		{"cycle", 8},
+		{"powerlaw:2", 12},
+		{"grid", 4}, // 2×2 torus: parallel edges, multiplicity 2
+	} {
+		g := buildGraph(t, tc.name, tc.n, 3)
+		er := sched.NewEdgeRandom(g, 11)
+		offs, adj := g.Adjacency()
+		slots := len(adj)
+		const draws = 400000
+		counts := make(map[[2]int]int, slots)
+		for _, iv := range er.NextBatch(tc.n, draws) {
+			counts[[2]int{iv.Starter, iv.Reactor}]++
+		}
+		// Aggregate expected multiplicity per ordered pair.
+		mult := make(map[[2]int]int, slots)
+		for u := 0; u < tc.n; u++ {
+			for i := offs[u]; i < offs[u+1]; i++ {
+				mult[[2]int{u, int(adj[i])}]++
+			}
+		}
+		for pair, m := range mult {
+			exp := float64(draws) * float64(m) / float64(slots)
+			got := float64(counts[pair])
+			sigma := math.Sqrt(exp)
+			if math.Abs(got-exp) > 6*sigma {
+				t.Errorf("%s: pair %v: got %.0f, expected %.0f (±%.0f)", tc.name, pair, got, exp, sigma)
+			}
+		}
+		for pair := range counts {
+			if mult[pair] == 0 {
+				t.Errorf("%s: sampled non-edge %v", tc.name, pair)
+			}
+		}
+	}
+}
+
+// TestEdgeRandomCompleteMatchesRandomDistribution: the materialized complete
+// graph through the edge sampler must match sched.Random's ordered-pair
+// distribution — the distribution-identical half of the complete pin (the
+// byte-identical half is TestEdgeSchedulerCompletePin).
+func TestEdgeRandomCompleteMatchesRandomDistribution(t *testing.T) {
+	const n, draws = 8, 400000
+	g := buildGraph(t, "complete", n, 0)
+	er := sched.NewEdgeRandom(g, 19)
+	base := sched.NewRandom(23)
+	countEdge := make(map[[2]int]int)
+	countBase := make(map[[2]int]int)
+	for _, iv := range er.NextBatch(n, draws) {
+		countEdge[[2]int{iv.Starter, iv.Reactor}]++
+	}
+	for _, iv := range base.NextBatch(n, draws) {
+		countBase[[2]int{iv.Starter, iv.Reactor}]++
+	}
+	exp := float64(draws) / float64(n*(n-1))
+	sigma := math.Sqrt(exp)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			p := [2]int{a, b}
+			if math.Abs(float64(countEdge[p])-exp) > 6*sigma {
+				t.Errorf("edge sampler pair %v: %d vs expected %.0f", p, countEdge[p], exp)
+			}
+			if math.Abs(float64(countBase[p])-exp) > 6*sigma {
+				t.Errorf("base sampler pair %v: %d vs expected %.0f", p, countBase[p], exp)
+			}
+		}
+	}
+}
+
+func benchEdge(b *testing.B, g *model.Graph) {
+	er := sched.NewEdgeRandom(g, 42)
+	n := g.N()
+	const chunk = 1024
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		c := chunk
+		if rest := b.N - done; rest < c {
+			c = rest
+		}
+		if batch := er.NextBatch(n, c); len(batch) != c {
+			b.Fatal("short batch")
+		}
+		done += c
+	}
+}
+
+// BenchmarkEdgeSampler tracks edge-sampling throughput per family at
+// n = 10⁵ (BENCH_topology.json), plus the two complete-graph reference
+// rows whose ratio the perf/budgets_topology.json gate enforces.
+func BenchmarkEdgeSampler(b *testing.B) {
+	const n = 100000
+	for _, name := range []string{"cycle", "grid", "regular:4", "powerlaw:3"} {
+		b.Run(name+"/n=100000", func(b *testing.B) {
+			topo, err := model.ParseTopology(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := topo.Build(n, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchEdge(b, g)
+		})
+	}
+	batchRef := func(b *testing.B, s sched.Batcher) {
+		const chunk = 1024
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			c := chunk
+			if rest := b.N - done; rest < c {
+				c = rest
+			}
+			if batch := s.NextBatch(n, c); len(batch) != c {
+				b.Fatal("short batch")
+			}
+			done += c
+		}
+	}
+	b.Run("complete-edge/n=100000", func(b *testing.B) {
+		// What the facade actually runs for Topology=complete.
+		batchRef(b, sched.NewEdgeScheduler(nil, 42))
+	})
+	b.Run("random-base/n=100000", func(b *testing.B) {
+		batchRef(b, sched.NewRandom(42))
+	})
+}

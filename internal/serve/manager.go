@@ -492,8 +492,14 @@ func (m *Manager) simulateSeed(ctx context.Context, job *Job, seed int64) (repor
 	if err != nil {
 		return report.Line{}, err
 	}
+	// Auto picks the O(|Q|) counts backend only on the complete topology —
+	// on a graph the quenched vector engine is the faithful execution
+	// (mirroring popsim.RunUntilCounts). An explicit counts backend means
+	// the caller accepted the annealed contract (Normalize has already
+	// checked the topology is vertex-transitive).
 	useCounts := spec.Backend == BackendCounts ||
-		(spec.Backend == BackendAuto && spec.OmissionRate == 0 && spec.N >= popsim.DefaultCountsBackendN)
+		(spec.Backend == BackendAuto && spec.OmissionRate == 0 &&
+			spec.N >= popsim.DefaultCountsBackendN && spec.TopologyValue().IsComplete())
 	if useCounts {
 		return m.runCountsSeed(ctx, job, seed, sys, w)
 	}
@@ -589,9 +595,15 @@ func (m *Manager) resultLine(spec *Spec, seed int64, backend string, steps int, 
 	if spec.Sim != "" {
 		claim = fmt.Sprintf("%s via %s simulator converges (model %s, n=%d)", spec.Protocol, spec.Sim, spec.Model, spec.N)
 	}
+	if spec.Topology != "" {
+		claim = fmt.Sprintf("%s [topology %s]", claim, spec.Topology)
+	}
 	tbl := report.NewTable("run", "protocol", "model", "n", "backend", "steps", "converged")
 	tbl.AddRow(spec.Protocol, spec.Model, spec.N, backend, steps, converged)
 	notes := []string{"backend=" + backend, fmt.Sprintf("steps=%d", steps)}
+	if spec.Topology != "" {
+		notes = append(notes, "topology="+spec.Topology)
+	}
 	if spec.Sim != "" {
 		notes = append(notes, fmt.Sprintf("simulated_events=%d", simEvents))
 	}

@@ -24,6 +24,14 @@ type Spec struct {
 	Protocol string `json:"protocol"`
 	// Model is the interaction model (model.ParseKind); default TW.
 	Model string `json:"model,omitempty"`
+	// Topology is the interaction topology (model.ParseTopology):
+	// complete|cycle|grid|cliques[:k]|regular[:d]|powerlaw[:m]. Empty or
+	// "complete" is the complete graph — the classical scheduler, and the
+	// canonical form stays empty so historical cache keys are unchanged.
+	// Non-complete topologies canonicalize to their explicit form
+	// ("cliques:8") and participate in the cache key: the same workload on a
+	// different graph is a different scenario.
+	Topology string `json:"topology,omitempty"`
 	// Sim runs the protocol through a fault-tolerant simulator:
 	// skno|sid|naming; empty = native.
 	Sim string `json:"sim,omitempty"`
@@ -88,6 +96,18 @@ func (s *Spec) Normalize() error {
 	if s.N < 2 {
 		return fmt.Errorf("population size n must be ≥ 2, got %d", s.N)
 	}
+	topo, err := model.ParseTopology(s.Topology)
+	if err != nil {
+		return err
+	}
+	if topo.IsComplete() {
+		s.Topology = "" // canonical: complete stays the empty field
+	} else {
+		if err := topo.Validate(s.N); err != nil {
+			return err
+		}
+		s.Topology = topo.String()
+	}
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
@@ -121,6 +141,9 @@ func (s *Spec) Normalize() error {
 		if s.OmissionRate > 0 {
 			return fmt.Errorf("the counts backend is outside the adversary contract: use backend %q with omission_rate", BackendVector)
 		}
+		if topo := s.TopologyValue(); !topo.VertexTransitive() {
+			return fmt.Errorf("the counts backend aggregates vertex-transitive topologies only (annealed contract): topology %q needs backend %q or %q", topo, BackendAuto, BackendVector)
+		}
 	default:
 		return fmt.Errorf("unknown backend %q (%s|%s|%s)", s.Backend, BackendAuto, BackendCounts, BackendVector)
 	}
@@ -128,6 +151,17 @@ func (s *Spec) Normalize() error {
 		return fmt.Errorf("max_states must be ≥ 0, got %d", s.MaxStates)
 	}
 	return nil
+}
+
+// TopologyValue returns the spec's parsed interaction topology (the zero
+// value — complete — for the empty canonical field). Call after Normalize;
+// an unparsable field falls back to complete.
+func (s *Spec) TopologyValue() model.Topology {
+	topo, err := model.ParseTopology(s.Topology)
+	if err != nil {
+		return model.Topology{}
+	}
+	return topo
 }
 
 // Canonical renders the normalized spec as canonical JSON — the
@@ -185,10 +219,15 @@ func (s *Spec) Build(seed int64) (popsim.SystemSpec, Workload, error) {
 	if err != nil {
 		return popsim.SystemSpec{}, Workload{}, err
 	}
+	topo, err := model.ParseTopology(s.Topology)
+	if err != nil {
+		return popsim.SystemSpec{}, Workload{}, err
+	}
 	spec := popsim.SystemSpec{
 		Model:         kind,
 		Initial:       w.Config(s.N),
 		Seed:          seed,
+		Topology:      topo,
 		MaxFastStates: s.MaxStates,
 	}
 	switch s.Sim {

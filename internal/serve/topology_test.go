@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpecTopologyNormalize: the topology field canonicalizes — complete
+// collapses to the empty field (historical cache keys unchanged), families
+// with parameters pick up their defaults explicitly.
+func TestSpecTopologyNormalize(t *testing.T) {
+	for in, want := range map[string]string{
+		"":          "",
+		"complete":  "",
+		"cycle":     "cycle",
+		"cliques":   "cliques:8",
+		"cliques:4": "cliques:4",
+		"regular":   "regular:4",
+		"powerlaw":  "powerlaw:3",
+		"grid":      "grid",
+	} {
+		s := &Spec{Protocol: "or", N: 64, Topology: in}
+		if err := s.Normalize(); err != nil {
+			t.Errorf("topology %q: %v", in, err)
+			continue
+		}
+		if s.Topology != want {
+			t.Errorf("topology %q canonicalized to %q, want %q", in, s.Topology, want)
+		}
+	}
+}
+
+// TestSpecTopologyRejects: unknown families, graphs invalid at the spec's n,
+// and the counts backend on non-vertex-transitive topologies all fail
+// normalization.
+func TestSpecTopologyRejects(t *testing.T) {
+	bad := []Spec{
+		{Protocol: "or", N: 64, Topology: "moebius"},
+		{Protocol: "or", N: 64, Topology: "cycle:3"}, // cycle takes no parameter
+		{Protocol: "or", N: 13, Topology: "grid"},    // prime n has no grid
+		{Protocol: "or", N: 64, Topology: "regular:1"},
+		{Protocol: "or", N: 64, Topology: "powerlaw:3", Backend: BackendCounts},
+		{Protocol: "or", N: 64, Topology: "cliques:4", Backend: BackendCounts},
+	}
+	for i, s := range bad {
+		if err := s.Normalize(); err == nil {
+			t.Errorf("spec %d (topology %q) normalized without error", i, s.Topology)
+		}
+	}
+	// Vertex-transitive graphs are inside the counts backend's annealed
+	// contract.
+	ok := Spec{Protocol: "or", N: 64, Topology: "cycle", Backend: BackendCounts}
+	if err := ok.Normalize(); err != nil {
+		t.Errorf("cycle+counts rejected: %v", err)
+	}
+}
+
+// TestSpecTopologyCacheKey: the topology is part of the scenario's content
+// address — the same workload on a different graph never hits the cache —
+// while the explicit complete spelling hashes identically to the historical
+// empty field.
+func TestSpecTopologyCacheKey(t *testing.T) {
+	mk := func(topology string) string {
+		s := &Spec{Protocol: "or", N: 64, Topology: topology}
+		if err := s.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		k, err := s.CacheKey(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	base := mk("")
+	if mk("complete") != base {
+		t.Fatal("explicit complete changed the content address")
+	}
+	seen := map[string]string{"": base}
+	for _, topo := range []string{"cycle", "grid", "cliques:4", "regular:4", "powerlaw:3"} {
+		k := mk(topo)
+		for prev, pk := range seen {
+			if k == pk {
+				t.Errorf("topologies %q and %q share a content address", topo, prev)
+			}
+		}
+		seen[topo] = k
+	}
+}
+
+// TestServerTopology: the HTTP surface — an unknown topology is a 400 at
+// submission, and a graph scenario runs end-to-end through the job server.
+func TestServerTopology(t *testing.T) {
+	srv, _ := testServer(t, Options{Workers: 1, QueueCap: 4})
+	resp := postJSON(t, srv.URL+"/jobs", `{"protocol":"or","n":64,"topology":"moebius"}`)
+	var eb errorBody
+	_ = json.NewDecoder(resp.Body).Decode(&eb)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(eb.Error, "topology") {
+		t.Fatalf("unknown topology: status %d, error %q", resp.StatusCode, eb.Error)
+	}
+
+	for _, topo := range []string{"cycle", "grid", "cliques:4", "regular:4", "powerlaw:3"} {
+		doc := `{"protocol":"or","n":64,"topology":"` + topo + `","seed":5,"horizon":2000000}`
+		sub := postJSON(t, srv.URL+"/jobs", doc)
+		st := decodeStatus(t, sub)
+		if st.ID == "" {
+			t.Fatalf("%s: submit status: %+v", topo, st)
+		}
+		final := pollDone(t, srv.URL, st.ID, 60*time.Second)
+		if final.State != JobDone || final.Passed != 1 {
+			t.Fatalf("%s scenario: %+v", topo, final)
+		}
+	}
+}

@@ -112,6 +112,32 @@ func WorkloadByName(name string) (Workload, error) {
 				}
 			},
 		}, nil
+	case "walkleader":
+		return Workload{
+			Name:   name,
+			Proto:  protocols.WalkLeader{},
+			Config: protocols.LeaderConfig,
+			Done:   func(n int) func(pp.Configuration) bool { return protocols.LeaderElected },
+			CountsDone: func(n int) func(*popsim.StateCounts) bool {
+				return func(sc *popsim.StateCounts) bool { return sc.Count(protocols.Leader) == 1 }
+			},
+		}, nil
+	case "walkmajority":
+		return Workload{
+			Name:  name,
+			Proto: protocols.WalkMajority{},
+			Config: func(n int) pp.Configuration {
+				return protocols.WalkMajorityConfig(n/2+1, n-n/2-1)
+			},
+			Done: func(n int) func(pp.Configuration) bool {
+				return func(cf pp.Configuration) bool { return protocols.WalkMajorityConverged(cf, "A") }
+			},
+			CountsDone: func(n int) func(*popsim.StateCounts) bool {
+				out := protocols.WalkMajority{}
+				isA := func(s popsim.State) bool { return out.Output(s) == "A" }
+				return func(sc *popsim.StateCounts) bool { return sc.CountFunc(isA) == sc.N() }
+			},
+		}, nil
 	case "or":
 		return Workload{
 			Name:  name,
@@ -133,7 +159,7 @@ func WorkloadByName(name string) (Workload, error) {
 // WorkloadNames lists the registered workloads, pipe-separated for usage
 // strings.
 func WorkloadNames() string {
-	names := []string{"pairing", "majority", "leader", "parity", "or"}
+	names := []string{"pairing", "majority", "leader", "parity", "or", "walkleader", "walkmajority"}
 	sort.Strings(names)
 	out := ""
 	for i, n := range names {

@@ -26,10 +26,12 @@ type ShardedResult struct {
 	// emitted (simulator systems only; 0 for native protocols).
 	SimEvents int
 	// Degraded reports that the sharded mode could not hold the run — the
-	// interned state space outgrew the sharded bound — and the run was
-	// executed on the sequential batched engine instead (from the system's
-	// current configuration, for the full horizon). DegradedReason carries
-	// the sharded failure.
+	// interned state space outgrew the sharded bound, or the system's
+	// interaction topology scatters too many edges across shard boundaries
+	// (par.ErrTopology) — and the run was executed on the sequential
+	// (topology-aware) batched engine instead, from the system's current
+	// configuration, for the full horizon. DegradedReason carries the
+	// sharded failure.
 	Degraded       bool
 	DegradedReason string
 }
@@ -141,9 +143,15 @@ func (s *System) runShardedPred(opts ShardedOptions, onConfig func(Configuration
 			opts.MaxStates = par.MaxShardedStates
 		}
 	}
+	// Thread the system's interaction topology into the runner: vertices are
+	// pinned to contiguous blocks and cross-block edges apply at barriers. An
+	// explicit opts.Topology (advanced callers) wins.
+	if opts.Topology == nil && s.graph != nil {
+		opts.Topology = s.graph
+	}
 	sr, err := par.NewSharded(s.spec.Model, protocol, s.eng.Config(), s.spec.Seed, opts)
 	if err != nil {
-		if errors.Is(err, par.ErrStateSpace) {
+		if shardedDegradable(err) {
 			return s.runShardedDegraded(protocol, onConfig, every, horizon, err)
 		}
 		return nil, err
@@ -151,14 +159,14 @@ func (s *System) runShardedPred(opts ShardedOptions, onConfig func(Configuration
 	res := &ShardedResult{}
 	if drive == nil {
 		if err := sr.RunSteps(horizon); err != nil {
-			if errors.Is(err, par.ErrStateSpace) {
+			if shardedDegradable(err) {
 				return s.runShardedDegraded(protocol, onConfig, every, horizon, err)
 			}
 			return nil, err
 		}
 	} else {
 		if _, res.Converged, err = drive(sr, every, horizon); err != nil {
-			if errors.Is(err, par.ErrStateSpace) {
+			if shardedDegradable(err) {
 				return s.runShardedDegraded(protocol, onConfig, every, horizon, err)
 			}
 			return nil, err
@@ -170,10 +178,19 @@ func (s *System) runShardedPred(opts ShardedOptions, onConfig func(Configuration
 	return res, nil
 }
 
-// runShardedDegraded is RunSharded's fallback: the sharded mode reported an
-// interned state space beyond its bound (cause), so the run executes on a
-// fresh sequential batched engine from the system's current configuration —
-// same seed, full horizon — and the result records why.
+// shardedDegradable reports whether a sharded failure should fall back to
+// the sequential batched engine: the interned state space outgrew the
+// sharded bound, or the topology is not block-shardable.
+func shardedDegradable(err error) bool {
+	return errors.Is(err, par.ErrStateSpace) || errors.Is(err, par.ErrTopology)
+}
+
+// runShardedDegraded is RunSharded's fallback: the sharded mode reported a
+// failure the sequential engine can absorb (cause: state space beyond the
+// sharded bound, or a non-block-shardable topology), so the run executes on
+// a fresh sequential batched engine — topology-aware, from the system's
+// current configuration, same seed, full horizon — and the result records
+// why.
 func (s *System) runShardedDegraded(protocol any, pred func(Configuration) bool, every, horizon int, cause error) (*ShardedResult, error) {
 	rec, eng, err := s.freshBatchedEngine(protocol, s.eng.Config())
 	if err != nil {

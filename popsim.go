@@ -75,7 +75,17 @@ type (
 	Scheduler = sched.Scheduler
 	// VerifyReport is the outcome of simulation verification.
 	VerifyReport = verify.Report
+	// Topology is an interaction-graph family (the scenario axis of
+	// graphical population protocols); the zero value is the complete graph.
+	Topology = model.Topology
+	// Graph is a built topology instance (CSR adjacency over the agents).
+	Graph = model.Graph
 )
+
+// ParseTopology parses a topology name ("complete", "cycle", "grid",
+// "cliques[:k]", "regular[:d]", "powerlaw[:m]"; "" means complete) into its
+// canonical Topology value.
+func ParseTopology(s string) (Topology, error) { return model.ParseTopology(s) }
 
 // The ten interaction models (Figure 1 of the paper).
 const (
@@ -183,10 +193,24 @@ type SystemSpec struct {
 	Protocol any
 	// Initial is the (simulated) initial configuration.
 	Initial Configuration
-	// Seed drives the default random scheduler.
+	// Seed drives the default random scheduler (and, for randomized
+	// topology families, the graph construction).
 	Seed int64
-	// Scheduler overrides the default random scheduler.
+	// Scheduler overrides the default random scheduler. Mutually exclusive
+	// with a non-complete Topology (the topology picks the scheduler).
 	Scheduler Scheduler
+	// Topology restricts interactions to the edges of a graph family
+	// (graphical population protocols). The zero value is the complete
+	// graph — exactly the historical behavior, served by the pre-existing
+	// schedulers. Non-complete topologies build their graph
+	// deterministically from (len(Initial), Seed) and sample uniform
+	// ordered adjacent pairs; on any connected graph this scheduler is
+	// globally fair with probability 1, so protocol correctness transfers
+	// and only convergence time changes. Protocols whose convergence
+	// argument needs complete mixing (e.g. static pairwise-elimination
+	// leader election, whose two last leaders never meet unless adjacent)
+	// genuinely do not terminate on sparse graphs.
+	Topology Topology
 	// Adversary optionally injects omissions.
 	Adversary Adversary
 	// MaxFastStates bounds the interned state space of the batched fast
@@ -200,9 +224,10 @@ type SystemSpec struct {
 
 // System is a runnable population-protocol system.
 type System struct {
-	eng  *engine.Engine
-	rec  *trace.Recorder
-	spec SystemSpec
+	eng   *engine.Engine
+	rec   *trace.Recorder
+	spec  SystemSpec
+	graph *Graph // materialized topology; nil for complete
 }
 
 // ErrSpec reports an invalid SystemSpec.
@@ -213,15 +238,27 @@ func NewSystem(spec SystemSpec) (*System, error) {
 	if (spec.Simulate == nil) == (spec.Protocol == nil) {
 		return nil, errors.Join(ErrSpec, errors.New("set exactly one of Simulate and Protocol"))
 	}
-	sch := spec.Scheduler
-	if sch == nil {
-		sch = sched.NewRandom(spec.Seed)
-	}
 	protocol := spec.Protocol
 	initial := spec.Initial
 	if spec.Simulate != nil {
 		protocol = spec.Simulate.Protocol
 		initial = spec.Simulate.Wrap(spec.Initial)
+	}
+	var graph *Graph
+	sch := spec.Scheduler
+	if !spec.Topology.IsComplete() {
+		if sch != nil {
+			return nil, errors.Join(ErrSpec, errors.New("Topology and Scheduler are mutually exclusive"))
+		}
+		g, err := spec.Topology.Build(len(initial), spec.Seed)
+		if err != nil {
+			return nil, errors.Join(ErrSpec, err)
+		}
+		graph = g
+		sch = sched.NewEdgeRandom(g, spec.Seed)
+	}
+	if sch == nil {
+		sch = sched.NewEdgeScheduler(nil, spec.Seed) // complete: *sched.Random itself
 	}
 	rec := &trace.Recorder{}
 	opts := []engine.Option{engine.WithRecorder(rec)}
@@ -235,8 +272,13 @@ func NewSystem(spec SystemSpec) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{eng: eng, rec: rec, spec: spec}, nil
+	return &System{eng: eng, rec: rec, spec: spec, graph: graph}, nil
 }
+
+// TopologyGraph returns the materialized interaction graph, or nil for the
+// complete topology (which is never materialized — its schedulers sample
+// pairs directly).
+func (s *System) TopologyGraph() *Graph { return s.graph }
 
 // Step applies one scheduled interaction (plus injected omissions).
 func (s *System) Step() error { return s.eng.Step() }
