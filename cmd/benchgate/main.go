@@ -24,8 +24,10 @@
 //	   "max_ratio": 1.15}
 //	]}
 //
-// An absolute rule (max_ns_op) bounds every matching row's ns/op. A ratio
-// rule (base + max_ratio) bounds the mean ns/op of the matching rows by
+// An absolute rule (max_ns_op) bounds every matching row's ns/op; its
+// wall-clock sibling (max_sec_op) does the same in seconds, for benchmarks
+// where one op is a whole run (seconds-to-consensus gates). A ratio rule
+// (base + max_ratio) bounds the mean ns/op of the matching rows by
 // max_ratio times the mean ns/op of the base rows.
 package main
 
@@ -196,11 +198,14 @@ func parseResults(text string) []benchResult {
 	return out
 }
 
-// budgetRule is one gate: absolute (MaxNsOp) or relative (Base + MaxRatio).
+// budgetRule is one gate: absolute per-op time (MaxNsOp, or MaxSecOp for
+// wall-clock budgets like seconds-to-consensus, where one benchmark op is a
+// whole run) or relative (Base + MaxRatio).
 type budgetRule struct {
 	Name     string  `json:"name"`
 	Bench    string  `json:"bench"`
 	MaxNsOp  float64 `json:"max_ns_op,omitempty"`
+	MaxSecOp float64 `json:"max_sec_op,omitempty"`
 	Base     string  `json:"base,omitempty"`
 	MaxRatio float64 `json:"max_ratio,omitempty"`
 }
@@ -223,9 +228,14 @@ func loadBudgets(path string) ([]budgetRule, error) {
 		if r.Bench == "" {
 			return nil, fmt.Errorf("%s: rule %q has no bench pattern", path, r.Name)
 		}
-		abs, rel := r.MaxNsOp > 0, r.Base != "" && r.MaxRatio > 0
-		if abs == rel {
-			return nil, fmt.Errorf("%s: rule %q must set exactly one of max_ns_op or base+max_ratio", path, r.Name)
+		kinds := 0
+		for _, set := range []bool{r.MaxNsOp > 0, r.MaxSecOp > 0, r.Base != "" && r.MaxRatio > 0} {
+			if set {
+				kinds++
+			}
+		}
+		if kinds != 1 {
+			return nil, fmt.Errorf("%s: rule %q must set exactly one of max_ns_op, max_sec_op or base+max_ratio", path, r.Name)
 		}
 	}
 	return doc.Budgets, nil
@@ -262,6 +272,19 @@ func checkBudgets(rules []budgetRule, results []benchResult) (string, bool) {
 					fail("%s: %s = %.2f ns/op, budget %.2f", r.Name, b.Name, b.NsPerOp, r.MaxNsOp)
 				} else {
 					fmt.Fprintf(&sb, "ok   %s: %s = %.2f ns/op ≤ %.2f\n", r.Name, b.Name, b.NsPerOp, r.MaxNsOp)
+				}
+			}
+			continue
+		}
+		if r.MaxSecOp > 0 {
+			// Wall-clock budget: one benchmark op is a whole run (e.g.
+			// seconds-to-consensus), so the row's ns/op IS the wall time.
+			for _, b := range rows {
+				sec := b.NsPerOp / 1e9
+				if sec > r.MaxSecOp {
+					fail("%s: %s = %.2f s/op, budget %.2f s", r.Name, b.Name, sec, r.MaxSecOp)
+				} else {
+					fmt.Fprintf(&sb, "ok   %s: %s = %.2f s/op ≤ %.2f s\n", r.Name, b.Name, sec, r.MaxSecOp)
 				}
 			}
 			continue

@@ -117,6 +117,24 @@ func TestCheckBudgetsAbsoluteAndRatio(t *testing.T) {
 	}
 }
 
+// Wall-clock rules compare ns/op as seconds: one benchmark op is a whole
+// run, so a seconds-to-consensus bench row gates directly on s/op.
+func TestCheckBudgetsWallClock(t *testing.T) {
+	results := []benchResult{
+		{Name: "BenchmarkMajorityConsensus/n=100000000-4", NsPerOp: 8.0e9}, // 8 s/op
+	}
+	rules := []budgetRule{{Name: "consensus-1e8", Bench: "^BenchmarkMajorityConsensus/n=100000000", MaxSecOp: 30}}
+	report, ok := checkBudgets(rules, results)
+	if !ok || !strings.Contains(report, "8.00 s/op ≤ 30.00 s") {
+		t.Fatalf("expected pass:\n%s", report)
+	}
+	results[0].NsPerOp = 31.5e9
+	report, ok = checkBudgets(rules, results)
+	if ok || !strings.Contains(report, "FAIL consensus-1e8") || !strings.Contains(report, "31.50 s/op") {
+		t.Fatalf("expected wall-clock failure:\n%s", report)
+	}
+}
+
 // A rule whose pattern matches nothing must FAIL the gate: a renamed
 // benchmark cannot silently un-gate itself.
 func TestCheckBudgetsUnmatchedRuleFails(t *testing.T) {
@@ -128,13 +146,19 @@ func TestCheckBudgetsUnmatchedRuleFails(t *testing.T) {
 }
 
 func TestLoadBudgetsValidation(t *testing.T) {
-	if _, err := loadBudgets(writeBudgets(t, `{"budgets":[{"name":"a","bench":"x","max_ns_op":5}]}`)); err != nil {
-		t.Fatalf("valid budgets rejected: %v", err)
+	for _, body := range []string{
+		`{"budgets":[{"name":"a","bench":"x","max_ns_op":5}]}`,
+		`{"budgets":[{"name":"a","bench":"x","max_sec_op":30}]}`,
+	} {
+		if _, err := loadBudgets(writeBudgets(t, body)); err != nil {
+			t.Fatalf("valid budgets rejected: %v", err)
+		}
 	}
 	for name, body := range map[string]string{
 		"empty":       `{"budgets":[]}`,
 		"no-bench":    `{"budgets":[{"name":"a","max_ns_op":5}]}`,
 		"both-kinds":  `{"budgets":[{"name":"a","bench":"x","max_ns_op":5,"base":"y","max_ratio":1.1}]}`,
+		"ns-and-sec":  `{"budgets":[{"name":"a","bench":"x","max_ns_op":5,"max_sec_op":30}]}`,
 		"neither":     `{"budgets":[{"name":"a","bench":"x"}]}`,
 		"ratio-alone": `{"budgets":[{"name":"a","bench":"x","max_ratio":1.1}]}`,
 		"not-json":    `budgets: nope`,

@@ -15,6 +15,8 @@
 //	      -n 256 -shards 4                                  # multi-core simulation
 //	ppsim -protocol majority -n 1000 -runs 50               # seed ensemble
 //	ppsim -protocol majority -n 1000000 -counts             # O(|Q|) counts backend
+//	ppsim -protocol majority -n 100000000 -counts \
+//	      -batch on -shards 4                               # batch dynamics, hybrid
 //	ppsim -protocol or -topology cycle -n 256               # graphical: cycle topology
 //	ppsim -spec scenario.json                               # declarative spec
 //
@@ -60,6 +62,7 @@ func run(args []string) error {
 	runs := fs.Int("runs", 0, "run an ensemble of this many seeds (seed, seed+1, …) and print aggregates")
 	workers := fs.Int("workers", 0, "ensemble worker pool bound (0 = GOMAXPROCS)")
 	counts := fs.Bool("counts", false, "run with a count predicate (O(|Q|) observation; large populations execute on the counts backend, no adversary)")
+	batch := fs.String("batch", "auto", "counts-backend batch tier: auto|on|off (collision-aware aggregate dynamics; auto = on at n ≥ 2²²)")
 	specPath := fs.String("spec", "", "run a declarative JSON scenario spec (the popsimd job document); mutually exclusive with the scenario flags")
 	defaultUsage := fs.Usage
 	fs.Usage = func() {
@@ -90,8 +93,19 @@ job server accepts — see internal/serve.Spec for the schema).`)
 	if *shards > 0 && *runs > 0 {
 		return fmt.Errorf("-shards and -runs are mutually exclusive")
 	}
-	if *counts && (*shards > 0 || *runs > 0) {
-		return fmt.Errorf("-counts is mutually exclusive with -shards and -runs")
+	if *counts && *runs > 0 {
+		return fmt.Errorf("-counts is mutually exclusive with -runs")
+	}
+	var batchMode popsim.BatchMode
+	switch *batch {
+	case "", "auto":
+		batchMode = popsim.BatchAuto
+	case "on":
+		batchMode = popsim.BatchOn
+	case "off":
+		batchMode = popsim.BatchOff
+	default:
+		return fmt.Errorf("unknown batch mode %q (auto|on|off)", *batch)
 	}
 
 	w, err := serve.WorkloadByName(*protoName)
@@ -113,10 +127,11 @@ job server accepts — see internal/serve.Spec for the schema).`)
 	}
 
 	spec := popsim.SystemSpec{
-		Model:    kind,
-		Initial:  w.Config(*n),
-		Seed:     *seed,
-		Topology: topo,
+		Model:      kind,
+		Initial:    w.Config(*n),
+		Seed:       *seed,
+		Topology:   topo,
+		CountBatch: batchMode,
 	}
 	switch *simName {
 	case "":
@@ -205,6 +220,28 @@ job server accepts — see internal/serve.Spec for the schema).`)
 		sys, err := popsim.NewSystem(spec)
 		if err != nil {
 			return err
+		}
+		// -counts -shards P: the sharded×counts hybrid — P workers each
+		// stepping batch dynamics over an O(|Q|) count slice, the parallel
+		// tier for populations whose per-agent form does not fit.
+		if *shards > 0 {
+			res, err := sys.RunHybridCounts(popsim.HybridOptions{Shards: *shards}, w.CountsDone(*n), 0, *horizon)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("protocol=%s sim=%s model=%v topology=%v n=%d counts=true shards=%d\n", *protoName, orNative(*simName), kind, topo, *n, *shards)
+			if res.Degraded {
+				fmt.Printf("degraded to the sequential counts backend: %s\n", res.DegradedReason)
+			}
+			if spec.Simulate != nil {
+				fmt.Printf("backend=%s steps=%d simulated-events=%d converged=%v\n", res.Backend, res.Steps, res.SimEvents, res.Converged)
+			} else {
+				fmt.Printf("backend=%s steps=%d converged=%v\n", res.Backend, res.Steps, res.Converged)
+			}
+			if !res.Converged {
+				return fmt.Errorf("did not converge within %d interactions", *horizon)
+			}
+			return nil
 		}
 		res, err := sys.RunUntilCounts(w.CountsDone(*n), 0, *horizon)
 		if err != nil {

@@ -133,6 +133,22 @@ func TestRunShardedSimulator(t *testing.T) {
 	}
 }
 
+// TestRunHybridCounts: -counts -shards composes into the sharded×counts
+// hybrid, and -batch pins the counts backend's sampling tier.
+func TestRunHybridCounts(t *testing.T) {
+	if err := run([]string{"-protocol", "majority", "-n", "2048", "-counts", "-shards", "2",
+		"-seed", "3", "-horizon", "50000000"}); err != nil {
+		t.Fatalf("hybrid run: %v", err)
+	}
+	if err := run([]string{"-protocol", "or", "-n", "65536", "-counts", "-batch", "on",
+		"-seed", "3", "-horizon", "50000000"}); err != nil {
+		t.Fatalf("batch-on counts run: %v", err)
+	}
+	if err := run([]string{"-protocol", "majority", "-n", "64", "-counts", "-batch", "never"}); err == nil {
+		t.Fatal("bad -batch value accepted")
+	}
+}
+
 func TestRunEnsembleMode(t *testing.T) {
 	if err := run([]string{"-protocol", "or", "-n", "64", "-runs", "4", "-seed", "9",
 		"-horizon", "1000000"}); err != nil {
@@ -204,12 +220,11 @@ func TestRunCountsBackend(t *testing.T) {
 	}
 }
 
-// TestRunCountsRejectsBadCombos: -counts is mutually exclusive with the
-// other execution modes, and adversary specs are outside the count-predicate
+// TestRunCountsRejectsBadCombos: -counts composes with -shards (the hybrid)
+// but not with -runs, and adversary specs are outside the count-predicate
 // contract (the facade's ErrCountsSpec surfaces as a CLI error).
 func TestRunCountsRejectsBadCombos(t *testing.T) {
 	for _, args := range [][]string{
-		{"-protocol", "majority", "-n", "100", "-counts", "-shards", "2"},
 		{"-protocol", "majority", "-n", "100", "-counts", "-runs", "2"},
 		{"-protocol", "majority", "-n", "100", "-counts", "-omission-rate", "0.1"},
 	} {

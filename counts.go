@@ -165,10 +165,86 @@ func countsPredicate(pred func(*StateCounts) bool, project bool) func(Configurat
 }
 
 // Counts returns a detached counts snapshot of the system's current
-// (wrapped) configuration — O(n) to build, O(|Q|) to consume. For simulator
-// systems, chain .Projected() for the simulated-state view.
+// (wrapped) configuration — O(n) to build, O(|Q|) to consume; for
+// counts-native systems it reflects the initial cells and is O(|Q|)
+// throughout. For simulator systems, chain .Projected() for the
+// simulated-state view.
 func (s *System) Counts() *StateCounts {
+	if s.countsNative() {
+		in := pp.NewInterner()
+		var counts pp.Counts
+		for i, st := range s.cstates {
+			id := in.Intern(st)
+			for int(id) >= len(counts) {
+				counts = append(counts, 0)
+			}
+			counts[id] += s.ccounts[i]
+		}
+		return newStateCounts(in, counts)
+	}
 	return snapshotCounts(s.eng.Config(), false)
+}
+
+// BatchMode selects the counts backend's collision-aware batch tier; see
+// engine.BatchMode. Batch mode is a DISTINCT execution mode like the block
+// sampler: deterministic per seed, statistically equivalent to — never
+// byte-identical with — the block and exact samplers.
+type BatchMode = engine.BatchMode
+
+// Batch tier selection for SystemSpec.CountBatch.
+const (
+	// BatchAuto enables batch dynamics at DefaultCountBatchN agents and up.
+	BatchAuto = engine.BatchAuto
+	// BatchOn forces batch dynamics at any population size.
+	BatchOn = engine.BatchOn
+	// BatchOff pins counts runs to the exact/block samplers.
+	BatchOff = engine.BatchOff
+)
+
+// DefaultCountBatchN is the population threshold at or above which BatchAuto
+// selects the collision-aware batch dynamics.
+const DefaultCountBatchN = engine.DefaultCountBatchN
+
+// newCountsNativeSystem assembles a System from InitialCounts: no
+// agent-vector engine, no materialized population — the counts backend is
+// the only execution surface. The spec is validated eagerly by building
+// (and discarding) a counts engine, so bad model/protocol/topology
+// combinations fail here rather than on the first run.
+func newCountsNativeSystem(spec SystemSpec) (*System, error) {
+	if spec.Initial != nil {
+		return nil, errors.Join(ErrSpec, errors.New("set exactly one of Initial and InitialCounts"))
+	}
+	if spec.Protocol == nil || spec.Simulate != nil {
+		return nil, errors.Join(ErrSpec, errors.New("InitialCounts requires a native Protocol (wrapped initial configurations are position-dependent; simulator systems build from Initial)"))
+	}
+	if spec.Scheduler != nil || spec.Adversary != nil {
+		return nil, errors.Join(ErrSpec, errors.New("counts-native systems run the counts backend only; Scheduler and Adversary are outside its contract"))
+	}
+	states := make([]pp.State, len(spec.InitialCounts))
+	counts := make(pp.Counts, len(spec.InitialCounts))
+	for i, cs := range spec.InitialCounts {
+		if cs.State == nil {
+			return nil, errors.Join(ErrSpec, errors.New("InitialCounts cell with nil State"))
+		}
+		states[i] = cs.State
+		counts[i] = cs.Count
+	}
+	s := &System{rec: &trace.Recorder{}, spec: spec, cstates: states, ccounts: counts}
+	if _, err := engine.NewCountEngineFromCounts(spec.Model, spec.Protocol, states, counts, spec.Seed, s.countOptions()); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// countOptions is the engine.CountOptions every counts-backend execution of
+// this system shares (detached runs, jobs, degrade paths).
+func (s *System) countOptions() engine.CountOptions {
+	return engine.CountOptions{
+		MaxStates:   s.spec.MaxFastStates,
+		TrackEvents: s.spec.Simulate != nil,
+		Topology:    s.spec.Topology,
+		Batch:       s.spec.CountBatch,
+	}
 }
 
 // DefaultCountsBackendN is the population threshold at or above which
@@ -189,9 +265,11 @@ type CountsRunResult struct {
 	// Converged reports whether the predicate was met.
 	Converged bool
 	// Backend names the execution backend that served the run: "counts"
-	// (configuration-vector engine) or "batched" (agent-vector fast path —
-	// the small-population default, and the fallback when a spec is outside
-	// the counts contract).
+	// (configuration-vector engine, exact/block samplers), "counts-batch"
+	// (the same engine on the collision-aware batch dynamics — selected by
+	// SystemSpec.CountBatch, automatically at DefaultCountBatchN agents) or
+	// "batched" (agent-vector fast path — the small-population default, and
+	// the fallback when a spec is outside the counts contract).
 	Backend string
 	// Degraded reports that the counts backend abandoned the run mid-way —
 	// the interned state space outgrew its bound — and the run was finished
@@ -225,7 +303,11 @@ var ErrCountsSpec = errors.New("popsim: spec not runnable with count predicates"
 // statistically equivalent to the sequential scheduler; determinism is per
 // seed and backend); smaller populations and non-canonical wrapped states
 // run on the batched agent-vector engine with the counts view rebuilt per
-// check. Specs carrying a custom Scheduler or an Adversary are not runnable
+// check. Within the counts backend, SystemSpec.CountBatch selects the
+// collision-aware batch tier (Backend "counts-batch"; automatic at
+// DefaultCountBatchN agents). Counts-native systems (InitialCounts) always
+// run the counts backend, whatever the population size, and surface
+// state-space overflow as the error instead of degrading. Specs carrying a custom Scheduler or an Adversary are not runnable
 // detached and return ErrCountsSpec. Like RunSharded, the run starts
 // from the system's current configuration and leaves the system's own
 // engine, scheduler position and trace untouched. A counts run whose state
@@ -242,6 +324,20 @@ func (s *System) RunUntilCounts(pred func(*StateCounts) bool, every, horizon int
 	protocol := s.spec.Protocol
 	if s.spec.Simulate != nil {
 		protocol = s.spec.Simulate.Protocol
+	}
+	if s.countsNative() {
+		// Counts-native systems have no agent vector to fall back to:
+		// the counts backend is the whole contract, and state-space
+		// overflow surfaces as the error.
+		ce, err := engine.NewCountEngineFromCounts(s.spec.Model, protocol, s.cstates, s.ccounts, s.spec.Seed, s.countOptions())
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.driveCountEngine(ce, pred, every, horizon)
+		if err != nil {
+			return nil, err
+		}
+		return res.CountsRunResult, nil
 	}
 	cfg := s.eng.Config()
 	// The counts backend's annealed (mean-field) contract coincides with the
@@ -319,11 +415,7 @@ type countsResult struct {
 
 // runUntilCountsBackend drives the counts engine.
 func (s *System) runUntilCountsBackend(protocol any, cfg Configuration, pred func(*StateCounts) bool, every, horizon int) (*countsResult, error) {
-	ce, err := engine.NewCountEngine(s.spec.Model, protocol, cfg, s.spec.Seed, engine.CountOptions{
-		MaxStates:   s.spec.MaxFastStates,
-		TrackEvents: s.spec.Simulate != nil,
-		Topology:    s.spec.Topology,
-	})
+	ce, err := engine.NewCountEngine(s.spec.Model, protocol, cfg, s.spec.Seed, s.countOptions())
 	if err != nil {
 		if errors.Is(err, engine.ErrStateSpace) {
 			// Too many distinct initial states for the counts backend at
@@ -337,26 +429,49 @@ func (s *System) runUntilCountsBackend(protocol any, cfg Configuration, pred fun
 		}
 		return nil, err
 	}
+	return s.driveCountEngine(ce, pred, every, horizon)
+}
+
+// countsBackendName labels the execution mode a counts engine runs.
+func countsBackendName(ce *engine.CountEngine) string {
+	if ce.Batch() {
+		return "counts-batch"
+	}
+	return "counts"
+}
+
+// driveCountEngine runs a built counts engine until pred holds (nil pred =
+// the full horizon) and packages the result — shared by the size-selected
+// backend path, counts-native runs and the hybrid degrade path. On mid-run
+// state-space overflow the result carries the failure configuration for the
+// degrade path, except on counts-native systems (materializing 10⁸–10⁹
+// agents is exactly what counts-native construction exists to avoid —
+// and they have no agent-vector fallback to hand it to).
+func (s *System) driveCountEngine(ce *engine.CountEngine, pred func(*StateCounts) bool, every, horizon int) (*countsResult, error) {
 	in := ce.Interner()
-	view := &StateCounts{}
 	project := s.spec.Simulate != nil
-	steps, ok, err := ce.RunUntil(func(c pp.Counts) bool {
-		refreshView(view, in, c)
-		if project {
-			return pred(view.Projected())
-		}
-		return pred(view)
-	}, every, horizon)
-	res := &countsResult{CountsRunResult: &CountsRunResult{
-		Steps:     steps,
-		Converged: ok,
-		Backend:   "counts",
-		SimEvents: ce.EventCount(),
-	}}
+	res := &countsResult{CountsRunResult: &CountsRunResult{Backend: countsBackendName(ce)}}
+	var err error
+	if pred == nil {
+		err = ce.RunSteps(horizon)
+		res.Steps = ce.Steps()
+	} else {
+		view := &StateCounts{}
+		res.Steps, res.Converged, err = ce.RunUntil(func(c pp.Counts) bool {
+			refreshView(view, in, c)
+			if project {
+				return pred(view.Projected())
+			}
+			return pred(view)
+		}, every, horizon)
+	}
+	res.SimEvents = ce.EventCount()
 	if err != nil {
 		if errors.Is(err, engine.ErrStateSpace) {
 			res.Steps = ce.Steps()
-			res.failedCfg = ce.Config()
+			if !s.countsNative() {
+				res.failedCfg = ce.Config()
+			}
 		}
 		return res, err
 	}

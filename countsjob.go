@@ -35,6 +35,10 @@ func (c *CountCheckpoint) SimEvents() int { return c.ck.EventCount }
 // independent of the population size.
 func (c *CountCheckpoint) SizeBytes() int { return c.ck.SizeBytes() }
 
+// Batch reports whether the snapshot came from a batch-dynamics run (engine
+// mode is run identity: a batch checkpoint resumes in batch mode).
+func (c *CountCheckpoint) Batch() bool { return c.ck.Batch }
+
 // CountsJob is an interruptible counts-backend run: the same O(|Q|)
 // execution RunUntilCounts selects for large populations, exposed as a
 // stateful job that can be driven in slices, checkpointed between slices,
@@ -66,11 +70,13 @@ func (s *System) NewCountsJob() (*CountsJob, error) {
 	if s.spec.Simulate != nil {
 		protocol = s.spec.Simulate.Protocol
 	}
-	ce, err := engine.NewCountEngine(s.spec.Model, protocol, s.eng.Config(), s.spec.Seed, engine.CountOptions{
-		MaxStates:   s.spec.MaxFastStates,
-		TrackEvents: s.spec.Simulate != nil,
-		Topology:    s.spec.Topology,
-	})
+	var ce *engine.CountEngine
+	var err error
+	if s.countsNative() {
+		ce, err = engine.NewCountEngineFromCounts(s.spec.Model, protocol, s.cstates, s.ccounts, s.spec.Seed, s.countOptions())
+	} else {
+		ce, err = engine.NewCountEngine(s.spec.Model, protocol, s.eng.Config(), s.spec.Seed, s.countOptions())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -155,6 +161,10 @@ func (j *CountsJob) Steps() int { return j.ce.Steps() }
 
 // BlockLen returns the sampler's block length (1 = exact per-pair mode).
 func (j *CountsJob) BlockLen() int { return j.ce.BlockLen() }
+
+// Batch reports whether the job runs the collision-aware batch dynamics
+// (SystemSpec.CountBatch; automatic at DefaultCountBatchN agents).
+func (j *CountsJob) Batch() bool { return j.ce.Batch() }
 
 // InternedStates returns |Q| — the number of distinct states seen so far.
 func (j *CountsJob) InternedStates() int { return j.ce.InternedStates() }

@@ -44,8 +44,13 @@ type CountCheckpoint struct {
 	// taken (after the boundary fill — see CountEngine.Checkpoint).
 	Steps int
 	// BlockLen is the sampler's block length; determinism is per
-	// (seed, BlockLen), so the resumed engine must and does reuse it.
+	// (seed, BlockLen), so the resumed engine must and does reuse it. Zero
+	// for batch-mode checkpoints (batch has no fixed block).
 	BlockLen int
+	// Batch records that the run executed the collision-aware batch dynamics
+	// (engine mode is run identity, like BlockLen). Batch snapshots are taken
+	// at run boundaries, where the scheduler's whole state is the RNG word.
+	Batch bool `json:"batch,omitempty"`
 	// RNG is the sampler's logical SplitMix64 stream state at the snapshot
 	// point (sched.CountScheduler.StreamState).
 	RNG uint64
@@ -83,19 +88,33 @@ func (ck *CountCheckpoint) SizeBytes() int {
 // perturbs the execution, it only rounds the snapshot position up. Read the
 // actual snapshot position from the returned Steps.
 func (ce *CountEngine) Checkpoint() (*CountCheckpoint, error) {
-	if rem := ce.cs.BlockRemaining(); rem > 0 {
+	// Batch mode's boundary is a run boundary: fill the active run's owed
+	// interactions (its un-applied expanded pairs plus the terminating
+	// collision), after which the scheduler's whole state is one stream word.
+	rem := 0
+	if ce.batch {
+		rem = ce.batchPendingSteps()
+	} else {
+		rem = ce.cs.BlockRemaining()
+	}
+	if rem > 0 {
 		if err := ce.RunSteps(rem); err != nil {
 			return nil, fmt.Errorf("checkpoint boundary fill: %w", err)
 		}
 	}
 	ck := &CountCheckpoint{
 		Steps:       ce.steps,
-		BlockLen:    ce.cs.BlockLen(),
-		RNG:         ce.cs.StreamState(),
+		Batch:       ce.batch,
 		EventCount:  ce.eventCount,
 		TrackEvents: ce.trackEvents,
 		States:      make([]pp.State, ce.in.Len()),
 		Counts:      ce.counts.Clone(),
+	}
+	if ce.batch {
+		ck.RNG = ce.bs.StreamState()
+	} else {
+		ck.BlockLen = ce.cs.BlockLen()
+		ck.RNG = ce.cs.StreamState()
 	}
 	for i := range ck.States {
 		ck.States[i] = ce.in.State(uint32(i))
@@ -156,17 +175,23 @@ func ResumeCountEngine(k model.Kind, p any, ck *CountCheckpoint, opts CountOptio
 		protocol:    p,
 		in:          in,
 		cache:       cache,
-		cs:          sched.ResumeCountScheduler(ck.RNG, ck.BlockLen),
 		counts:      ck.Counts.Clone(),
 		n:           int(ck.Counts.N()),
 		steps:       ck.Steps,
-		exact:       ck.BlockLen == 1,
 		maxStates:   maxStates,
 		trackEvents: ck.TrackEvents,
 		eventCount:  ck.EventCount,
 	}
 	if ce.n < 2 {
 		return nil, fmt.Errorf("%w: checkpoint population size %d < 2", ErrConfig, ce.n)
+	}
+	if ck.Batch {
+		ce.batch = true
+		ce.bs = sched.ResumeBatchScheduler(ck.RNG, ce.n)
+		ce.bused = make([]int64, len(ce.counts))
+	} else {
+		ce.cs = sched.ResumeCountScheduler(ck.RNG, ck.BlockLen)
+		ce.exact = ck.BlockLen == 1
 	}
 	return ce, nil
 }

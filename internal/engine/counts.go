@@ -64,6 +64,30 @@ const (
 	// DefaultMaxCountBlock caps the sampler's block length regardless of
 	// population size, bounding the pair buffer and the bisection log chunk.
 	DefaultMaxCountBlock = 1024
+	// DefaultCountBatchN is the population threshold at which auto mode
+	// switches from collision-free block sampling to the collision-aware
+	// batch dynamics (sched.BatchScheduler): aggregate runs of E[L] ≈ 0.63·√n
+	// interactions resolved in O(|Q|²) sampler draws each. Below it the
+	// block sampler's fixed ≤1024-pair blocks are already cheap and the
+	// aggregate bookkeeping isn't worth its constant; above it batch mode's
+	// per-interaction cost falls toward a few float ops.
+	DefaultCountBatchN = 1 << 22
+)
+
+// BatchMode selects the counts backend's batch (collision-aware aggregate)
+// sampling tier.
+type BatchMode int
+
+const (
+	// BatchAuto enables batch dynamics for populations of at least
+	// DefaultCountBatchN agents, unless an explicit BlockLen pins the run to
+	// the block sampler.
+	BatchAuto BatchMode = iota
+	// BatchOn forces batch dynamics at any population size (the equivalence
+	// and checkpoint suites exercise small populations this way).
+	BatchOn
+	// BatchOff pins the run to the exact/block samplers.
+	BatchOff
 )
 
 // CountOptions tune a CountEngine. The zero value picks defaults.
@@ -75,7 +99,14 @@ type CountOptions struct {
 	MaxStates int
 	// BlockLen overrides the sampler's block length (0 = auto: 1 below
 	// DefaultCountExactN agents, √n/2 capped at DefaultMaxCountBlock above).
+	// Setting it explicitly also pins auto batch selection off.
 	BlockLen int
+	// Batch selects the collision-aware aggregate sampling tier (see
+	// BatchMode). Batch mode is a DISTINCT execution mode like block mode:
+	// deterministic per seed, statistically equivalent to — never
+	// byte-identical with — the block and exact samplers, checkpointable at
+	// run boundaries.
+	Batch BatchMode
 	// TrackEvents counts the simulation events of wrapped simulator states,
 	// like the sharded runner's option of the same name: one counter, no
 	// event values built or retained. Read the total with EventCount.
@@ -98,6 +129,18 @@ func (o CountOptions) topologyErr() error {
 		return fmt.Errorf("%w: %s", ErrTopology, o.Topology)
 	}
 	return nil
+}
+
+// batchFor reports whether the options select batch dynamics for a
+// population of n agents.
+func (o CountOptions) batchFor(n int) bool {
+	switch o.Batch {
+	case BatchOn:
+		return true
+	case BatchOff:
+		return false
+	}
+	return o.BlockLen == 0 && n >= DefaultCountBatchN
 }
 
 // blockLenFor picks the auto block length for a population of n agents.
@@ -143,6 +186,21 @@ type CountEngine struct {
 	chunkRes []sched.CountPair
 	snap     pp.Counts
 	bisect   pp.Counts
+
+	// Batch-mode state (see batch.go). The active run's unconsumed tail
+	// lives either implicitly in the scheduler (aggregate path) or, after a
+	// truncation, as expanded pairs in bpend; bused accumulates the run's
+	// used agents' post-state multiset for the collision draw.
+	batch    bool
+	bs       *sched.BatchScheduler
+	bpend    []sched.CountPair
+	bpendAt  int
+	bcollide bool
+	btwoL    int64
+	bused    []int64
+	// Replay snapshot scratch for runUntilBatch's exact-hitting rewind.
+	bsnapPend []sched.CountPair
+	bsnapUsed []int64
 }
 
 // NewCountEngine builds a counts-backend engine for protocol p under model
@@ -201,15 +259,23 @@ func NewCountEngine(k model.Kind, p any, initial pp.Configuration, seed int64, o
 		protocol:    p,
 		in:          in,
 		cache:       cache,
-		cs:          sched.NewCountScheduler(seed, blockLen),
 		n:           len(initial),
-		exact:       blockLen == 1,
 		maxStates:   maxStates,
 		trackEvents: opts.TrackEvents,
+	}
+	if opts.batchFor(len(initial)) {
+		ce.batch = true
+		ce.bs = sched.NewBatchScheduler(seed, len(initial))
+	} else {
+		ce.cs = sched.NewCountScheduler(seed, blockLen)
+		ce.exact = blockLen == 1
 	}
 	ce.counts = in.CountConfig(initial, nil)
 	if in.Len() > maxStates {
 		return nil, fmt.Errorf("%w: %d distinct states > %d (initial configuration)", ErrStateSpace, in.Len(), maxStates)
+	}
+	if ce.batch {
+		ce.bused = make([]int64, len(ce.counts))
 	}
 	return ce, nil
 }
@@ -220,8 +286,17 @@ func (ce *CountEngine) N() int { return ce.n }
 // Steps returns the number of interactions applied so far.
 func (ce *CountEngine) Steps() int { return ce.steps }
 
-// BlockLen returns the effective sampler block length (1 = exact mode).
-func (ce *CountEngine) BlockLen() int { return ce.cs.BlockLen() }
+// BlockLen returns the effective sampler block length (1 = exact mode;
+// 0 = batch mode, which has no fixed block).
+func (ce *CountEngine) BlockLen() int {
+	if ce.batch {
+		return 0
+	}
+	return ce.cs.BlockLen()
+}
+
+// Batch reports whether the engine runs the collision-aware batch dynamics.
+func (ce *CountEngine) Batch() bool { return ce.batch }
 
 // InternedStates returns the number of distinct states interned so far.
 func (ce *CountEngine) InternedStates() int { return ce.in.Len() }
@@ -251,6 +326,9 @@ func (ce *CountEngine) Config() pp.Configuration {
 // executions are deterministic per (seed, block length) and invariant under
 // call chunking.
 func (ce *CountEngine) RunSteps(k int) error {
+	if ce.batch {
+		return ce.runBatchSteps(k)
+	}
 	tab, stride := ce.cache.Dense()
 	st64 := uint64(stride)
 	counts := ce.counts
@@ -330,6 +408,9 @@ func (ce *CountEngine) RunSteps(k int) error {
 // by an O(|Q|) counts copy. The engine itself always ends at the last chunk
 // boundary, keeping its sampler position consistent with Steps().
 func (ce *CountEngine) RunUntil(pred func(pp.Counts) bool, every, maxSteps int) (int, bool, error) {
+	if ce.batch {
+		return ce.runUntilBatch(pred, every, maxSteps)
+	}
 	if every < 1 {
 		every = 1
 	}

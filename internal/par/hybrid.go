@@ -1,0 +1,609 @@
+// The sharded×counts hybrid tier: P workers each own a full O(|Q|) counts
+// vector over a population *slice* of n/P agents, step whole collision-aware
+// batch runs locally with their own sched.BatchScheduler, and re-deal the
+// pooled population between slices with an exact multivariate-hypergeometric
+// split (sched.HypSampler.SplitCounts) at epoch barriers. This composes the
+// two scaling levers the package and the engine provide separately:
+//
+//   - the counts representation makes per-slice storage O(|Q|), not O(n/P),
+//     so n = 10⁸–10⁹ fits in a few KB per worker;
+//   - batch runs apply Θ(√(n/P)) interactions per O(|Q|²) aggregate pass,
+//     so per-interaction cost vanishes as n grows;
+//   - P slices step concurrently between barriers, like ShardedRunner.
+//
+// # Statistical contract
+//
+// Like the sharded runner, the hybrid's interaction law is NOT the global
+// uniform pairing: between barriers agents only meet slice-mates, and the
+// MVH re-deal at each epoch barrier re-mixes the population exactly as a
+// uniform random re-partition would. With the default epoch (3·(n/P)
+// interactions per worker ≈ 3 parallel time units between re-mixes) the
+// trajectory distributions of the protocols in this repository are
+// indistinguishable from the sequential batch engine's by the equivalence
+// suite (convergence times, transient marginals). Population protocols'
+// convergence guarantees hold under any fair scheduler; the hybrid is one.
+//
+// # Determinism
+//
+// A hybrid run is a pure function of (seed, P): worker w draws from stream
+// CountStreamIndex+1+w, the exchange deal from CountStreamIndex+1+P, and
+// wave barriers only observe — they never perturb a worker's draw sequence.
+// Call granularity (RunSteps chunking, RunUntilCounts evaluation cadence)
+// does not change the trajectory, only where it is observed. Changing P
+// changes the trajectory (it changes the law's slice structure), exactly as
+// it does for ShardedRunner.
+//
+// # Step accounting
+//
+// Workers only pause at run boundaries (a mid-run counts vector is not a
+// complete state — the collision draw conditions on the run's used-agent
+// multiset, so re-dealing mid-run would be both biased and mechanically
+// unsound). RunSteps(k) therefore applies AT LEAST k interactions: each
+// worker rounds its share up to the end of its current run, an overshoot of
+// E[L] ≈ 0.63·√(n/P) per worker per wave — vanishing against the default
+// epoch of 3·(n/P). Steps() reports the exact number applied.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"popsim/internal/model"
+	"popsim/internal/pp"
+	"popsim/internal/sched"
+	"popsim/internal/sim"
+)
+
+// HybridOptions tune a HybridRunner. The zero value picks defaults.
+type HybridOptions struct {
+	// Shards is the worker count P. 0 means GOMAXPROCS; the value is
+	// clamped to n/2 so every slice holds at least two agents.
+	Shards int
+	// Epoch is the nominal number of interactions each worker applies
+	// between exchange barriers. 0 means 3·(n/P), floored at 64 — the same
+	// re-mixing cadence the sharded runner uses, ≈ 3 parallel time units.
+	Epoch int
+	// MaxStates bounds the interned state space (0 = 1024, or
+	// MaxShardedStates for wrapped simulator states). Values above
+	// MaxShardedStates are rejected. Beyond the bound the run fails with
+	// ErrStateSpace; callers should degrade to the sequential engine.
+	MaxStates int
+	// TrackEvents counts the simulation events of wrapped simulator states
+	// as workers hit event-emitting transitions; read the total with
+	// EventCount. The hybrid never retains event content — its agents have
+	// no identity to attribute events to (counts representation), so there
+	// is no RecordEvents. Long runs that need the stream stay sequential.
+	TrackEvents bool
+}
+
+// HybridRunner executes one population run on P count-sliced batch workers.
+// Build with NewHybrid (per-agent initial configuration) or
+// NewHybridFromCounts (counts-native, the only constructor that scales to
+// n = 10⁸–10⁹). Methods must not be called concurrently.
+type HybridRunner struct {
+	p           int
+	epoch       int
+	maxStates   int
+	protocol    any
+	trackEvents bool
+
+	// mu guards the shared interner and transition cache on worker cold
+	// paths; everything else is coordinator-owned or worker-private.
+	mu    sync.Mutex
+	in    *pp.Interner
+	cache *model.TransitionCache
+
+	n       int
+	hyp     sched.HypSampler
+	exch    sched.BufStream
+	sizes   []int64
+	pool    []int64
+	outs    [][]int64
+	workers []*hybridWorker
+
+	counts     pp.Counts // barrier-merged global counts
+	steps      int64     // interactions actually applied
+	sinceEx    int       // nominal in-epoch position, 0..P·Epoch
+	eventCount int
+}
+
+// hybridWorker is one count-sliced batch worker. Hot, per-interaction-pass
+// storage (counts, used, dense mirror) is allocated cache-line-aligned and
+// the struct itself is padded, for the same reason shardWorker is: no two
+// workers' wave-time writes may share a coherence line.
+type hybridWorker struct {
+	_ [cacheLine]byte
+
+	hr   *HybridRunner
+	idx  int
+	size int64 // slice population, fixed across exchanges
+
+	bs     *sched.BatchScheduler
+	counts pp.Counts // slice-local counts, len kept ≥ minted IDs
+	used   []int64   // post-state multiset of the active run
+
+	target  int // cumulative nominal in-epoch target (set by stepWave)
+	done    int // in-epoch interactions applied (≥ target after a wave)
+	applied int64
+
+	// Private transition mirror: dense powers-of-two table with overflow
+	// map, memoizing the shared cache's entries outside the mutex.
+	dense  []uint64
+	stride uint32
+	over   map[uint64]uint64
+
+	eventCount int
+	err        error
+
+	_ [cacheLine]byte
+}
+
+// NewHybrid builds a hybrid runner from a per-agent initial configuration.
+// For populations too large to materialize, use NewHybridFromCounts.
+func NewHybrid(k model.Kind, protocol any, initial pp.Configuration, seed int64, opts HybridOptions) (*HybridRunner, error) {
+	if len(initial) < 2 {
+		return nil, fmt.Errorf("%w: population size %d < 2", ErrSharded, len(initial))
+	}
+	states := make([]pp.State, len(initial))
+	counts := make(pp.Counts, len(initial))
+	for i, s := range initial {
+		states[i] = s
+		counts[i] = 1
+	}
+	return NewHybridFromCounts(k, protocol, states, counts, seed, opts)
+}
+
+// NewHybridFromCounts builds a hybrid runner directly from a counts vector:
+// counts[i] agents in states[i], duplicates merged by interned identity.
+// The initial population is dealt to the P worker slices by the same MVH
+// split the epoch barriers use (consuming the exchange stream's first
+// draws), so the t=0 slice contents are already an exact uniform partition.
+func NewHybridFromCounts(k model.Kind, protocol any, states []pp.State, counts pp.Counts, seed int64, opts HybridOptions) (*HybridRunner, error) {
+	if len(states) != len(counts) {
+		return nil, fmt.Errorf("%w: %d states vs %d counts", ErrSharded, len(states), len(counts))
+	}
+	var n64 int64
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("%w: negative count %d for state %d", ErrSharded, c, i)
+		}
+		n64 += c
+	}
+	if n64 < 2 {
+		return nil, fmt.Errorf("%w: population size %d < 2", ErrSharded, n64)
+	}
+	if int64(int(n64)) != n64 {
+		return nil, fmt.Errorf("%w: population size %d overflows int", ErrSharded, n64)
+	}
+	n := int(n64)
+	if k.OneWay() {
+		if _, ok := protocol.(pp.OneWay); !ok {
+			return nil, fmt.Errorf("%w: model %v needs a pp.OneWay protocol", ErrSharded, k)
+		}
+	} else if _, ok := protocol.(pp.TwoWay); !ok {
+		return nil, fmt.Errorf("%w: model %v needs a pp.TwoWay protocol", ErrSharded, k)
+	}
+	wrapped := sim.AnyWrapped(states)
+	if wrapped && !sim.Canonicalized(states) {
+		return nil, fmt.Errorf("%w: protocol %s: wrapped states without canonical keys (sim.CanonicalKeyed) cannot be interned; run on the sequential engine",
+			ErrSharded, protocolName(protocol))
+	}
+	p := opts.Shards
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n/2 {
+		p = n / 2
+	}
+	if p < 1 {
+		p = 1
+	}
+	epoch := opts.Epoch
+	if epoch <= 0 {
+		epoch = 3 * (n / p)
+	}
+	if epoch < 64 {
+		epoch = 64
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 1024
+		if wrapped {
+			maxStates = MaxShardedStates
+		}
+	}
+	if maxStates > MaxShardedStates {
+		return nil, fmt.Errorf("%w: MaxStates %d > %d (wider state spaces stay on the sequential engine)",
+			ErrSharded, maxStates, MaxShardedStates)
+	}
+
+	in := pp.NewInterner()
+	var aux model.AuxFunc
+	if opts.TrackEvents {
+		aux = sim.EventAux
+	}
+	cache := model.NewTransitionCache(k, protocol, in, aux)
+	// The shared cache only serves the mutex-guarded miss path; the
+	// per-worker mirrors carry the hot lookups.
+	cache.SetMaxStride(256)
+
+	hr := &HybridRunner{
+		p:           p,
+		epoch:       epoch,
+		maxStates:   maxStates,
+		protocol:    protocol,
+		trackEvents: opts.TrackEvents,
+		in:          in,
+		cache:       cache,
+		n:           n,
+		exch:        sched.NewBufStream(sched.SplitStream(seed, sched.CountStreamIndex+1+p)),
+	}
+	cvec := make(pp.Counts, 0, len(states))
+	for i, st := range states {
+		id := in.Intern(st)
+		for int(id) >= len(cvec) {
+			cvec = append(cvec, 0)
+		}
+		cvec[id] += counts[i]
+	}
+	for len(cvec) < in.Len() {
+		cvec = append(cvec, 0)
+	}
+	if in.Len() > maxStates {
+		return nil, stateSpaceErr(protocol, -1, in.Len(), maxStates)
+	}
+
+	hr.sizes = make([]int64, p)
+	for w := 0; w < p; w++ {
+		hr.sizes[w] = int64(n / p)
+		if w < n%p {
+			hr.sizes[w]++
+		}
+	}
+	hr.workers = make([]*hybridWorker, p)
+	hr.outs = make([][]int64, p)
+	for w := 0; w < p; w++ {
+		hw := &hybridWorker{
+			hr:   hr,
+			idx:  w,
+			size: hr.sizes[w],
+			bs:   sched.NewBatchSchedulerAt(seed, sched.CountStreamIndex+1+w, int(hr.sizes[w])),
+			over: make(map[uint64]uint64),
+		}
+		hw.counts = pp.Counts(alignedSlice[int64](len(cvec)))
+		hw.used = alignedSlice[int64](len(cvec))
+		hr.workers[w] = hw
+		hr.outs[w] = hw.counts
+	}
+	hr.pool = append(hr.pool, cvec...)
+	hr.hyp.SplitCounts(&hr.exch, hr.pool, hr.sizes, hr.outs)
+	hr.counts = cvec.Clone()
+	return hr, nil
+}
+
+// P returns the worker count. Epoch returns the per-worker nominal
+// interactions between exchanges. N returns the population size.
+func (hr *HybridRunner) P() int     { return hr.p }
+func (hr *HybridRunner) Epoch() int { return hr.epoch }
+func (hr *HybridRunner) N() int     { return hr.n }
+
+// Steps returns the total interactions applied so far (the exact count,
+// including the run-boundary rounding described in the package comment).
+func (hr *HybridRunner) Steps() int64 { return hr.steps }
+
+// EventCount returns the simulation events counted so far (TrackEvents
+// runs), current as of the last wave barrier.
+func (hr *HybridRunner) EventCount() int { return hr.eventCount }
+
+// Interner exposes the shared interner for decoding counts indices.
+func (hr *HybridRunner) Interner() *pp.Interner { return hr.in }
+
+// Counts returns the global counts vector as of the last barrier — the
+// runner's live storage: shared, read-only, valid until the next call.
+func (hr *HybridRunner) Counts() pp.Counts { return hr.counts }
+
+// RunSteps advances the run by at least k interactions (each worker rounds
+// its share up to a whole-run boundary; read the exact total from Steps).
+// Exchanges fire whenever the nominal position completes an epoch.
+func (hr *HybridRunner) RunSteps(k int) error {
+	perEpoch := hr.p * hr.epoch
+	for k > 0 {
+		quota := perEpoch - hr.sinceEx
+		if quota > k {
+			quota = k
+		}
+		if err := hr.stepWave(quota); err != nil {
+			return err
+		}
+		if hr.sinceEx == perEpoch {
+			hr.exchange()
+		}
+		k -= quota
+	}
+	return nil
+}
+
+// RunUntilCounts runs until pred holds on the barrier-merged global counts
+// vector or maxSteps nominal interactions have elapsed, evaluating pred
+// every `every` nominal interactions (every ≤ 0 means one full epoch,
+// P·Epoch). It returns the interactions actually applied by this call and
+// whether pred was met. Hitting is barrier-granular: interactions between
+// barriers are concurrent, so there is no finer-grained "first step" — the
+// sequential batch engine is the tool for exact hitting times. The vector
+// passed to pred is the runner's live counts — shared, read-only, valid
+// only during the call.
+func (hr *HybridRunner) RunUntilCounts(pred func(pp.Counts) bool, every, maxSteps int) (int64, bool, error) {
+	if every <= 0 {
+		every = hr.p * hr.epoch
+	}
+	start := hr.steps
+	if pred(hr.counts) {
+		return 0, true, nil
+	}
+	consumed := 0
+	for consumed < maxSteps {
+		chunk := maxSteps - consumed
+		if chunk > every {
+			chunk = every
+		}
+		if err := hr.RunSteps(chunk); err != nil {
+			return hr.steps - start, false, err
+		}
+		consumed += chunk
+		if pred(hr.counts) {
+			return hr.steps - start, true, nil
+		}
+	}
+	return hr.steps - start, false, nil
+}
+
+// parallel runs fn on every worker, the coordinator taking worker 0.
+func (hr *HybridRunner) parallel(fn func(w *hybridWorker)) {
+	if hr.p == 1 {
+		fn(hr.workers[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(hr.p - 1)
+	for _, w := range hr.workers[1:] {
+		go func(w *hybridWorker) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	fn(hr.workers[0])
+	wg.Wait()
+}
+
+// stepWave advances the nominal position by quota, distributing cumulative
+// per-worker targets as a pure function of the new position (so trajectories
+// are invariant under wave chunking), and merges counts and event totals at
+// the barrier.
+func (hr *HybridRunner) stepWave(quota int) error {
+	newPos := hr.sinceEx + quota
+	share, extra := newPos/hr.p, newPos%hr.p
+	for i, w := range hr.workers {
+		w.target = share
+		if i < extra {
+			w.target++
+		}
+	}
+	hr.parallel(func(w *hybridWorker) { w.stepTo() })
+	for _, w := range hr.workers {
+		if w.err != nil {
+			return w.err
+		}
+	}
+	hr.sinceEx = newPos
+	hr.merge()
+	return nil
+}
+
+// merge recomputes the global counts vector and folds worker step/event
+// totals — O(P·|Q|), amortized over the wave.
+func (hr *HybridRunner) merge() {
+	nStates := hr.in.Len()
+	if cap(hr.counts) < nStates {
+		hr.counts = append(hr.counts, make(pp.Counts, nStates-len(hr.counts))...)
+	}
+	hr.counts = hr.counts[:nStates]
+	for q := range hr.counts {
+		hr.counts[q] = 0
+	}
+	for _, w := range hr.workers {
+		for q, c := range w.counts {
+			if c != 0 {
+				hr.counts[q] += c
+			}
+		}
+		hr.steps += w.applied
+		w.applied = 0
+		hr.eventCount += w.eventCount
+		w.eventCount = 0
+	}
+}
+
+// exchange pools every worker's counts and re-deals the population into the
+// fixed slice sizes with an exact MVH split, then resets the in-epoch
+// counters. Callable only at a wave barrier where every worker sits at a
+// run boundary.
+func (hr *HybridRunner) exchange() {
+	nStates := hr.in.Len()
+	for len(hr.pool) < nStates {
+		hr.pool = append(hr.pool, 0)
+	}
+	for q := range hr.pool {
+		hr.pool[q] = 0
+	}
+	for w, hw := range hr.workers {
+		for q, c := range hw.counts {
+			if c != 0 {
+				hr.pool[q] += c
+			}
+		}
+		hw.grow(nStates)
+		hr.outs[w] = hw.counts
+	}
+	hr.hyp.SplitCounts(&hr.exch, hr.pool, hr.sizes, hr.outs)
+	hr.sinceEx = 0
+	for _, hw := range hr.workers {
+		hw.done = 0
+	}
+}
+
+// grow widens the worker's counts and used vectors to nStates, preserving
+// cache-line isolation of the backing arrays.
+func (w *hybridWorker) grow(nStates int) {
+	if len(w.counts) >= nStates {
+		return
+	}
+	nc := alignedSlice[int64](nStates)
+	copy(nc, w.counts)
+	w.counts = pp.Counts(nc)
+	nu := alignedSlice[int64](nStates)
+	copy(nu, w.used)
+	w.used = nu
+}
+
+// stepTo applies whole batch runs on the worker's slice until its in-epoch
+// count reaches the wave target. Each run is an aggregate O(|Q|²) cell pass
+// plus one individually resolved collision — the engine's batch fast path,
+// minus truncation: the worker never stops mid-run.
+func (w *hybridWorker) stepTo() {
+	for w.done < w.target {
+		run := w.bs.NextRun(w.counts)
+		for i := range w.used {
+			w.used[i] = 0
+		}
+		if err := w.applyRun(run); err != nil {
+			w.err = err
+			return
+		}
+		s, r := w.bs.CollidePair(w.counts, w.used, 2*run.L)
+		if err := w.applyPair(s, r); err != nil {
+			w.err = err
+			return
+		}
+		steps := int(run.L) + 1
+		w.done += steps
+		w.applied += int64(steps)
+	}
+}
+
+// applyRun applies a run's aggregate state-pair cells to the local counts,
+// accumulating the used-agent post-state multiset for the collision draw.
+func (w *hybridWorker) applyRun(run *sched.BatchRun) error {
+	dense, stride := w.dense, uint64(w.stride)
+	for _, c := range run.Cells {
+		s, r := c.S, c.R
+		var ent uint64
+		if uint64(s|r) < stride {
+			ent = dense[uint64(s)*stride+uint64(r)]
+		}
+		if ent == 0 {
+			var err error
+			if ent, err = w.lookupCold(s, r); err != nil {
+				return err
+			}
+			dense, stride = w.dense, uint64(w.stride)
+		}
+		ns, nr := model.EntryStarter(ent), model.EntryReactor(ent)
+		m := c.M
+		w.counts[s] -= m
+		w.counts[r] -= m
+		w.counts[ns] += m
+		w.counts[nr] += m
+		w.used[ns] += m
+		w.used[nr] += m
+		if aux := model.EntryAux(ent); aux != 0 {
+			if aux&sim.AuxStarterEvent != 0 {
+				w.eventCount += int(m)
+			}
+			if aux&sim.AuxReactorEvent != 0 {
+				w.eventCount += int(m)
+			}
+		}
+	}
+	return nil
+}
+
+// applyPair applies one individually resolved interaction (the collision).
+func (w *hybridWorker) applyPair(s, r uint32) error {
+	var ent uint64
+	if stride := uint64(w.stride); uint64(s|r) < stride {
+		ent = w.dense[uint64(s)*stride+uint64(r)]
+	}
+	if ent == 0 {
+		var err error
+		if ent, err = w.lookupCold(s, r); err != nil {
+			return err
+		}
+	}
+	ns, nr := model.EntryStarter(ent), model.EntryReactor(ent)
+	w.counts[s]--
+	w.counts[r]--
+	w.counts[ns]++
+	w.counts[nr]++
+	if aux := model.EntryAux(ent); aux != 0 {
+		if aux&sim.AuxStarterEvent != 0 {
+			w.eventCount++
+		}
+		if aux&sim.AuxReactorEvent != 0 {
+			w.eventCount++
+		}
+	}
+	return nil
+}
+
+// lookupCold resolves a state pair the worker's private mirror does not
+// hold: first its private overflow map, then the shared cache under the
+// mutex, memoizing into the mirror either way and widening the local counts
+// vectors to cover any freshly minted IDs.
+func (w *hybridWorker) lookupCold(s, r uint32) (uint64, error) {
+	key := uint64(s)<<32 | uint64(r)
+	if ent, ok := w.over[key]; ok {
+		return ent, nil
+	}
+	hr := w.hr
+	hr.mu.Lock()
+	ent, err := hr.cache.Apply(s, r, pp.OmissionNone)
+	states := hr.in.Len()
+	hr.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if states > hr.maxStates {
+		return 0, stateSpaceErr(hr.protocol, w.idx, states, hr.maxStates)
+	}
+	w.grow(states)
+	w.store(s, r, ent)
+	return ent, nil
+}
+
+// store memoizes a transition entry in the worker's private mirror, growing
+// the dense table (powers of two, up to 1024²) and spilling to the overflow
+// map beyond it.
+func (w *hybridWorker) store(s, r uint32, ent uint64) {
+	const strideCap = 1024
+	need := s | r | model.EntryStarter(ent) | model.EntryReactor(ent)
+	if need >= w.stride && w.stride < strideCap {
+		stride := w.stride
+		if stride == 0 {
+			stride = 16
+		}
+		for stride <= need && stride < strideCap {
+			stride *= 2
+		}
+		dense := alignedSlice[uint64](int(stride) * int(stride))
+		for i := uint32(0); i < w.stride; i++ {
+			copy(dense[uint64(i)*uint64(stride):], w.dense[uint64(i)*uint64(w.stride):uint64(i+1)*uint64(w.stride)])
+		}
+		w.dense, w.stride = dense, stride
+	}
+	if s < w.stride && r < w.stride {
+		w.dense[uint64(s)*uint64(w.stride)+uint64(r)] = ent
+		return
+	}
+	w.over[uint64(s)<<32|uint64(r)] = ent
+}

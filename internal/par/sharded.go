@@ -671,6 +671,9 @@ func (w *shardWorker) step(q int) {
 // are passed by pointer so a mid-chunk cold-path mirror growth carries into
 // the rest of the chunk.
 func (w *shardWorker) stepChunk(slice []uint32, draws []uint64, densep *[]uint64, stridep *uint64, delta []int64, um, um1 uint64, lo int) error {
+	if delta == nil && !w.sr.trackEvents {
+		return w.stepChunkLean(slice, draws, densep, stridep, um, um1)
+	}
 	dense, stride := *densep, *stridep
 	defer func() { *densep, *stridep = dense, stride }()
 	for _, x := range draws {
@@ -709,6 +712,58 @@ func (w *shardWorker) stepChunk(slice []uint32, draws []uint64, densep *[]uint64
 		if aux := model.EntryAux(ent); aux != 0 {
 			w.record(s, r, aux, lo+int(a), lo+int(b))
 		}
+	}
+	return nil
+}
+
+// stepChunkLean is stepChunk for the common wave: no count-delta stream
+// armed, no event tracking (so no entry carries aux bits). The inner loop is
+// deliberately call- and branch-lean — cache misses drop out to the handler
+// below — matching the sequential engine's applyBatchLean structure, which
+// is what the P=1 overhead budget is measured against.
+func (w *shardWorker) stepChunkLean(slice []uint32, draws []uint64, densep *[]uint64, stridep *uint64, um, um1 uint64) error {
+	dense, stride := *densep, *stridep
+	defer func() { *densep, *stridep = dense, stride }()
+	di := 0
+	for di < len(draws) {
+		for ; di < len(draws); di++ {
+			x := draws[di]
+			a := uint32((uint64(uint32(x)) * um) >> 32)
+			b := uint32(((x >> 32) * um1) >> 32)
+			if b >= a {
+				b++
+			}
+			s, r := slice[a], slice[b]
+			if uint64(s|r) >= stride {
+				break
+			}
+			ent := dense[uint64(s)*stride+uint64(r)]
+			if ent == 0 {
+				break
+			}
+			slice[a] = model.EntryStarter(ent)
+			slice[b] = model.EntryReactor(ent)
+		}
+		if di >= len(draws) {
+			break
+		}
+		// Cold interaction: resolve through the overflow map or the shared
+		// cache, refresh the possibly-regrown mirror, and apply.
+		x := draws[di]
+		a := uint32((uint64(uint32(x)) * um) >> 32)
+		b := uint32(((x >> 32) * um1) >> 32)
+		if b >= a {
+			b++
+		}
+		s, r := slice[a], slice[b]
+		ent, err := w.lookupCold(s, r)
+		if err != nil {
+			return err
+		}
+		dense, stride = w.dense, uint64(w.stride)
+		slice[a] = model.EntryStarter(ent)
+		slice[b] = model.EntryReactor(ent)
+		di++
 	}
 	return nil
 }

@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"popsim/internal/pp"
+)
+
+// The scheduler-level batch suite checks the structural exactness of the run
+// decomposition with state dynamics factored out (identity transitions —
+// the engine-level equivalence suite covers real protocols): conservation
+// invariants, run-length law, aggregate pair-matrix marginals, expansion
+// consistency, and bit-determinism of resume.
+
+// stepIdentityRun applies one run under identity dynamics (post = pre) and
+// returns the used post multiset; counts are unchanged by construction.
+func stepIdentityRun(bs *BatchScheduler, counts pp.Counts, used []int64) (*BatchRun, []int64) {
+	run := bs.NextRun(counts)
+	for i := range used {
+		used[i] = 0
+	}
+	var total int64
+	for _, c := range run.Cells {
+		used[c.S] += c.M
+		used[c.R] += c.M
+		total += c.M
+	}
+	if total != run.L {
+		panic(fmt.Sprintf("cells sum to %d, run length %d", total, run.L))
+	}
+	return run, used
+}
+
+func TestBatchRunInvariants(t *testing.T) {
+	counts := pp.Counts{500, 300, 0, 224}
+	n := int(counts.N())
+	bs := NewBatchScheduler(1, n)
+	used := make([]int64, len(counts))
+	for trial := 0; trial < 300; trial++ {
+		run, used := stepIdentityRun(bs, counts, used)
+		if run.L < 1 || run.L > int64(n/2) {
+			t.Fatalf("run length %d outside [1, %d]", run.L, n/2)
+		}
+		var twoL int64
+		for q := range used {
+			if used[q] < 0 || used[q] > counts[q] {
+				t.Fatalf("state %d: %d used agents of %d", q, used[q], counts[q])
+			}
+			twoL += used[q]
+		}
+		if twoL != 2*run.L {
+			t.Fatalf("used agents %d, want %d", twoL, 2*run.L)
+		}
+		s, r := bs.CollidePair(counts, used, twoL)
+		if int(s) >= len(counts) || int(r) >= len(counts) || counts[s] == 0 || counts[r] == 0 {
+			t.Fatalf("collision pair (%d,%d) names an empty state", s, r)
+		}
+	}
+}
+
+// TestBatchRunLengthLaw checks the birthday law: E[L] for runs over n agents
+// is Σ_ℓ P(L ≥ ℓ) ≈ √(πn/8) for large n.
+func TestBatchRunLengthLaw(t *testing.T) {
+	const n = 100_000
+	counts := pp.Counts{int64(n)}
+	bs := NewBatchScheduler(3, n)
+	used := make([]int64, 1)
+	const trials = 3000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		run, used := stepIdentityRun(bs, counts, used)
+		sum += float64(run.L)
+		bs.CollidePair(counts, used, 2*run.L)
+	}
+	mean := sum / trials
+	want := math.Sqrt(math.Pi * n / 8)
+	if math.Abs(mean-want) > 0.05*want {
+		t.Errorf("mean run length %.1f, want ≈ %.1f", mean, want)
+	}
+}
+
+// TestBatchPairMarginals aggregates the state-pair matrix over many runs and
+// compares against the uniform-pair law (χ² over the joint (S,R) cells): the
+// aggregate sampler must select ordered state pairs with probability
+// counts[s]·counts[r]/(n(n−1)) (up to the without-replacement correction),
+// exactly like the per-pair samplers.
+func TestBatchPairMarginals(t *testing.T) {
+	counts := pp.Counts{600, 300, 124}
+	n := counts.N()
+	bs := NewBatchScheduler(5, int(n))
+	used := make([]int64, len(counts))
+	obs := make([]float64, len(counts)*len(counts))
+	var total float64
+	for trial := 0; trial < 4000; trial++ {
+		run, u := stepIdentityRun(bs, counts, used)
+		for _, c := range run.Cells {
+			obs[int(c.S)*len(counts)+int(c.R)] += float64(c.M)
+			total += float64(c.M)
+		}
+		// Collision pairs enter the tally too: under identity dynamics they
+		// are distributed like any uniform ordered pair.
+		s, r := bs.CollidePair(counts, u, 2*run.L)
+		obs[int(s)*len(counts)+int(r)]++
+		total++
+	}
+	var chi2 float64
+	cells := 0
+	for s := range counts {
+		for r := range counts {
+			exp := total * float64(counts[s]) / float64(n) * float64(counts[r]) / float64(n-1)
+			if s == r {
+				exp = total * float64(counts[s]) / float64(n) * float64(counts[r]-1) / float64(n-1)
+			}
+			if exp < 5 {
+				continue
+			}
+			d := obs[s*len(counts)+r] - exp
+			chi2 += d * d / exp
+			cells++
+		}
+	}
+	// dof = cells−1 = 8; χ²₀.₉₉₉(8) ≈ 26. Allow generous headroom — this
+	// must catch sampler-structure bugs (which blow χ² up by orders of
+	// magnitude), not ensemble noise.
+	if chi2 > 40 {
+		t.Errorf("pair-matrix χ² = %.1f over %d cells (want < 40)", chi2, cells)
+	}
+}
+
+func TestBatchExpand(t *testing.T) {
+	counts := pp.Counts{400, 300, 324}
+	bs := NewBatchScheduler(9, int(counts.N()))
+	run := bs.NextRun(counts)
+	a := run.Expand(nil)
+	b := run.Expand(nil)
+	if int64(len(a)) != run.L {
+		t.Fatalf("expanded %d pairs, run length %d", len(a), run.L)
+	}
+	// Deterministic: same run expands to the same order.
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("expansion diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Multiset equals the cell matrix.
+	got := map[CountPair]int64{}
+	for _, pr := range a {
+		got[pr]++
+	}
+	for _, c := range run.Cells {
+		if got[CountPair{S: c.S, R: c.R}] != c.M {
+			t.Fatalf("cell (%d,%d): %d expanded, want %d", c.S, c.R, got[CountPair{S: c.S, R: c.R}], c.M)
+		}
+	}
+}
+
+// TestBatchResumeDeterminism pins the checkpoint surface: a scheduler
+// resumed from StreamState at a run boundary produces byte-identical runs
+// and collision pairs.
+func TestBatchResumeDeterminism(t *testing.T) {
+	counts := pp.Counts{512, 256, 256}
+	n := int(counts.N())
+	ref := NewBatchScheduler(21, n)
+	used := make([]int64, len(counts))
+	for i := 0; i < 5; i++ {
+		run, u := stepIdentityRun(ref, counts, used)
+		ref.CollidePair(counts, u, 2*run.L)
+	}
+	state := ref.StreamState()
+	res := ResumeBatchScheduler(state, n)
+	usedB := make([]int64, len(counts))
+	for i := 0; i < 5; i++ {
+		ra, ua := stepIdentityRun(ref, counts, used)
+		cellsA := append([]BatchCell(nil), ra.Cells...)
+		la := ra.L
+		sa, raa := ref.CollidePair(counts, ua, 2*la)
+		ea := ra.Expand(nil)
+
+		rb, ub := stepIdentityRun(res, counts, usedB)
+		if rb.L != la || len(rb.Cells) != len(cellsA) {
+			t.Fatalf("run %d shape diverged: L %d vs %d", i, rb.L, la)
+		}
+		for j := range cellsA {
+			if rb.Cells[j] != cellsA[j] {
+				t.Fatalf("run %d cell %d diverged: %v vs %v", i, j, rb.Cells[j], cellsA[j])
+			}
+		}
+		eb := rb.Expand(nil)
+		for j := range ea {
+			if ea[j] != eb[j] {
+				t.Fatalf("run %d expansion diverged at %d", i, j)
+			}
+		}
+		sb, rbb := res.CollidePair(counts, ub, 2*rb.L)
+		if sa != sb || raa != rbb {
+			t.Fatalf("run %d collision diverged: (%d,%d) vs (%d,%d)", i, sa, raa, sb, rbb)
+		}
+	}
+}

@@ -185,7 +185,19 @@ func TestManagerBackpressure(t *testing.T) {
 // parks an O(|Q|) checkpoint, and Resume continues it to the exact hitting
 // step an uninterrupted run reports.
 func TestManagerInterruptResumeBitIdentical(t *testing.T) {
-	spec := Spec{Protocol: "or", N: 1 << 20, Backend: BackendCounts, Seed: 11}
+	testManagerInterruptResume(t, Spec{Protocol: "or", N: 1 << 20, Backend: BackendCounts, Seed: 11})
+}
+
+// TestManagerInterruptResumeBatch pins the same interrupt/resume contract on
+// the collision-aware batch tier: a batch-dynamics job cancelled mid-run
+// parks a run-boundary checkpoint and resumes to the identical exact hitting
+// step (batch mode is run identity — the checkpoint records it).
+func TestManagerInterruptResumeBatch(t *testing.T) {
+	testManagerInterruptResume(t, Spec{Protocol: "or", N: 1 << 20, Backend: BackendCounts, Batch: "on", Seed: 11})
+}
+
+func testManagerInterruptResume(t *testing.T, spec Spec) {
+	t.Helper()
 
 	// Uninterrupted reference (cache off so both runs really simulate).
 	ref := NewManager(Options{Workers: 1, QueueCap: 2, DisableCache: true})

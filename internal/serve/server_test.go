@@ -218,8 +218,20 @@ func TestServerStreamFollowsLive(t *testing.T) {
 
 // TestServerCancelAndResume exercises POST cancel/resume round trips.
 func TestServerCancelAndResume(t *testing.T) {
+	testServerCancelResume(t, `{"protocol":"or","n":1048576,"backend":"counts","seed":9}`)
+}
+
+// TestServerCancelAndResumeBatch is the same round trip on the
+// collision-aware batch tier: the checkpoint parks at a run boundary and the
+// resumed job continues the batch dynamics bit-identically.
+func TestServerCancelAndResumeBatch(t *testing.T) {
+	testServerCancelResume(t, `{"protocol":"or","n":1048576,"backend":"counts","batch":"on","seed":9}`)
+}
+
+func testServerCancelResume(t *testing.T, submit string) {
+	t.Helper()
 	srv, _ := testServer(t, Options{Workers: 1, QueueCap: 2, DisableCache: true, CheckpointEvery: 1 << 17})
-	sub := postJSON(t, srv.URL+"/jobs", `{"protocol":"or","n":1048576,"backend":"counts","seed":9}`)
+	sub := postJSON(t, srv.URL+"/jobs", submit)
 	st := decodeStatus(t, sub)
 
 	// Wait for the first periodic checkpoint, then cancel.

@@ -57,6 +57,14 @@ type Spec struct {
 	Backend string `json:"backend,omitempty"`
 	// MaxStates overrides the counts backend's interned-state bound.
 	MaxStates int `json:"max_states,omitempty"`
+	// Batch selects the counts backend's collision-aware batch tier:
+	// auto|on|off. Empty or "auto" is automatic selection (batch dynamics
+	// at n ≥ popsim.DefaultCountBatchN) and canonicalizes to the empty
+	// field, so historical cache keys are unchanged; "on"/"off" force the
+	// tier and participate in the cache key — a different sampling tier is
+	// a different scenario (batch runs are statistically equivalent to the
+	// block/exact samplers, never byte-identical).
+	Batch string `json:"batch,omitempty"`
 }
 
 // Backend names.
@@ -150,7 +158,33 @@ func (s *Spec) Normalize() error {
 	if s.MaxStates < 0 {
 		return fmt.Errorf("max_states must be ≥ 0, got %d", s.MaxStates)
 	}
+	switch s.Batch {
+	case "", "auto":
+		s.Batch = "" // canonical: auto stays the empty field
+	case "off":
+	case "on":
+		if s.Backend == BackendVector {
+			return fmt.Errorf("batch \"on\" tunes the counts backend; backend %q never runs it", BackendVector)
+		}
+		if s.OmissionRate > 0 {
+			return fmt.Errorf("batch \"on\" needs the counts backend, which is outside the adversary contract: drop omission_rate")
+		}
+	default:
+		return fmt.Errorf("unknown batch mode %q (auto|on|off)", s.Batch)
+	}
 	return nil
+}
+
+// BatchValue returns the spec's batch tier as the facade's BatchMode. Call
+// after Normalize.
+func (s *Spec) BatchValue() popsim.BatchMode {
+	switch s.Batch {
+	case "on":
+		return popsim.BatchOn
+	case "off":
+		return popsim.BatchOff
+	}
+	return popsim.BatchAuto
 }
 
 // TopologyValue returns the spec's parsed interaction topology (the zero
@@ -229,6 +263,7 @@ func (s *Spec) Build(seed int64) (popsim.SystemSpec, Workload, error) {
 		Seed:          seed,
 		Topology:      topo,
 		MaxFastStates: s.MaxStates,
+		CountBatch:    s.BatchValue(),
 	}
 	switch s.Sim {
 	case "":

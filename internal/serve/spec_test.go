@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"popsim"
 	"popsim/internal/report"
 )
 
@@ -38,6 +39,9 @@ func TestSpecNormalizeRejects(t *testing.T) {
 		{Protocol: "majority", N: 8, OmissionRate: 1.5},
 		{Protocol: "majority", N: 8, Runs: -1},
 		{Protocol: "majority", N: 8, Backend: BackendCounts, OmissionRate: 0.1},
+		{Protocol: "majority", N: 8, Batch: "sometimes"},
+		{Protocol: "majority", N: 8, Backend: BackendVector, Batch: "on"},
+		{Protocol: "majority", N: 8, Batch: "on", OmissionRate: 0.1},
 	}
 	for i, s := range bad {
 		if err := s.Normalize(); err == nil {
@@ -56,7 +60,7 @@ func TestSpecCacheKey(t *testing.T) {
 		return s
 	}
 	base := mk(func(*Spec) {})
-	same := mk(func(s *Spec) { s.Model = "TW"; s.Backend = BackendAuto }) // explicit defaults
+	same := mk(func(s *Spec) { s.Model = "TW"; s.Backend = BackendAuto; s.Batch = "auto" }) // explicit defaults
 	k1, err := base.CacheKey(1)
 	if err != nil {
 		t.Fatal(err)
@@ -78,6 +82,8 @@ func TestSpecCacheKey(t *testing.T) {
 		mk(func(s *Spec) { s.Sim = "sid" }),
 		mk(func(s *Spec) { s.Horizon = 999 }),
 		mk(func(s *Spec) { s.Backend = BackendCounts }),
+		mk(func(s *Spec) { s.Batch = "on" }),
+		mk(func(s *Spec) { s.Batch = "off" }),
 	} {
 		if k, _ := other.CacheKey(1); k == k1 {
 			t.Errorf("variant %d shares the base content address", i)
@@ -99,6 +105,39 @@ func TestParseSpec(t *testing.T) {
 	}
 	if _, err := ParseSpec([]byte(`not json`)); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+// TestSpecBatchTier pins the batch knob's canonicalization and threading:
+// "auto" collapses to the empty field (historical cache keys unchanged),
+// "on"/"off" survive and reach the built SystemSpec.
+func TestSpecBatchTier(t *testing.T) {
+	for _, tc := range []struct {
+		in, canon string
+		mode      popsim.BatchMode
+	}{
+		{"", "", popsim.BatchAuto},
+		{"auto", "", popsim.BatchAuto},
+		{"on", "on", popsim.BatchOn},
+		{"off", "off", popsim.BatchOff},
+	} {
+		s := &Spec{Protocol: "majority", N: 1024, Batch: tc.in}
+		if err := s.Normalize(); err != nil {
+			t.Fatalf("batch %q: %v", tc.in, err)
+		}
+		if s.Batch != tc.canon {
+			t.Errorf("batch %q canonicalized to %q, want %q", tc.in, s.Batch, tc.canon)
+		}
+		if s.BatchValue() != tc.mode {
+			t.Errorf("batch %q: BatchValue %v, want %v", tc.in, s.BatchValue(), tc.mode)
+		}
+		spec, _, err := s.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.CountBatch != tc.mode {
+			t.Errorf("batch %q: built CountBatch %v, want %v", tc.in, spec.CountBatch, tc.mode)
+		}
 	}
 }
 

@@ -123,6 +123,11 @@ func (s *System) runShardedPred(opts ShardedOptions, onConfig func(Configuration
 	if s.spec.Scheduler != nil || s.spec.Adversary != nil {
 		return nil, ErrShardedSpec
 	}
+	if s.countsNative() {
+		// Sharded execution materializes per-agent shard vectors; the
+		// counts-scaling parallel mode for these systems is RunHybridCounts.
+		return nil, errors.Join(ErrShardedSpec, ErrCountsOnly)
+	}
 	protocol := s.spec.Protocol
 	if s.spec.Simulate != nil {
 		protocol = s.spec.Simulate.Protocol

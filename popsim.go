@@ -193,6 +193,18 @@ type SystemSpec struct {
 	Protocol any
 	// Initial is the (simulated) initial configuration.
 	Initial Configuration
+	// InitialCounts is the counts-native initial configuration — Count
+	// agents in each State — for populations too large to materialize
+	// per-agent (the batch tier's 10⁸–10⁹ operating range). Mutually
+	// exclusive with Initial. A counts-native system runs on the counts
+	// backend only (RunUntilCounts, NewCountsJob, RunHybridCounts): it has
+	// no agent-vector engine, so the per-agent surface (Step, RunSteps,
+	// RunUntil, Config, RunSharded, …) is unavailable and state-space
+	// overflow surfaces as an error instead of degrading. Requires a native
+	// Protocol: wrapped initial configurations are position-dependent
+	// (SKnO's token holder, SID's per-agent IDs), so simulator systems
+	// build from Initial.
+	InitialCounts []CountedState
 	// Seed drives the default random scheduler (and, for randomized
 	// topology families, the graph construction).
 	Seed int64
@@ -220,21 +232,49 @@ type SystemSpec struct {
 	// MaxBatchChunk caps one scheduler batch request of the fast path
 	// (0 = engine default, 1024).
 	MaxBatchChunk int
+	// CountBatch selects the counts backend's collision-aware batch tier
+	// (see BatchMode): the default BatchAuto enables batch dynamics for
+	// populations of at least DefaultCountBatchN agents, BatchOn/BatchOff
+	// force it. It applies to every counts-backend execution the system
+	// spawns (RunUntilCounts, NewCountsJob, hybrid degrade paths); the
+	// agent-vector paths ignore it.
+	CountBatch BatchMode
+}
+
+// CountedState is one cell of a counts-native initial configuration:
+// Count agents sharing State.
+type CountedState struct {
+	State State
+	Count int64
 }
 
 // System is a runnable population-protocol system.
 type System struct {
-	eng   *engine.Engine
+	eng   *engine.Engine // nil for counts-native systems (InitialCounts)
 	rec   *trace.Recorder
 	spec  SystemSpec
 	graph *Graph // materialized topology; nil for complete
+
+	// Counts-native initial cells (InitialCounts systems only).
+	cstates []pp.State
+	ccounts pp.Counts
 }
 
 // ErrSpec reports an invalid SystemSpec.
 var ErrSpec = errors.New("popsim: invalid system spec")
 
+// ErrCountsOnly reports an agent-vector operation on a counts-native
+// (InitialCounts) system, which runs the counts backend only.
+var ErrCountsOnly = errors.New("popsim: counts-native system has no agent-vector engine")
+
+// countsNative reports whether the system was built from InitialCounts.
+func (s *System) countsNative() bool { return s.eng == nil }
+
 // NewSystem assembles a system from a spec.
 func NewSystem(spec SystemSpec) (*System, error) {
+	if spec.InitialCounts != nil {
+		return newCountsNativeSystem(spec)
+	}
 	if (spec.Simulate == nil) == (spec.Protocol == nil) {
 		return nil, errors.Join(ErrSpec, errors.New("set exactly one of Simulate and Protocol"))
 	}
@@ -281,24 +321,47 @@ func NewSystem(spec SystemSpec) (*System, error) {
 func (s *System) TopologyGraph() *Graph { return s.graph }
 
 // Step applies one scheduled interaction (plus injected omissions).
-func (s *System) Step() error { return s.eng.Step() }
+func (s *System) Step() error {
+	if s.countsNative() {
+		return ErrCountsOnly
+	}
+	return s.eng.Step()
+}
 
 // RunSteps applies k scheduled interactions.
-func (s *System) RunSteps(k int) error { return s.eng.RunSteps(k) }
+func (s *System) RunSteps(k int) error {
+	if s.countsNative() {
+		return ErrCountsOnly
+	}
+	return s.eng.RunSteps(k)
+}
 
 // StepBatch applies up to k scheduled interactions through the engine's
 // dense-ID batched fast path (seed-identical to k Step calls, much cheaper
 // for finite-state protocols). It returns the number of scheduled
 // interactions consumed.
-func (s *System) StepBatch(k int) (int, error) { return s.eng.StepBatch(k) }
+func (s *System) StepBatch(k int) (int, error) {
+	if s.countsNative() {
+		return 0, ErrCountsOnly
+	}
+	return s.eng.StepBatch(k)
+}
 
 // RunStepsBatch applies k scheduled interactions through the fast path,
 // stopping early without error if the scheduler exhausts.
-func (s *System) RunStepsBatch(k int) error { return s.eng.RunStepsBatch(k) }
+func (s *System) RunStepsBatch(k int) error {
+	if s.countsNative() {
+		return ErrCountsOnly
+	}
+	return s.eng.RunStepsBatch(k)
+}
 
 // RunUntil steps until pred holds on the *simulated* (projected)
 // configuration or the horizon expires; reports whether pred was met.
 func (s *System) RunUntil(pred func(Configuration) bool, horizon int) (bool, error) {
+	if s.countsNative() {
+		return false, ErrCountsOnly
+	}
 	return s.eng.RunUntil(func(c Configuration) bool { return pred(sim.Project(c)) }, horizon)
 }
 
@@ -309,17 +372,38 @@ func (s *System) RunUntil(pred func(Configuration) bool, horizon int) (bool, err
 // on the lean fast path (no adversary; the predicate-flipping chunk is
 // bisected), `every`-step granular otherwise; see engine.RunUntilEvery.
 func (s *System) RunUntilEvery(pred func(Configuration) bool, every, horizon int) (int, bool, error) {
+	if s.countsNative() {
+		return 0, false, ErrCountsOnly
+	}
 	return s.eng.RunUntilEvery(func(c Configuration) bool { return pred(sim.Project(c)) }, every, horizon)
 }
 
-// Config returns the raw (wrapped) configuration.
-func (s *System) Config() Configuration { return s.eng.Config() }
+// Config returns the raw (wrapped) configuration — nil for counts-native
+// systems, whose population is never materialized per-agent (use Counts).
+func (s *System) Config() Configuration {
+	if s.countsNative() {
+		return nil
+	}
+	return s.eng.Config()
+}
 
-// Projected returns the simulated configuration piP(C).
-func (s *System) Projected() Configuration { return sim.Project(s.eng.Config()) }
+// Projected returns the simulated configuration piP(C) — nil for
+// counts-native systems (use Counts().Projected()).
+func (s *System) Projected() Configuration {
+	if s.countsNative() {
+		return nil
+	}
+	return sim.Project(s.eng.Config())
+}
 
-// Steps returns the number of interactions applied.
-func (s *System) Steps() int { return s.eng.Steps() }
+// Steps returns the number of interactions applied by the system's own
+// engine (0 for counts-native systems — counts runs are detached).
+func (s *System) Steps() int {
+	if s.countsNative() {
+		return 0
+	}
+	return s.eng.Steps()
+}
 
 // Omissions returns the number of omissive interactions applied.
 func (s *System) Omissions() int { return s.rec.Omissions() }
