@@ -39,6 +39,9 @@ gate:
 	else \
 	  echo "skipping batch gate: the hybrid P=4 ratio needs 4 cores (CI enforces it on 4-core runners)" ; \
 	fi
+	{ $(GO) test -run '^$$' -bench 'ObsOverhead/counts' -benchtime 2000000x . ; \
+	  $(GO) test -run '^$$' -bench 'ObsOverhead/batch' -benchtime 100000000x . ; } \
+	    | $(GO) run ./cmd/benchgate -budgets perf/budgets_obs.json
 
 # Refresh the committed benchstat baselines (perf/baseline_*.txt) from this
 # machine. CI's delta report compares its fresh runs against these, so

@@ -1,0 +1,93 @@
+// Benchmarks for the observability overhead budget: the same counts and
+// batch-tier inner loops as the throughput families, run once with probes
+// disarmed and once with an armed probe under a live 1 kHz scraper — the
+// worst realistic observation pressure (popsimd's progress ticker and
+// Prometheus scrapes are orders of magnitude slower).
+//
+// CI publishes this family as BENCH_obs.json and gates it with
+// perf/budgets_obs.json: each probes-on row must stay within 1.05× of its
+// probes-off base (max_ratio 1.05). Publishing happens only at existing
+// sampling boundaries (a block arm, a batch run) as a handful of relaxed
+// atomic stores, so the expected ratio is ~1.00; the 5% headroom absorbs
+// runner noise, not design cost.
+package popsim_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"popsim/internal/engine"
+	"popsim/internal/model"
+	"popsim/internal/obs"
+	"popsim/internal/protocols"
+)
+
+// obsScrapeSink keeps the scraper's snapshots observable so the reads
+// cannot be optimized away.
+var obsScrapeSink atomic.Int64
+
+// scrapeProbe hammers probe.Snapshot at ~1 kHz from a separate goroutine
+// until stop is called — the pull side of the pull-based design, exercised
+// concurrently with the engine's publish side exactly as popsimd does.
+func scrapeProbe(probe *obs.RunProbe) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				snap := probe.Snapshot()
+				obsScrapeSink.Add(snap.Steps + snap.BatchRuns)
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+// BenchmarkObsOverhead measures the probes-on/probes-off ratio on both
+// counts regimes: the exact block sampler at n = 10⁶ (one publish per armed
+// block) and the collision-aware batch tier at n = 10⁸ (one publish per
+// hypergeometric run). Each reported op is one interaction, matching the
+// throughput families these rows shadow.
+func BenchmarkObsOverhead(b *testing.B) {
+	regimes := []struct {
+		name  string
+		n     int64
+		batch engine.BatchMode
+	}{
+		{"counts", 1_000_000, engine.BatchOff},
+		{"batch", 100_000_000, engine.BatchOn},
+	}
+	for _, rg := range regimes {
+		for _, probes := range []string{"probes-off", "probes-on"} {
+			rg, probes := rg, probes
+			b.Run(rg.name+"/"+probes, func(b *testing.B) {
+				states, counts := majorityCells(rg.n/2, rg.n/2)
+				ce, err := engine.NewCountEngineFromCounts(model.TW, protocols.Majority{}, states, counts, 1,
+					engine.CountOptions{Batch: rg.batch})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if probes == "probes-on" {
+					stop := scrapeProbe(ce.Probe())
+					defer stop()
+				}
+				if err := ce.RunSteps(1); err != nil { // warm the transition cache
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				if err := ce.RunSteps(b.N); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}

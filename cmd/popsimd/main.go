@@ -8,20 +8,30 @@
 //
 // API (see internal/serve):
 //
-//	POST /jobs              submit a scenario spec; 429 + Retry-After when the
-//	                        queue is full
-//	GET  /jobs/{id}         job status (state, progress, parked checkpoints)
-//	GET  /jobs/{id}/stream  per-seed results as JSON lines — the same pinned
-//	                        schema as `experiments -json`
-//	POST /jobs/{id}/resume  continue an interrupted job
-//	POST /jobs/{id}/cancel  interrupt a job (counts runs park a checkpoint)
-//	GET  /healthz           liveness
-//	GET  /metrics           queue depth, running jobs, cache hit rate,
-//	                        interactions/sec
+//	POST /jobs                submit a scenario spec; 429 + Retry-After when
+//	                          the queue is full
+//	GET  /jobs/{id}           job status (state, progress, parked checkpoints)
+//	GET  /jobs/{id}/progress  live run progress from the engine probes:
+//	                          steps, windowed interactions/sec, backend tier,
+//	                          batch stats, checkpoint age, worker waits
+//	GET  /jobs/{id}/stream    per-seed results as JSON lines — the same
+//	                          pinned schema as `experiments -json` — with
+//	                          progress frames interleaved while the job runs
+//	POST /jobs/{id}/resume    continue an interrupted job
+//	POST /jobs/{id}/cancel    interrupt a job (counts runs park a checkpoint)
+//	GET  /healthz             liveness
+//	GET  /readyz              readiness (503 once draining)
+//	GET  /metrics             queue depth, running jobs, cache hit rate,
+//	                          interactions/sec; Prometheus text exposition
+//	                          when Accept includes text/plain
 //
-// On SIGTERM/SIGINT the server stops accepting work, interrupts running jobs
-// (counts runs checkpoint in O(|Q|)), and exits once the drain completes or
-// the -drain-timeout expires.
+// Logs are structured (log/slog) on stderr; -log-format selects text or JSON,
+// -log-level the floor. -pprof exposes net/http/pprof on a SEPARATE listener
+// (its own mux, never the public API surface) for live profiling.
+//
+// On SIGTERM/SIGINT the server stops accepting work (readiness flips to 503),
+// interrupts running jobs (counts runs checkpoint in O(|Q|)), and exits once
+// the drain completes or the -drain-timeout expires.
 package main
 
 import (
@@ -29,8 +39,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,6 +57,35 @@ func main() {
 	}
 }
 
+// newLogger builds the process logger from the -log-format/-log-level flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("-log-format must be text or json, got %q", format)
+}
+
+// pprofMux builds the profiling mux served on the -pprof listener. A
+// dedicated mux (not http.DefaultServeMux, not the API mux) keeps the
+// profiling surface off the public address entirely.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("popsimd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
@@ -56,6 +96,9 @@ func run(args []string) error {
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock cap; expired jobs park as resumable (0 = none)")
 	seedWorkers := fs.Int("seed-workers", 0, "per-job seed fan-out bound (0 = GOMAXPROCS)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound on SIGTERM")
+	logFormat := fs.String("log-format", "text", "structured log format: text|json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this SEPARATE address (e.g. localhost:6060; empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +123,10 @@ func run(args []string) error {
 	if *drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be > 0, got %s", *drainTimeout)
 	}
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
 
 	m := serve.NewManager(serve.Options{
 		Workers:         *workers,
@@ -89,12 +136,25 @@ func run(args []string) error {
 		JobTimeout:      *jobTimeout,
 		CheckpointEvery: *checkpointEvery,
 		SeedWorkers:     *seedWorkers,
+		Logger:          logger,
 	})
 	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(m)}
 
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: pprofMux()}
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server", "err", err)
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("popsimd: listening on %s (workers=%d queue=%d cache=%d)", *addr, *workers, *queue, *cacheEntries)
+		logger.Info("listening", "addr", *addr, "workers", *workers,
+			"queue", *queue, "cache", *cacheEntries)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
@@ -109,16 +169,19 @@ func run(args []string) error {
 		m.Close()
 		return err
 	case s := <-sig:
-		log.Printf("popsimd: %v — draining (bound %s)", s, *drainTimeout)
+		logger.Info("signal received, draining", "signal", s.String(), "bound", *drainTimeout)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("popsimd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
+	}
+	if pprofSrv != nil {
+		_ = pprofSrv.Shutdown(ctx)
 	}
 	if err := m.Drain(ctx); err != nil {
 		return fmt.Errorf("drain incomplete: %w", err)
 	}
-	log.Printf("popsimd: drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
 }

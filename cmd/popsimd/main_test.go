@@ -22,6 +22,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-seed-workers", "-1"},
 		{"-drain-timeout", "0s"},
 		{"-drain-timeout", "-2s"},
+		{"-log-format", "xml"},
+		{"-log-level", "verbose"},
 		{"-workers", "notanumber"}, // flag parse error
 		{"-job-timeout", "soon"},   // duration parse error
 		{"-no-such-flag"},          // unknown flag
@@ -32,6 +34,18 @@ func TestRunRejectsBadFlags(t *testing.T) {
 				t.Errorf("args %v accepted", args)
 			}
 		})
+	}
+}
+
+// TestNewLogger: both formats and every standard level parse; the handler
+// honors the floor.
+func TestNewLogger(t *testing.T) {
+	for _, format := range []string{"text", "json"} {
+		for _, level := range []string{"debug", "info", "WARN", "error"} {
+			if _, err := newLogger(format, level); err != nil {
+				t.Errorf("newLogger(%q, %q): %v", format, level, err)
+			}
+		}
 	}
 }
 

@@ -31,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
 	"popsim"
 	"popsim/internal/model"
@@ -64,6 +66,7 @@ func run(args []string) error {
 	counts := fs.Bool("counts", false, "run with a count predicate (O(|Q|) observation; large populations execute on the counts backend, no adversary)")
 	batch := fs.String("batch", "auto", "counts-backend batch tier: auto|on|off (collision-aware aggregate dynamics; auto = on at n ≥ 2²²)")
 	specPath := fs.String("spec", "", "run a declarative JSON scenario spec (the popsimd job document); mutually exclusive with the scenario flags")
+	progress := fs.Bool("progress", false, "print a live progress line to stderr every second (single-run modes): backend tier, steps, windowed interactions/sec")
 	defaultUsage := fs.Usage
 	fs.Usage = func() {
 		defaultUsage()
@@ -95,6 +98,9 @@ job server accepts — see internal/serve.Spec for the schema).`)
 	}
 	if *counts && *runs > 0 {
 		return fmt.Errorf("-counts is mutually exclusive with -runs")
+	}
+	if *progress && *runs > 0 {
+		return fmt.Errorf("-progress follows a single run's probe; it is mutually exclusive with -runs")
 	}
 	var batchMode popsim.BatchMode
 	switch *batch {
@@ -211,6 +217,22 @@ job server accepts — see internal/serve.Spec for the schema).`)
 		}
 	}
 
+	// -progress: arm the system's probe and follow it from a ticker
+	// goroutine. The probe travels with the run across backend selection
+	// (counts, batch, hybrid, sharded, degrades), so one reporter covers
+	// every single-run mode below.
+	var stopProgress func()
+	armProgress := func(sys *popsim.System) {
+		if *progress {
+			stopProgress = startProgress(sys.Probe())
+		}
+	}
+	defer func() {
+		if stopProgress != nil {
+			stopProgress()
+		}
+	}()
+
 	// Counts mode: one run observed through a count predicate. Populations of
 	// at least popsim.DefaultCountsBackendN execute on the O(|Q|) counts
 	// backend; smaller ones stay on the batched agent-vector engine with the
@@ -221,6 +243,7 @@ job server accepts — see internal/serve.Spec for the schema).`)
 		if err != nil {
 			return err
 		}
+		armProgress(sys)
 		// -counts -shards P: the sharded×counts hybrid — P workers each
 		// stepping batch dynamics over an O(|Q|) count slice, the parallel
 		// tier for populations whose per-agent form does not fit.
@@ -273,6 +296,7 @@ job server accepts — see internal/serve.Spec for the schema).`)
 		if err != nil {
 			return err
 		}
+		armProgress(sys)
 		res, err := sys.RunSharded(popsim.ShardedOptions{Shards: *shards}, w.Done(*n), 0, *horizon)
 		if err != nil {
 			return err
@@ -296,6 +320,7 @@ job server accepts — see internal/serve.Spec for the schema).`)
 	if err != nil {
 		return err
 	}
+	armProgress(sys)
 	done, err := sys.RunUntil(w.Done(*n), *horizon)
 	if err != nil {
 		return err
@@ -323,6 +348,41 @@ func orNative(s string) string {
 		return "native"
 	}
 	return s
+}
+
+// startProgress follows a run's probe from a ticker goroutine, printing one
+// stderr line per second until the returned stop function is called. Reads
+// are atomic snapshots on this goroutine's clock; the simulation hot loops
+// never block on the reporter.
+func startProgress(probe *popsim.RunProbe) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				s := probe.Snapshot()
+				line := fmt.Sprintf("progress: backend=%s steps=%d rate=%.3g/s", s.Backend, s.Steps, s.InteractionsSec)
+				if s.States > 0 {
+					line += fmt.Sprintf(" states=%d", s.States)
+				}
+				if s.BatchRuns > 0 {
+					line += fmt.Sprintf(" batch-runs=%d mean-run-len=%.1f", s.BatchRuns, s.BatchMeanRunLen)
+				}
+				if s.Waves > 0 {
+					line += fmt.Sprintf(" waves=%d workers=%d", s.Waves, len(s.Workers))
+				}
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
 }
 
 // runSpec executes a declarative scenario document through an in-process job

@@ -49,10 +49,29 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-protocol", "nope"},
 		{"-model", "XX"},
 		{"-sim", "bogus"},
+		{"-progress", "-runs", "3"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestRunProgressFlag: -progress arms the probe reporter on each single-run
+// mode without perturbing the run (the runs are too short to print a line;
+// what's under test is the arm/stop wiring).
+func TestRunProgressFlag(t *testing.T) {
+	for _, args := range [][]string{
+		{"-protocol", "majority", "-n", "16", "-seed", "3", "-progress"},
+		{"-protocol", "or", "-n", "4096", "-counts", "-seed", "2", "-progress"},
+		{"-protocol", "or", "-n", "4096", "-counts", "-shards", "2", "-seed", "4", "-horizon", "40000000", "-progress"},
+	} {
+		args := args
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := run(args); err != nil {
+				t.Fatalf("ppsim %v: %v", args, err)
+			}
+		})
 	}
 }
 

@@ -354,6 +354,7 @@ func (s *System) RunUntilCounts(pred func(*StateCounts) bool, every, horizon int
 		}
 		// Mid-run state-space overflow: finish on the batched engine from
 		// the abandoned configuration, for the remaining horizon.
+		s.probe.Degrade(res.Backend, "batched", int64(res.Steps), err.Error())
 		fallback, ferr := s.runUntilCountsBatched(protocol, res.failedCfg, pred, every, horizon-res.Steps)
 		if ferr != nil {
 			return nil, ferr
@@ -420,6 +421,7 @@ func (s *System) runUntilCountsBackend(protocol any, cfg Configuration, pred fun
 		if errors.Is(err, engine.ErrStateSpace) {
 			// Too many distinct initial states for the counts backend at
 			// all: the whole run belongs on the batched engine.
+			s.probe.Degrade("counts", "batched", 0, err.Error())
 			res, berr := s.runUntilCountsBatched(protocol, cfg, pred, every, horizon)
 			if berr == nil {
 				res.Degraded = true
@@ -448,6 +450,9 @@ func countsBackendName(ce *engine.CountEngine) string {
 // agents is exactly what counts-native construction exists to avoid —
 // and they have no agent-vector fallback to hand it to).
 func (s *System) driveCountEngine(ce *engine.CountEngine, pred func(*StateCounts) bool, every, horizon int) (*countsResult, error) {
+	if s.probe != nil {
+		ce.SetProbe(s.probe)
+	}
 	in := ce.Interner()
 	project := s.spec.Simulate != nil
 	res := &countsResult{CountsRunResult: &CountsRunResult{Backend: countsBackendName(ce)}}
@@ -489,6 +494,9 @@ func (s *System) runUntilCountsBatched(protocol any, cfg Configuration, pred fun
 	rec, eng, err := s.freshBatchedEngine(protocol, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if s.probe != nil {
+		eng.SetProbe(s.probe)
 	}
 	project := s.spec.Simulate != nil
 	steps, ok, err := eng.RunUntilEvery(countsPredicate(pred, project), every, horizon)

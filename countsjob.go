@@ -155,6 +155,14 @@ func (j *CountsJob) Checkpoint() (*CountCheckpoint, error) {
 	return &CountCheckpoint{ck: ck}, nil
 }
 
+// Probe returns the job's live-progress probe, arming one on first call.
+// Safe to Snapshot from another goroutine while the job runs; the engine
+// publishes at block/run boundaries and on every Checkpoint.
+func (j *CountsJob) Probe() *RunProbe { return j.ce.Probe() }
+
+// SetProbe attaches an existing probe to the job's engine; nil disarms.
+func (j *CountsJob) SetProbe(probe *RunProbe) { j.ce.SetProbe(probe) }
+
 // Steps returns the total interactions applied since the job's initial
 // configuration (checkpoint-resume continues the counter).
 func (j *CountsJob) Steps() int { return j.ce.Steps() }

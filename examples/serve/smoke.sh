@@ -3,15 +3,19 @@
 # million-agent majority job through the HTTP API (the fixed 2-agent margin
 # means it runs its full horizon on the counts backend — completion, not
 # convergence, is the check), verify the identical resubmission is served
-# from the content-addressed cache, print /metrics, and confirm SIGTERM
+# from the content-addressed cache, watch a live 10⁸-agent batch-tier job
+# report monotone step progress over /progress and the stream's interleaved
+# progress frames, fetch a CPU profile off the separate pprof listener,
+# read /metrics in both JSON and Prometheus form, and confirm SIGTERM
 # drains cleanly. CI's serve-smoke job runs this script verbatim.
 set -euo pipefail
 cd "$(dirname "$0")/../.."
 
 ADDR="${POPSIMD_ADDR:-127.0.0.1:18080}"
+PPROF_ADDR="${POPSIMD_PPROF_ADDR:-127.0.0.1:18060}"
 
 go build -o /tmp/popsimd ./cmd/popsimd
-/tmp/popsimd -addr "$ADDR" &
+/tmp/popsimd -addr "$ADDR" -pprof "$PPROF_ADDR" -log-format json &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true' EXIT
 
@@ -24,7 +28,39 @@ go run ./examples/serve -addr "http://$ADDR" \
 go run ./examples/serve -addr "http://$ADDR" \
     -spec "$(cat examples/graph/scenario.json)"
 
+# Liveness and readiness agree while serving.
+curl -sf "http://$ADDR/healthz" >/dev/null
+curl -sf "http://$ADDR/readyz" >/dev/null
+
+# Live progress: a 10⁸-agent batch-tier job big enough to catch mid-run.
+# Submit asynchronously, poll /progress twice (steps must be positive and
+# monotone — probes publish at sampling boundaries only, never backwards),
+# grep a progress frame out of the result stream, then cancel (the counts
+# backend parks an O(|Q|) checkpoint).
+JOB=$(curl -sf -X POST "http://$ADDR/jobs" \
+    -d '{"protocol":"majority","n":100000000,"backend":"counts","horizon":100000000000}')
+ID=$(printf '%s' "$JOB" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+test -n "$ID"
+sleep 1
+S1=$(curl -sf "http://$ADDR/jobs/$ID/progress" | sed -n 's/.*"steps":\([0-9]*\).*/\1/p')
+sleep 1
+S2=$(curl -sf "http://$ADDR/jobs/$ID/progress" | sed -n 's/.*"steps":\([0-9]*\).*/\1/p')
+echo "progress: steps $S1 -> $S2"
+test "$S1" -gt 0
+test "$S2" -ge "$S1"
+(curl -s --max-time 3 "http://$ADDR/jobs/$ID/stream" || true) \
+    | grep -m1 '"progress"' >/dev/null
+curl -sf -X POST "http://$ADDR/jobs/$ID/cancel" >/dev/null
+
+# A one-second CPU profile off the dedicated pprof listener (never the API
+# address).
+curl -sf -o /dev/null "http://$PPROF_ADDR/debug/pprof/profile?seconds=1"
+
+# /metrics content-negotiates: JSON by default, Prometheus text exposition
+# when the scraper asks for text/plain.
 curl -sf "http://$ADDR/metrics"; echo
+curl -sf -H 'Accept: text/plain' "http://$ADDR/metrics" \
+    | grep -m1 '^popsimd_jobs_done_total' >/dev/null
 
 kill -TERM "$PID"
 wait "$PID"  # non-zero if the drain did not complete cleanly

@@ -105,6 +105,9 @@ func (s *System) RunHybridCounts(opts HybridOptions, pred func(*StateCounts) boo
 		}
 		return nil, err
 	}
+	if s.probe != nil {
+		hr.SetProbe(s.probe)
+	}
 	project := s.spec.Simulate != nil
 	res := &HybridResult{Backend: "hybrid"}
 	if pred == nil {
@@ -142,6 +145,7 @@ func (s *System) RunHybridCounts(opts HybridOptions, pred func(*StateCounts) boo
 // error; counts-native systems have no agent-vector engine left to degrade
 // to, and agent-backed callers wanting that extra hop use RunUntilCounts.
 func (s *System) runHybridDegraded(protocol any, pred func(*StateCounts) bool, every, horizon int, cause error) (*HybridResult, error) {
+	s.probe.Degrade("hybrid", "counts", 0, cause.Error())
 	var ce *engine.CountEngine
 	var err error
 	if s.countsNative() {

@@ -165,10 +165,16 @@ func (ce *CountEngine) runBatchSteps(k int) error {
 				ce.bused[i] = 0
 			}
 			rem--
+			// Run close — counts are a complete summary again: the batch
+			// tier's probe boundary (one publish per ~0.63·√n interactions).
+			ce.bstatColl++
+			ce.publishProbe()
 			continue
 		}
 		// Run boundary: sample the next run.
 		run := ce.bs.NextRun(ce.counts)
+		ce.bstatRuns++
+		ce.bstatLen += run.L
 		ce.btwoL = 2 * run.L
 		for i := range ce.bused {
 			ce.bused[i] = 0
@@ -187,6 +193,7 @@ func (ce *CountEngine) runBatchSteps(k int) error {
 		ce.bpend = run.Expand(ce.bpend[:0])
 		ce.bpendAt = 0
 	}
+	ce.publishProbe()
 	return nil
 }
 
@@ -371,6 +378,9 @@ func (ce *CountEngine) runUntilBatch(pred func(pp.Counts) bool, every, maxSteps 
 			sEvents  int
 			sCollide bool
 			sTwoL    int64
+			sRuns    int64
+			sLen     int64
+			sColl    int64
 		)
 		if armed {
 			ce.snap = append(ce.snap[:0], ce.counts...)
@@ -379,6 +389,7 @@ func (ce *CountEngine) runUntilBatch(pred func(pp.Counts) bool, every, maxSteps 
 			sEvents = ce.eventCount
 			sCollide = ce.bcollide
 			sTwoL = ce.btwoL
+			sRuns, sLen, sColl = ce.bstatRuns, ce.bstatLen, ce.bstatColl
 			ce.bsnapPend = append(ce.bsnapPend[:0], ce.bpend[ce.bpendAt:]...)
 			ce.bsnapUsed = append(ce.bsnapUsed[:0], ce.bused...)
 		}
@@ -395,14 +406,23 @@ func (ce *CountEngine) runUntilBatch(pred func(pp.Counts) bool, every, maxSteps 
 				ce.eventCount = sEvents
 				ce.bcollide = sCollide
 				ce.btwoL = sTwoL
+				ce.bstatRuns, ce.bstatLen, ce.bstatColl = sRuns, sLen, sColl
 				ce.bpend = append(ce.bpend[:0], ce.bsnapPend...)
 				ce.bpendAt = 0
 				ce.bused = append(ce.bused[:0], ce.bsnapUsed...)
 				ce.chunkLog = ce.chunkLog[:0]
 				ce.chunkRes = ce.chunkRes[:0]
+				// Replay with the probe detached: the first pass already
+				// published the chunk's end position, and the replay walks
+				// the same trajectory from the chunk start — a concurrent
+				// scraper must never observe steps moving backwards. The
+				// replay ends exactly where the published state says.
+				probe := ce.probe
+				ce.probe = nil
 				ce.logging = true
 				err := ce.runBatchSteps(chunk)
 				ce.logging = false
+				ce.probe = probe
 				if err != nil {
 					return consumed, false, err
 				}

@@ -119,6 +119,7 @@ func (ce *CountEngine) Checkpoint() (*CountCheckpoint, error) {
 	for i := range ck.States {
 		ck.States[i] = ce.in.State(uint32(i))
 	}
+	ce.probe.PublishCheckpoint(int64(ck.Steps))
 	return ck, nil
 }
 

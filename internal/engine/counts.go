@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"popsim/internal/model"
+	"popsim/internal/obs"
 	"popsim/internal/pp"
 	"popsim/internal/sched"
 	"popsim/internal/sim"
@@ -201,6 +202,18 @@ type CountEngine struct {
 	// Replay snapshot scratch for runUntilBatch's exact-hitting rewind.
 	bsnapPend []sched.CountPair
 	bsnapUsed []int64
+
+	// probe is the run's pull-based progress surface (nil = unarmed);
+	// publishes happen only at sampling boundaries — a block in block mode,
+	// a run close in batch mode, the end of a RunSteps call in exact mode —
+	// never per interaction. bstat* are the batch tier's draw totals (runs
+	// drawn, summed collision-free length, collisions), engine-owned plain
+	// counters so runUntilBatch's rewind-and-replay can snapshot and restore
+	// them alongside steps and eventCount.
+	probe     *obs.RunProbe
+	bstatRuns int64
+	bstatLen  int64
+	bstatColl int64
 }
 
 // NewCountEngine builds a counts-backend engine for protocol p under model
@@ -308,6 +321,50 @@ func (ce *CountEngine) EventCount() int { return ce.eventCount }
 // Interner returns the engine's interner: Counts indices are its IDs.
 func (ce *CountEngine) Interner() *pp.Interner { return ce.in }
 
+// Probe returns the engine's progress probe, arming one on first call — a
+// pull-based observation surface safe to Snapshot from other goroutines
+// while the engine runs. An unarmed engine pays one predicted branch per
+// sampling boundary; an armed one a handful of atomic stores per boundary.
+func (ce *CountEngine) Probe() *obs.RunProbe {
+	if ce.probe == nil {
+		ce.SetProbe(obs.NewRunProbe())
+	}
+	return ce.probe
+}
+
+// SetProbe attaches an existing probe — how a resumed engine continues the
+// interrupted run's probe, and how the facade threads one probe through the
+// detached engines it builds. A nil probe disarms.
+func (ce *CountEngine) SetProbe(probe *obs.RunProbe) {
+	ce.probe = probe
+	if probe == nil {
+		return
+	}
+	if ce.batch {
+		probe.SetTier(obs.TierCountsBatch)
+	} else {
+		probe.SetTier(obs.TierCounts)
+	}
+	ce.publishProbe()
+}
+
+// publishProbe mirrors the engine's counters into the armed probe. Called at
+// sampling boundaries only; the nil check is the entire probes-off cost.
+func (ce *CountEngine) publishProbe() {
+	p := ce.probe
+	if p == nil {
+		return
+	}
+	p.PublishSteps(int64(ce.steps))
+	p.PublishStates(int64(ce.in.Len()))
+	if ce.trackEvents {
+		p.PublishEvents(int64(ce.eventCount))
+	}
+	if ce.batch {
+		p.PublishBatch(ce.bstatRuns, ce.bstatLen, ce.bstatColl)
+	}
+}
+
 // Counts returns the live configuration vector (shared; treat as read-only
 // and only valid between Run calls).
 func (ce *CountEngine) Counts() pp.Counts { return ce.counts }
@@ -388,8 +445,17 @@ func (ce *CountEngine) RunSteps(k int) error {
 			ce.steps++
 		}
 		consumed += len(pairs)
+		if !ce.exact {
+			// Block boundary: publish progress. Exact mode (block length 1)
+			// publishes once per call instead — per-pair publishing would
+			// tax the ~20 ns/op inner loop the perf budgets pin.
+			ce.publishProbe()
+		}
 	}
 	ce.counts = counts
+	if ce.exact {
+		ce.publishProbe()
+	}
 	return nil
 }
 

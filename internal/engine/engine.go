@@ -11,6 +11,7 @@ import (
 
 	"popsim/internal/adversary"
 	"popsim/internal/model"
+	"popsim/internal/obs"
 	"popsim/internal/pp"
 	"popsim/internal/sched"
 	"popsim/internal/sim"
@@ -43,6 +44,8 @@ type Engine struct {
 	fastLimitsSet bool // WithFastLimits was called (widens the dense table)
 
 	fast *fastPath // lazily-built batched execution state (fast.go)
+
+	probe *obs.RunProbe // pull-based progress surface; nil = unarmed
 }
 
 // Option configures an Engine.
@@ -132,6 +135,40 @@ func (e *Engine) Steps() int { return e.steps }
 // Model returns the interaction model kind.
 func (e *Engine) Model() model.Kind { return e.kind }
 
+// Probe returns the engine's progress probe, arming one on first call. The
+// batched fast path publishes at chunk boundaries (≤ MaxBatchChunk
+// interactions apart), the stepwise path at the end of each run call; an
+// unarmed engine pays one predicted branch per boundary.
+func (e *Engine) Probe() *obs.RunProbe {
+	if e.probe == nil {
+		e.SetProbe(obs.NewRunProbe())
+	}
+	return e.probe
+}
+
+// SetProbe attaches an existing probe; nil disarms.
+func (e *Engine) SetProbe(probe *obs.RunProbe) {
+	e.probe = probe
+	if probe == nil {
+		return
+	}
+	probe.SetTier(obs.TierVector)
+	e.publishProbe()
+}
+
+// publishProbe mirrors the engine's counters into the armed probe — called
+// at batch-chunk boundaries, never per interaction.
+func (e *Engine) publishProbe() {
+	p := e.probe
+	if p == nil {
+		return
+	}
+	p.PublishSteps(int64(e.steps))
+	if e.fast != nil && !e.fast.disabled {
+		p.PublishStates(int64(e.fast.in.Len()))
+	}
+}
+
 // FastPathActive reports whether the batched fast path is currently serving
 // StepBatch calls: a batching scheduler is installed, the configuration's
 // state-identity contract allows interning (see sim.CanonicalKeyed), and the
@@ -219,6 +256,7 @@ func (e *Engine) Step() error {
 // RunSteps performs k scheduled steps (plus whatever the adversary injects).
 // It stops early without error if the scheduler exhausts.
 func (e *Engine) RunSteps(k int) error {
+	defer e.publishProbe()
 	for i := 0; i < k; i++ {
 		if err := e.Step(); err != nil {
 			if errors.Is(err, ErrExhausted) {
@@ -234,6 +272,7 @@ func (e *Engine) RunSteps(k int) error {
 // or maxScheduled scheduled interactions have been consumed. It returns true
 // if the predicate was met.
 func (e *Engine) RunUntil(pred func(pp.Configuration) bool, maxScheduled int) (bool, error) {
+	defer e.publishProbe()
 	e.materialize()
 	if pred(e.cfg) {
 		return true, nil

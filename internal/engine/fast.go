@@ -161,6 +161,8 @@ func (e *Engine) materialize() {
 // disableFast abandons the fast path permanently, leaving e.cfg
 // authoritative and releasing the interner, transition table and ID vector.
 func (e *Engine) disableFast() {
+	e.probe.Degrade("vector-fast", "vector-slow", int64(e.steps),
+		fmt.Sprintf("interned state space exceeds %d states", e.maxFastStates))
 	e.materialize()
 	f := e.fast
 	f.disabled = true
@@ -173,9 +175,11 @@ func (e *Engine) disableFast() {
 func (e *Engine) stepSlow(k int) (int, error) {
 	for i := 0; i < k; i++ {
 		if err := e.Step(); err != nil {
+			e.publishProbe()
 			return i, err
 		}
 	}
+	e.publishProbe()
 	return k, nil
 }
 
@@ -229,6 +233,7 @@ func (e *Engine) StepBatch(k int) (int, error) {
 			return consumed, err
 		}
 		consumed += len(batch)
+		e.publishProbe()
 		if f.in.Len() > e.maxFastStates {
 			e.disableFast()
 			rest, err := e.stepSlow(k - consumed)

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilProbeIsSafe(t *testing.T) {
+	var p *RunProbe
+	p.SetTier(TierCounts)
+	p.PublishSteps(1)
+	p.PublishStates(2)
+	p.PublishEvents(3)
+	p.PublishBatch(1, 2, 3)
+	p.PublishCheckpoint(4)
+	p.AddWave(time.Millisecond)
+	p.Degrade("counts", "batched", 5, "overflow")
+	p.ArmWorkers(4)
+	p.Worker(0).AddBusy(time.Millisecond)
+	p.Worker(0).AddSteps(1)
+	s := p.Snapshot()
+	if s.Backend != "none" || s.Steps != 0 {
+		t.Fatalf("nil probe snapshot = %+v, want zero", s)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	p := NewRunProbe()
+	p.SetTier(TierCountsBatch)
+	p.PublishSteps(1000)
+	p.PublishStates(5)
+	p.PublishEvents(7)
+	p.PublishBatch(4, 800, 4)
+	p.PublishCheckpoint(512)
+	p.Degrade("counts", "batched", 900, "state space")
+	s := p.Snapshot()
+	if s.Backend != "counts-batch" {
+		t.Fatalf("backend = %q", s.Backend)
+	}
+	if s.Steps != 1000 || s.States != 5 || s.SimEvents != 7 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.BatchRuns != 4 || s.BatchMeanRunLen != 200 || s.BatchCollisions != 4 {
+		t.Fatalf("batch stats = %+v", s)
+	}
+	if s.CheckpointSteps != 512 || s.CheckpointAgeSec < 0 {
+		t.Fatalf("checkpoint = %+v", s)
+	}
+	if len(s.Degrades) != 1 || s.Degrades[0].Reason != "state space" {
+		t.Fatalf("degrades = %+v", s.Degrades)
+	}
+	// The snapshot is the JSON surface of /jobs/{id}/progress: it must
+	// marshal cleanly and keep its pinned field names.
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"backend", "steps", "interactions_per_sec", "batch_runs", "batch_mean_run_len"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("marshaled snapshot missing %q: %s", key, buf)
+		}
+	}
+}
+
+func TestWorkerBarrierWait(t *testing.T) {
+	p := NewRunProbe()
+	p.ArmWorkers(2)
+	p.AddWave(100 * time.Millisecond)
+	p.Worker(0).AddBusy(90 * time.Millisecond)
+	p.Worker(1).AddBusy(40 * time.Millisecond)
+	p.Worker(1).AddSteps(123)
+	s := p.Snapshot()
+	if len(s.Workers) != 2 || s.Waves != 1 {
+		t.Fatalf("workers = %+v waves = %d", s.Workers, s.Waves)
+	}
+	// Barrier wait is wave wall time minus own busy time: the lightly
+	// loaded worker waits longer.
+	if s.Workers[1].BarrierWaitSec <= s.Workers[0].BarrierWaitSec {
+		t.Fatalf("barrier wait not skewed: %+v", s.Workers)
+	}
+	if s.Workers[1].Steps != 123 {
+		t.Fatalf("worker steps = %+v", s.Workers[1])
+	}
+	if p.Worker(5) != nil || p.Worker(-1) != nil {
+		t.Fatal("out-of-range worker not nil")
+	}
+}
+
+func TestDegradeCap(t *testing.T) {
+	p := NewRunProbe()
+	for i := 0; i < 100; i++ {
+		p.Degrade("a", "b", int64(i), "r")
+	}
+	if got := len(p.Snapshot().Degrades); got != maxDegrades {
+		t.Fatalf("degrade log length = %d, want %d", got, maxDegrades)
+	}
+}
+
+func TestRateEWMA(t *testing.T) {
+	r := Rate{Tau: time.Second}
+	if v := r.Observe(0); v != 0 {
+		t.Fatalf("first observation = %v, want 0", v)
+	}
+	// Synthetic clock: drive the window fields directly so the test does
+	// not sleep. 1000 units over 1s = 1000/s instantaneous.
+	r.last = r.last.Add(-time.Second)
+	v := r.Observe(1000)
+	if v <= 0 || v > 1000 {
+		t.Fatalf("rate after 1000/1s = %v", v)
+	}
+	// A long idle gap decays the estimate toward 0 (unlike the lifetime
+	// average, which this estimator exists to replace).
+	r.last = r.last.Add(-10 * time.Second)
+	decayed := r.Observe(1000)
+	if decayed >= v {
+		t.Fatalf("idle decay: %v -> %v, want decrease", v, decayed)
+	}
+	// Sub-window calls return the last estimate unchanged.
+	if again := r.Observe(1000); again != decayed {
+		t.Fatalf("sub-window observation changed the estimate: %v -> %v", decayed, again)
+	}
+}
+
+// TestConcurrentScrape hammers Snapshot while writers publish — the race
+// detector is the assertion.
+func TestConcurrentScrape(t *testing.T) {
+	p := NewRunProbe()
+	p.ArmWorkers(2)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(1); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p.PublishSteps(i)
+				p.PublishBatch(i, 2*i, i)
+				p.Worker(w).AddBusy(time.Microsecond)
+				p.Worker(w).AddSteps(1)
+				if i%64 == 0 {
+					p.PublishCheckpoint(i)
+					p.Degrade("a", "b", i, "r")
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		s := p.Snapshot()
+		if s.Steps < 0 {
+			t.Fatal("negative steps")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"math"
+	"time"
+)
+
+// Rate is a reader-clocked EWMA rate estimator over a monotonic counter:
+// feed it successive totals via Observe and it returns the exponentially
+// weighted interactions/sec (or any unit/sec) with time constant tau. The
+// writer of the counter never touches a clock — the estimator samples on
+// the observer's schedule, which is what makes it safe next to 2 ns/op hot
+// loops. The zero value uses DefaultRateTau. Not concurrent-safe: callers
+// (RunProbe.Snapshot, serve.Metrics) serialize Observe under their own lock.
+type Rate struct {
+	// Tau is the smoothing time constant; observations further apart weigh
+	// the instantaneous rate more. Zero means DefaultRateTau.
+	Tau time.Duration
+
+	init  bool
+	last  time.Time
+	lastV int64
+	ewma  float64
+}
+
+// DefaultRateTau is the default EWMA time constant — long enough to smooth
+// scrape jitter, short enough that a stalled run reads ~0 within seconds.
+const DefaultRateTau = 5 * time.Second
+
+// minRateWindow is the shortest inter-observation gap that updates the
+// estimate; closer calls return the last value (a microsecond window would
+// just amplify sampling noise).
+const minRateWindow = 10 * time.Millisecond
+
+// Observe feeds the current counter total and returns the updated rate.
+// The first call initializes the window and returns 0.
+func (r *Rate) Observe(total int64) float64 {
+	now := time.Now()
+	if !r.init {
+		r.init = true
+		r.last, r.lastV = now, total
+		return 0
+	}
+	dt := now.Sub(r.last)
+	if dt < minRateWindow {
+		return r.ewma
+	}
+	tau := r.Tau
+	if tau <= 0 {
+		tau = DefaultRateTau
+	}
+	inst := float64(total-r.lastV) / dt.Seconds()
+	alpha := 1 - math.Exp(-float64(dt)/float64(tau))
+	r.ewma += alpha * (inst - r.ewma)
+	r.last, r.lastV = now, total
+	return r.ewma
+}
+
+// Value returns the current estimate without feeding an observation.
+func (r *Rate) Value() float64 { return r.ewma }

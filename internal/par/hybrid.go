@@ -48,8 +48,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"popsim/internal/model"
+	"popsim/internal/obs"
 	"popsim/internal/pp"
 	"popsim/internal/sched"
 	"popsim/internal/sim"
@@ -106,6 +108,13 @@ type HybridRunner struct {
 	steps      int64     // interactions actually applied
 	sinceEx    int       // nominal in-epoch position, 0..P·Epoch
 	eventCount int
+
+	// probe, when armed, is published at wave barriers only: merged steps,
+	// batch-run tallies folded from the per-worker schedulers (never rebuilt
+	// mid-run, so their RunStats are cumulative), per-worker busy time, and
+	// wave wall time. Unarmed runs skip all timing — no clock reads on any
+	// worker path.
+	probe *obs.RunProbe
 }
 
 // hybridWorker is one count-sliced batch worker. Hot, per-interaction-pass
@@ -303,6 +312,49 @@ func (hr *HybridRunner) Interner() *pp.Interner { return hr.in }
 // runner's live storage: shared, read-only, valid until the next call.
 func (hr *HybridRunner) Counts() pp.Counts { return hr.counts }
 
+// Probe returns the runner's progress probe, arming one on first call.
+// Publishing happens at wave barriers (the runner's only synchronization
+// points); per-worker cells report busy time and steps, with barrier wait
+// derived read-side as wave wall time minus busy time.
+func (hr *HybridRunner) Probe() *obs.RunProbe {
+	if hr.probe == nil {
+		hr.SetProbe(obs.NewRunProbe())
+	}
+	return hr.probe
+}
+
+// SetProbe attaches an existing probe; nil disarms.
+func (hr *HybridRunner) SetProbe(probe *obs.RunProbe) {
+	hr.probe = probe
+	if probe == nil {
+		return
+	}
+	probe.SetTier(obs.TierHybrid)
+	probe.ArmWorkers(hr.p)
+	hr.publishProbe()
+}
+
+// publishProbe mirrors barrier-merged totals into the armed probe.
+func (hr *HybridRunner) publishProbe() {
+	p := hr.probe
+	if p == nil {
+		return
+	}
+	p.PublishSteps(hr.steps)
+	p.PublishStates(int64(hr.in.Len()))
+	if hr.trackEvents {
+		p.PublishEvents(int64(hr.eventCount))
+	}
+	var runs, totalLen, colls int64
+	for _, w := range hr.workers {
+		r, l, c := w.bs.RunStats()
+		runs += r
+		totalLen += l
+		colls += c
+	}
+	p.PublishBatch(runs, totalLen, colls)
+}
+
 // RunSteps advances the run by at least k interactions (each worker rounds
 // its share up to a whole-run boundary; read the exact total from Steps).
 // Exchanges fire whenever the nominal position completes an epoch.
@@ -389,7 +441,19 @@ func (hr *HybridRunner) stepWave(quota int) error {
 			w.target++
 		}
 	}
-	hr.parallel(func(w *hybridWorker) { w.stepTo() })
+	if probe := hr.probe; probe != nil {
+		waveStart := time.Now()
+		hr.parallel(func(w *hybridWorker) {
+			busyStart := time.Now()
+			w.stepTo()
+			wc := probe.Worker(w.idx)
+			wc.AddBusy(time.Since(busyStart))
+			wc.AddSteps(w.applied) // reset by merge, so this is the wave's share
+		})
+		probe.AddWave(time.Since(waveStart))
+	} else {
+		hr.parallel(func(w *hybridWorker) { w.stepTo() })
+	}
 	for _, w := range hr.workers {
 		if w.err != nil {
 			return w.err
@@ -397,6 +461,7 @@ func (hr *HybridRunner) stepWave(quota int) error {
 	}
 	hr.sinceEx = newPos
 	hr.merge()
+	hr.publishProbe()
 	return nil
 }
 

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"popsim/internal/model"
+	"popsim/internal/obs"
 	"popsim/internal/pp"
 	"popsim/internal/sched"
 	"popsim/internal/sim"
@@ -187,6 +189,10 @@ type ShardedRunner struct {
 	trackCounts bool             // delta streams armed (first Counts consumer)
 	events      []verify.Event   // merged simulation events (RecordEvents)
 	eventCount  int              // total simulation events (TrackEvents)
+
+	// probe, when armed, is published at wave barriers only; unarmed runs
+	// take no clock reads on any worker path (see timedParallel).
+	probe *obs.RunProbe
 }
 
 // shardWorker is one shard's private execution state.
@@ -382,6 +388,60 @@ func (sr *ShardedRunner) Config() pp.Configuration {
 	return sr.cfg
 }
 
+// Probe returns the runner's progress probe, arming one on first call.
+// Publishing happens at wave barriers; per-worker cells carry busy time and
+// applied quotas, with barrier wait derived read-side.
+func (sr *ShardedRunner) Probe() *obs.RunProbe {
+	if sr.probe == nil {
+		sr.SetProbe(obs.NewRunProbe())
+	}
+	return sr.probe
+}
+
+// SetProbe attaches an existing probe; nil disarms.
+func (sr *ShardedRunner) SetProbe(probe *obs.RunProbe) {
+	sr.probe = probe
+	if probe == nil {
+		return
+	}
+	probe.SetTier(obs.TierSharded)
+	probe.ArmWorkers(sr.p)
+	sr.publishProbe()
+}
+
+// publishProbe mirrors barrier-merged totals into the armed probe.
+func (sr *ShardedRunner) publishProbe() {
+	p := sr.probe
+	if p == nil {
+		return
+	}
+	p.PublishSteps(int64(sr.steps))
+	p.PublishStates(int64(sr.in.Len()))
+	if sr.trackEvents {
+		p.PublishEvents(int64(sr.eventCount))
+	}
+}
+
+// timedParallel is parallel plus probe instrumentation: per-worker busy time
+// and applied quota, and the wave's wall time. With no probe armed it is
+// exactly parallel — no clock reads.
+func (sr *ShardedRunner) timedParallel(fn func(w *shardWorker)) {
+	probe := sr.probe
+	if probe == nil {
+		sr.parallel(fn)
+		return
+	}
+	waveStart := time.Now()
+	sr.parallel(func(w *shardWorker) {
+		busyStart := time.Now()
+		fn(w)
+		wc := probe.Worker(w.idx)
+		wc.AddBusy(time.Since(busyStart))
+		wc.AddSteps(int64(w.quota))
+	})
+	probe.AddWave(time.Since(waveStart))
+}
+
 // parallel runs fn on every worker, the coordinator's goroutine included,
 // and waits for all of them (one barrier).
 func (sr *ShardedRunner) parallel(fn func(w *shardWorker)) {
@@ -444,7 +504,7 @@ func (sr *ShardedRunner) stepWave(quota int, deal bool) error {
 		}
 		i++
 	}
-	sr.parallel(func(w *shardWorker) {
+	sr.timedParallel(func(w *shardWorker) {
 		w.step(w.quota)
 		if w.err == nil && deal && sr.p > 1 {
 			w.deal()
@@ -461,6 +521,7 @@ func (sr *ShardedRunner) stepWave(quota int, deal bool) error {
 	if sr.trackEvents {
 		sr.mergeEvents()
 	}
+	sr.publishProbe()
 	return nil
 }
 

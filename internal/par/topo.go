@@ -127,7 +127,7 @@ func (sr *ShardedRunner) stepWaveTopo(quota int) error {
 	for w := 0; w < sr.p; w++ {
 		sr.workers[w].quota = t.alloc(w, a, b)
 	}
-	sr.parallel(func(w *shardWorker) { w.stepTopo(w.quota) })
+	sr.timedParallel(func(w *shardWorker) { w.stepTopo(w.quota) })
 	for _, w := range sr.workers {
 		if w.err != nil {
 			return w.err
@@ -144,6 +144,7 @@ func (sr *ShardedRunner) stepWaveTopo(quota int) error {
 	if sr.trackEvents {
 		sr.mergeEvents()
 	}
+	sr.publishProbe()
 	return nil
 }
 

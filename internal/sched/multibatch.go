@@ -95,6 +95,14 @@ type BatchScheduler struct {
 	run      BatchRun
 	h, s     []int64 // scratch: used-sample and starter-split state vectors
 	r        []int64 // scratch: reactor pool
+
+	// Lifetime draw tallies (RunStats) for progress reporting. They track
+	// this scheduler instance only: a scheduler rebuilt from a StreamState
+	// snapshot restarts them at zero, so callers that rewind (the engine's
+	// exact-hitting replay) keep their own counters instead.
+	statRuns       int64
+	statRunLen     int64
+	statCollisions int64
 }
 
 // NewBatchScheduler returns the batch sampler for a population of n agents
@@ -202,6 +210,16 @@ func (bs *BatchScheduler) N() int64 { return bs.n }
 // boundaries.
 func (bs *BatchScheduler) StreamState() uint64 { return bs.rng.Snapshot() }
 
+// RunStats returns this scheduler instance's lifetime draw tallies: runs
+// sampled (NextRun calls), their total collision-free length, and collisions
+// resolved (CollidePair calls). This is the progress-math surface the hybrid
+// runner folds into its probe at merge barriers — per-worker schedulers are
+// never rebuilt mid-run, so the tallies are cumulative there. They are NOT
+// part of StreamState: a scheduler resumed from a snapshot restarts at zero.
+func (bs *BatchScheduler) RunStats() (runs, totalLen, collisions int64) {
+	return bs.statRuns, bs.statRunLen, bs.statCollisions
+}
+
 // NextRun samples the next collision-free run against the current counts
 // vector (whose sum must be bs.n): its length L ≥ 1 and its aggregate
 // state-pair matrix. The returned run is owned by the scheduler and reused.
@@ -218,6 +236,8 @@ func (bs *BatchScheduler) NextRun(counts pp.Counts) *BatchRun {
 	u := uniform53(bs.rng.Uint64())
 	L := bs.drawRunLength(u)
 	bs.run.L = L
+	bs.statRuns++
+	bs.statRunLen += L
 
 	// States of the 2L used agents: conditional multivariate hypergeometric
 	// over the pre-run counts.
@@ -303,6 +323,7 @@ func (bs *BatchScheduler) NextRun(counts pp.Counts) *BatchRun {
 // of the run's 2L used agents (Σ used = twoL). It returns the interned input
 // states (s, r) of the colliding ordered pair; used is left unmodified.
 func (bs *BatchScheduler) CollidePair(counts pp.Counts, used []int64, twoL int64) (uint32, uint32) {
+	bs.statCollisions++
 	n := bs.n
 	fresh := n - twoL
 	// Ordered distinct pairs with ≥1 used endpoint, by case weight:

@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"sort"
 	"sync"
 	"time"
 
 	"popsim"
+	"popsim/internal/obs"
 	"popsim/internal/par"
 	"popsim/internal/report"
 )
@@ -67,10 +70,15 @@ type Job struct {
 	lines       []report.Line
 	doneSeeds   map[int64]bool
 	checkpoints map[int64]*popsim.CountCheckpoint
-	cancel      context.CancelFunc
-	notify      chan struct{}
-	created     time.Time
-	finished    time.Time
+	// probes holds one live-progress probe per seed run that has started
+	// simulating (cache-served seeds never arm one). Probes persist across
+	// interrupt/resume — the same probe follows the seed's whole history —
+	// and stay readable after the job is terminal.
+	probes   map[int64]*obs.RunProbe
+	cancel   context.CancelFunc
+	notify   chan struct{}
+	created  time.Time
+	finished time.Time
 }
 
 // CheckpointStatus describes one parked seed checkpoint in a job status.
@@ -174,6 +182,83 @@ func (j *Job) storeCheckpoint(seed int64, ck *popsim.CountCheckpoint) {
 	j.changed()
 }
 
+// probeFor returns the seed run's live-progress probe, arming one on first
+// use. Resumed runs get the probe their interrupted predecessor published
+// into, so steps/batch totals continue rather than restart.
+func (j *Job) probeFor(seed int64) *obs.RunProbe {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	p := j.probes[seed]
+	if p == nil {
+		p = obs.NewRunProbe()
+		j.probes[seed] = p
+	}
+	return p
+}
+
+// SeedProgress is one seed run's live probe view inside a JobProgress.
+type SeedProgress struct {
+	Seed  int64        `json:"seed"`
+	Probe obs.Snapshot `json:"probe"`
+}
+
+// JobProgress is the JSON form of GET /jobs/{id}/progress: a point-in-time
+// view of a job mid-flight, assembled from the per-seed probes the engines
+// publish into at their existing boundaries. Steps and InteractionsSec sum
+// the per-seed views; Seeds carries the full breakdown (backend tier, batch
+// stats, checkpoint age, worker barrier waits) per seed that has started
+// simulating.
+type JobProgress struct {
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	Runs      int      `json:"runs"`
+	Completed int      `json:"completed"`
+	// Steps is the total interactions applied across seed runs so far
+	// (live runs included — it grows while the job runs).
+	Steps int64 `json:"steps"`
+	// InteractionsSec sums the per-seed windowed (EWMA) rates; ~0 for
+	// idle/terminal jobs.
+	InteractionsSec float64        `json:"interactions_per_sec"`
+	Seeds           []SeedProgress `json:"seeds,omitempty"`
+	ElapsedSec      float64        `json:"elapsed_sec"`
+}
+
+// Progress snapshots the job's live progress. Safe to call at scrape cadence
+// while seed runs execute: probes are read with atomic loads on the caller's
+// clock, never blocking the simulation hot loops.
+func (j *Job) Progress() JobProgress {
+	j.mu.Lock()
+	pr := JobProgress{
+		ID:        j.ID,
+		State:     j.state,
+		Runs:      j.Spec.Runs,
+		Completed: len(j.lines),
+	}
+	seeds := make([]int64, 0, len(j.probes))
+	probes := make([]*obs.RunProbe, 0, len(j.probes))
+	for s := range j.probes {
+		seeds = append(seeds, s)
+	}
+	sort.Slice(seeds, func(a, b int) bool { return seeds[a] < seeds[b] })
+	for _, s := range seeds {
+		probes = append(probes, j.probes[s])
+	}
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	pr.ElapsedSec = end.Sub(j.created).Seconds()
+	j.mu.Unlock()
+	// Snapshot outside j.mu: each probe serializes its own EWMA window.
+	for i, p := range probes {
+		snap := p.Snapshot()
+		pr.Steps += snap.Steps
+		pr.InteractionsSec += snap.InteractionsSec
+		pr.Seeds = append(pr.Seeds, SeedProgress{Seed: seeds[i], Probe: snap})
+	}
+	return pr
+}
+
 func (j *Job) setState(s JobState, errMsg string, cancel context.CancelFunc) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -219,6 +304,9 @@ type Options struct {
 	CheckpointEvery int
 	// SeedWorkers bounds each job's per-seed fan-out (0 = GOMAXPROCS).
 	SeedWorkers int
+	// Logger receives structured job-lifecycle events (submit, start,
+	// done/failed/interrupted, resume, drain). nil discards them.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -236,6 +324,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckpointEvery <= 0 {
 		o.CheckpointEvery = 1 << 20
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
 	}
 	return o
 }
@@ -304,6 +395,7 @@ func (m *Manager) Submit(spec *Spec) (*Job, error) {
 		state:       JobQueued,
 		doneSeeds:   make(map[int64]bool),
 		checkpoints: make(map[int64]*popsim.CountCheckpoint),
+		probes:      make(map[int64]*obs.RunProbe),
 		notify:      make(chan struct{}),
 		created:     time.Now(),
 	}
@@ -312,10 +404,15 @@ func (m *Manager) Submit(spec *Spec) (*Job, error) {
 		m.jobs[job.ID] = job
 		m.metrics.JobsSubmitted.Add(1)
 		m.metrics.QueueDepth.Add(1)
+		m.opts.Logger.Info("job submitted", "job", job.ID,
+			"protocol", spec.Protocol, "n", spec.N, "runs", spec.Runs,
+			"backend", spec.Backend)
 		return job, nil
 	default:
 		m.seq--
 		m.metrics.JobsRejected.Add(1)
+		m.opts.Logger.Warn("job rejected", "reason", "queue full",
+			"protocol", spec.Protocol, "n", spec.N)
 		return nil, ErrQueueFull
 	}
 }
@@ -356,6 +453,7 @@ func (m *Manager) Resume(id string) (*Job, error) {
 	select {
 	case m.queue <- job:
 		m.metrics.QueueDepth.Add(1)
+		m.opts.Logger.Info("job resumed", "job", job.ID)
 		return job, nil
 	default:
 		job.setState(JobInterrupted, "", nil)
@@ -379,6 +477,9 @@ func (m *Manager) Drain(ctx context.Context) error {
 		close(m.queue)
 	}
 	m.mu.Unlock()
+	if !already {
+		m.opts.Logger.Info("draining", "jobs", len(active))
+	}
 	for _, j := range active {
 		j.Cancel()
 	}
@@ -398,19 +499,41 @@ func (m *Manager) Drain(ctx context.Context) error {
 // Close drains with no deadline (tests; prefer Drain with a ctx in servers).
 func (m *Manager) Close() { _ = m.Drain(context.Background()) }
 
-func (m *Manager) isDraining() bool {
+// Draining reports whether Drain has begun — the readiness signal behind
+// GET /readyz (a draining server still answers /healthz OK: the process is
+// live, it just must not receive new work).
+func (m *Manager) Draining() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.draining
 }
 
+// runningJobs lists the currently running jobs, ID-sorted — the per-job
+// gauge set of the Prometheus exposition.
+func (m *Manager) runningJobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*Job
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		running := j.state == JobRunning
+		j.mu.Unlock()
+		if running {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
 // runJob executes one job on a worker.
 func (m *Manager) runJob(job *Job) {
 	m.metrics.QueueDepth.Add(-1)
-	if m.isDraining() {
+	if m.Draining() {
 		// Never started: fully resumable, nothing to checkpoint.
 		job.setState(JobInterrupted, "server draining", nil)
 		m.metrics.JobsInterrupted.Add(1)
+		m.opts.Logger.Info("job interrupted", "job", job.ID, "reason", "server draining")
 		return
 	}
 	var ctx context.Context
@@ -424,6 +547,8 @@ func (m *Manager) runJob(job *Job) {
 	job.setState(JobRunning, "", cancel)
 	m.metrics.Running.Add(1)
 	defer m.metrics.Running.Add(-1)
+	m.opts.Logger.Info("job started", "job", job.ID, "runs", job.Spec.Runs)
+	start := time.Now()
 
 	results := par.Ensemble(ctx, job.Spec.Seeds(), m.opts.SeedWorkers, func(ctx context.Context, seed int64) (struct{}, error) {
 		return struct{}{}, m.runSeed(ctx, job, seed)
@@ -439,10 +564,12 @@ func (m *Manager) runJob(job *Job) {
 			firstErr = fmt.Errorf("seed %d: %w", r.Seed, r.Err)
 		}
 	}
+	elapsed := time.Since(start)
 	switch {
 	case firstErr != nil:
 		job.setState(JobFailed, firstErr.Error(), nil)
 		m.metrics.JobsFailed.Add(1)
+		m.opts.Logger.Error("job failed", "job", job.ID, "err", firstErr, "elapsed", elapsed)
 	case interrupted:
 		msg := "interrupted"
 		if ctx.Err() == context.DeadlineExceeded {
@@ -450,9 +577,11 @@ func (m *Manager) runJob(job *Job) {
 		}
 		job.setState(JobInterrupted, msg, nil)
 		m.metrics.JobsInterrupted.Add(1)
+		m.opts.Logger.Info("job interrupted", "job", job.ID, "reason", msg, "elapsed", elapsed)
 	default:
 		job.setState(JobDone, "", nil)
 		m.metrics.JobsDone.Add(1)
+		m.opts.Logger.Info("job done", "job", job.ID, "elapsed", elapsed)
 	}
 }
 
@@ -492,18 +621,10 @@ func (m *Manager) simulateSeed(ctx context.Context, job *Job, seed int64) (repor
 	if err != nil {
 		return report.Line{}, err
 	}
-	// Auto picks the O(|Q|) counts backend only on the complete topology —
-	// on a graph the quenched vector engine is the faithful execution
-	// (mirroring popsim.RunUntilCounts). An explicit counts backend means
-	// the caller accepted the annealed contract (Normalize has already
-	// checked the topology is vertex-transitive).
-	useCounts := spec.Backend == BackendCounts ||
-		(spec.Backend == BackendAuto && spec.OmissionRate == 0 &&
-			spec.N >= popsim.DefaultCountsBackendN && spec.TopologyValue().IsComplete())
-	if useCounts {
+	if spec.UseCountsBackend() {
 		return m.runCountsSeed(ctx, job, seed, sys, w)
 	}
-	return m.runVectorSeed(ctx, spec, seed, sys, w)
+	return m.runVectorSeed(ctx, job, seed, sys, w)
 }
 
 func (m *Manager) runCountsSeed(ctx context.Context, job *Job, seed int64, sys *popsim.System, w Workload) (report.Line, error) {
@@ -518,6 +639,7 @@ func (m *Manager) runCountsSeed(ctx context.Context, job *Job, seed int64, sys *
 	if err != nil {
 		return report.Line{}, err
 	}
+	cj.SetProbe(job.probeFor(seed))
 	pred := w.CountsDone(spec.N)
 	start := cj.Steps()
 	hit, converged := 0, false
@@ -558,7 +680,9 @@ func (m *Manager) runCountsSeed(ctx context.Context, job *Job, seed int64, sys *
 	return m.resultLine(spec, seed, BackendCounts, steps, converged, cj.SimEvents()), nil
 }
 
-func (m *Manager) runVectorSeed(ctx context.Context, spec *Spec, seed int64, sys *popsim.System, w Workload) (report.Line, error) {
+func (m *Manager) runVectorSeed(ctx context.Context, job *Job, seed int64, sys *popsim.System, w Workload) (report.Line, error) {
+	spec := job.Spec
+	sys.SetProbe(job.probeFor(seed))
 	pred := w.Done(spec.N)
 	const every = 64
 	quantum := 16 * every

@@ -2,8 +2,11 @@ package serve
 
 import (
 	"encoding/json"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"popsim/internal/obs"
 )
 
 // Metrics is the server's counter set, exported by GET /metrics as one JSON
@@ -32,6 +35,12 @@ type Metrics struct {
 	Interactions atomic.Int64
 
 	start time.Time
+
+	// rate is the windowed interactions/sec estimator, fed by Snapshot on
+	// the scraper's clock. obs.Rate is not concurrent-safe; rateMu
+	// serializes concurrent scrapes.
+	rateMu sync.Mutex
+	rate   obs.Rate
 }
 
 // MetricsSnapshot is the JSON form of /metrics.
@@ -47,8 +56,16 @@ type MetricsSnapshot struct {
 	CacheMisses     int64   `json:"cache_misses"`
 	CacheHitRate    float64 `json:"cache_hit_rate"`
 	Interactions    int64   `json:"interactions"`
+	// InteractionsSec is the windowed (EWMA) simulation rate, measured
+	// between successive scrapes — it tracks current throughput and decays
+	// toward 0 within seconds of the server going idle.
 	InteractionsSec float64 `json:"interactions_per_sec"`
-	UptimeSec       float64 `json:"uptime_sec"`
+	// InteractionsSecLifetime is the historical mean (interactions/uptime)
+	// the field above used to report; kept because a lifetime mean answers
+	// "how much work has this server done" where the window answers "how
+	// fast is it going right now".
+	InteractionsSecLifetime float64 `json:"interactions_per_sec_lifetime"`
+	UptimeSec               float64 `json:"uptime_sec"`
 }
 
 // NewMetrics starts a counter set; uptime and interactions/sec are measured
@@ -78,8 +95,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		s.CacheHitRate = float64(hits) / float64(total)
 	}
 	if up > 0 {
-		s.InteractionsSec = float64(s.Interactions) / up
+		s.InteractionsSecLifetime = float64(s.Interactions) / up
 	}
+	m.rateMu.Lock()
+	s.InteractionsSec = m.rate.Observe(s.Interactions)
+	m.rateMu.Unlock()
 	return s
 }
 

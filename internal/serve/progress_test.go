@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestHTTP(t *testing.T, h http.Handler) string {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestProgressEndpoint runs a counts-batch job and asserts the live progress
+// view carries the batch tier's instrumentation: backend name, steps behind
+// the engine's publish boundary, batch-run stats.
+func TestProgressEndpoint(t *testing.T) {
+	srv, _ := testServer(t, Options{Workers: 1, QueueCap: 4, DisableCache: true})
+	spec := `{"protocol":"majority","n":300000,"backend":"counts","batch":"on","seed":3}`
+	st := decodeStatus(t, postJSON(t, srv.URL+"/jobs", spec))
+	final := pollDone(t, srv.URL, st.ID, 60*time.Second)
+	if final.State != JobDone {
+		t.Fatalf("final: %+v", final)
+	}
+	var pr JobProgress
+	if code := getJSON(t, srv.URL+"/jobs/"+st.ID+"/progress", &pr); code != http.StatusOK {
+		t.Fatalf("progress status %d", code)
+	}
+	if pr.ID != st.ID || pr.State != JobDone || pr.Completed != 1 {
+		t.Fatalf("progress header: %+v", pr)
+	}
+	if len(pr.Seeds) != 1 || pr.Seeds[0].Seed != 3 {
+		t.Fatalf("progress seeds: %+v", pr.Seeds)
+	}
+	probe := pr.Seeds[0].Probe
+	if probe.Backend != "counts-batch" {
+		t.Fatalf("probe backend %q, want counts-batch", probe.Backend)
+	}
+	if probe.Steps <= 0 || pr.Steps != probe.Steps {
+		t.Fatalf("steps: job %d, probe %d", pr.Steps, probe.Steps)
+	}
+	if probe.BatchRuns <= 0 || probe.BatchMeanRunLen <= 1 {
+		t.Fatalf("batch stats not published: %+v", probe)
+	}
+}
+
+// TestProgressConcurrentScrape hammers /metrics (both content types),
+// /jobs/{id}/progress and the status endpoint from parallel scrapers while a
+// counts job runs — the race detector proves scrapes never tear the engine's
+// publish path.
+func TestProgressConcurrentScrape(t *testing.T) {
+	srv, _ := testServer(t, Options{Workers: 2, QueueCap: 8, DisableCache: true})
+	spec := `{"protocol":"majority","n":200000,"backend":"counts","batch":"on","runs":2,"seed":11}`
+	st := decodeStatus(t, postJSON(t, srv.URL+"/jobs", spec))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	scrape := func(fn func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					fn()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		scrape(func() { getJSON(t, srv.URL+"/jobs/"+st.ID+"/progress", nil) })
+		scrape(func() { getJSON(t, srv.URL+"/metrics", nil) })
+		scrape(func() {
+			req, _ := http.NewRequest("GET", srv.URL+"/metrics", nil)
+			req.Header.Set("Accept", "text/plain")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		})
+	}
+	final := pollDone(t, srv.URL, st.ID, 120*time.Second)
+	close(stop)
+	wg.Wait()
+	// Margin-1 majority may settle on either letter; what matters here is
+	// that both seed runs completed under scrape pressure.
+	if final.State != JobDone || final.Completed != 2 {
+		t.Fatalf("final: %+v", final)
+	}
+}
+
+// TestPrometheusExposition pins the metric names and types of the text
+// exposition — dashboards depend on them — and checks content negotiation
+// leaves the JSON form untouched.
+func TestPrometheusExposition(t *testing.T) {
+	srv, m := testServer(t, Options{Workers: 1})
+	st := decodeStatus(t, postJSON(t, srv.URL+"/jobs", `{"protocol":"or","n":4096,"seed":2}`))
+	pollDone(t, srv.URL, st.ID, 60*time.Second)
+
+	req, _ := http.NewRequest("GET", srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != promContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE popsimd_queue_depth gauge",
+		"# TYPE popsimd_running_jobs gauge",
+		"# TYPE popsimd_jobs_submitted_total counter",
+		"# TYPE popsimd_jobs_rejected_total counter",
+		"# TYPE popsimd_jobs_done_total counter",
+		"# TYPE popsimd_jobs_failed_total counter",
+		"# TYPE popsimd_jobs_interrupted_total counter",
+		"# TYPE popsimd_cache_hits_total counter",
+		"# TYPE popsimd_cache_misses_total counter",
+		"# TYPE popsimd_interactions_total counter",
+		"# TYPE popsimd_interactions_per_sec gauge",
+		"# TYPE popsimd_uptime_seconds gauge",
+		"# TYPE popsimd_job_steps gauge",
+		"# TYPE popsimd_job_interactions_per_sec gauge",
+		"# TYPE popsimd_job_seeds_completed gauge",
+		"popsimd_jobs_done_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Sample lines match the exposition grammar: name[{labels}] value.
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "popsimd_") || len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+
+	// Default (no text/plain in Accept) stays the historical JSON form,
+	// with both rate fields present.
+	var snap map[string]json.RawMessage
+	if code := getJSON(t, srv.URL+"/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("json metrics status %d", code)
+	}
+	for _, k := range []string{"interactions_per_sec", "interactions_per_sec_lifetime", "queue_depth", "uptime_sec"} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("json metrics missing %q", k)
+		}
+	}
+	_ = m
+}
+
+// TestMetricsWindowedRate proves the /metrics rate is windowed, not
+// lifetime: after work completes and the window passes idle, the EWMA
+// reads (near) zero while the lifetime mean stays positive.
+func TestMetricsWindowedRate(t *testing.T) {
+	m := NewManager(Options{Workers: 1})
+	defer m.Close()
+	m.metrics.Snapshot() // open the rate window
+	m.metrics.Interactions.Add(5_000_000)
+	time.Sleep(20 * time.Millisecond)
+	s := m.metrics.Snapshot()
+	if s.InteractionsSec <= 0 {
+		t.Fatalf("windowed rate after burst = %g, want > 0", s.InteractionsSec)
+	}
+	burst := s.InteractionsSec
+	// Idle: successive observations of an unchanged counter decay the EWMA.
+	for i := 0; i < 6; i++ {
+		time.Sleep(15 * time.Millisecond)
+		s = m.metrics.Snapshot()
+	}
+	if s.InteractionsSec >= burst {
+		t.Fatalf("idle rate %g did not decay below burst rate %g", s.InteractionsSec, burst)
+	}
+	if s.InteractionsSecLifetime <= 0 {
+		t.Fatalf("lifetime rate = %g, want > 0", s.InteractionsSecLifetime)
+	}
+}
+
+// TestProgressDeterministicTerminal runs the same spec twice (cache off) and
+// compares the terminal probe totals through the HTTP surface — live
+// instrumentation must not perturb the run, and same seed means same
+// terminal counters.
+func TestProgressDeterministicTerminal(t *testing.T) {
+	run := func() JobProgress {
+		srv, _ := testServer(t, Options{Workers: 1, DisableCache: true})
+		st := decodeStatus(t, postJSON(t, srv.URL+"/jobs",
+			`{"protocol":"majority","n":150000,"backend":"counts","batch":"on","seed":21}`))
+		if final := pollDone(t, srv.URL, st.ID, 60*time.Second); final.State != JobDone {
+			t.Fatalf("final: %+v", final)
+		}
+		var pr JobProgress
+		getJSON(t, srv.URL+"/jobs/"+st.ID+"/progress", &pr)
+		return pr
+	}
+	a, b := run(), run()
+	if a.Steps != b.Steps {
+		t.Fatalf("terminal steps diverge: %d vs %d", a.Steps, b.Steps)
+	}
+	pa, pb := a.Seeds[0].Probe, b.Seeds[0].Probe
+	if pa.BatchRuns != pb.BatchRuns || pa.BatchCollisions != pb.BatchCollisions ||
+		pa.BatchMeanRunLen != pb.BatchMeanRunLen || pa.States != pb.States {
+		t.Fatalf("terminal probes diverge:\n%+v\n%+v", pa, pb)
+	}
+}
+
+// TestReadyzDrain: readiness is distinct from liveness — both OK while
+// serving, readiness 503 once drain begins while liveness stays OK.
+func TestReadyzDrain(t *testing.T) {
+	srv, m := testServer(t, Options{Workers: 1})
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/readyz", nil); code != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", code)
+	}
+	if err := m.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]string
+	if code := getJSON(t, srv.URL+"/readyz", &body); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d", code)
+	}
+	if body["status"] != "draining" {
+		t.Fatalf("readyz body: %v", body)
+	}
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz during drain: %d", code)
+	}
+}
+
+// TestStreamProgressFrames follows the live stream of a running job and
+// asserts progress frames ({"progress": …}) interleave with result lines,
+// distinguishable by their top-level key.
+func TestStreamProgressFrames(t *testing.T) {
+	m := NewManager(Options{Workers: 1, DisableCache: true})
+	t.Cleanup(m.Close)
+	hs := NewServer(m)
+	hs.ProgressInterval = 5 * time.Millisecond
+	srv := newTestHTTP(t, hs)
+
+	st := decodeStatus(t, postJSON(t, srv+"/jobs",
+		`{"protocol":"majority","n":400000,"backend":"counts","batch":"on","runs":2,"seed":5}`))
+	resp, err := http.Get(srv + "/jobs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	frames, results := 0, 0
+	var lastSteps int64 = -1
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if !bytes.Contains(sc.Bytes(), []byte(`"progress"`)) {
+			results++
+			continue
+		}
+		var f progressFrame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("progress frame %q: %v", sc.Text(), err)
+		}
+		// Steps never move backwards across frames (each seed's probe is
+		// monotone; the sum only grows as seeds progress).
+		if f.Progress.Steps < lastSteps {
+			t.Fatalf("progress steps moved backwards: %d after %d", f.Progress.Steps, lastSteps)
+		}
+		lastSteps = f.Progress.Steps
+		frames++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if results != 2 {
+		t.Fatalf("stream carried %d result lines, want 2", results)
+	}
+	if frames == 0 {
+		t.Fatal("stream carried no progress frames")
+	}
+}
+
+// TestManagerLogsLifecycle captures the structured log and asserts the
+// submit/start/done events carry the job ID.
+func TestManagerLogsLifecycle(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewJSONHandler(&lockedWriter{w: &buf, mu: &mu}, nil))
+	m := NewManager(Options{Workers: 1, Logger: logger})
+	spec, err := ParseSpec([]byte(`{"protocol":"or","n":2048,"seed":9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the job to finish before draining: Drain cancels running
+	// jobs, and this test wants the "job done" event.
+	deadline := time.Now().Add(30 * time.Second)
+	for !job.Status().State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job not terminal: %+v", job.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	m.Close()
+	mu.Lock()
+	logged := buf.String()
+	mu.Unlock()
+	for _, want := range []string{`"msg":"job submitted"`, `"msg":"job started"`, `"msg":"job done"`, fmt.Sprintf(`"job":%q`, job.ID)} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("log missing %s in:\n%s", want, logged)
+		}
+	}
+}
+
+type lockedWriter struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

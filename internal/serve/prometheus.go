@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for GET /metrics: the same
+// counter set as the JSON form plus per-job progress gauges for running
+// jobs, rendered when the scraper asks for text/plain via Accept. Metric
+// names are pinned by TestPrometheusExposition — renaming one is a breaking
+// change for downstream dashboards.
+
+// promContentType is the Content-Type of the text exposition.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promMetric is one exposition family: name, type, help, and a render
+// function emitting its sample lines.
+type promMetric struct {
+	name, kind, help string
+	render           func(w io.Writer, name string)
+}
+
+func promGauge(v float64) func(io.Writer, string) {
+	return func(w io.Writer, name string) { fmt.Fprintf(w, "%s %g\n", name, v) }
+}
+
+func promCounter(v int64) func(io.Writer, string) {
+	return func(w io.Writer, name string) { fmt.Fprintf(w, "%s %d\n", name, v) }
+}
+
+// promLabel escapes a label value per the exposition format.
+var promLabel = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// WritePrometheus renders the manager's metrics and the running jobs'
+// progress in the Prometheus text exposition format.
+func (m *Manager) WritePrometheus(w io.Writer) {
+	s := m.metrics.Snapshot()
+	metrics := []promMetric{
+		{"popsimd_queue_depth", "gauge", "Queued-not-yet-running jobs.", promGauge(float64(s.QueueDepth))},
+		{"popsimd_running_jobs", "gauge", "Currently running jobs.", promGauge(float64(s.Running))},
+		{"popsimd_jobs_submitted_total", "counter", "Accepted job submissions.", promCounter(s.JobsSubmitted)},
+		{"popsimd_jobs_rejected_total", "counter", "Submissions bounced with backpressure.", promCounter(s.JobsRejected)},
+		{"popsimd_jobs_done_total", "counter", "Jobs completed.", promCounter(s.JobsDone)},
+		{"popsimd_jobs_failed_total", "counter", "Jobs failed.", promCounter(s.JobsFailed)},
+		{"popsimd_jobs_interrupted_total", "counter", "Jobs interrupted (drain/cancel/timeout).", promCounter(s.JobsInterrupted)},
+		{"popsimd_cache_hits_total", "counter", "Result-cache hits (per seed run).", promCounter(s.CacheHits)},
+		{"popsimd_cache_misses_total", "counter", "Result-cache misses (per seed run).", promCounter(s.CacheMisses)},
+		{"popsimd_interactions_total", "counter", "Simulated interactions applied by completed seed runs.", promCounter(s.Interactions)},
+		{"popsimd_interactions_per_sec", "gauge", "Windowed (EWMA) simulation rate across completed seed runs.", promGauge(s.InteractionsSec)},
+		{"popsimd_uptime_seconds", "gauge", "Seconds since the manager started.", promGauge(s.UptimeSec)},
+	}
+	for _, mt := range metrics {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", mt.name, mt.help, mt.name, mt.kind)
+		mt.render(w, mt.name)
+	}
+
+	// Per-job gauges for running jobs, fed by the live engine probes. Job
+	// IDs are bounded in number (running ≤ Workers) so cardinality stays
+	// small; terminal jobs drop out of the scrape.
+	jobs := m.runningJobs()
+	type jobGauge struct {
+		name, help string
+		value      func(JobProgress) float64
+	}
+	gauges := []jobGauge{
+		{"popsimd_job_steps", "Interactions applied so far by a running job (all seed runs).",
+			func(p JobProgress) float64 { return float64(p.Steps) }},
+		{"popsimd_job_interactions_per_sec", "Windowed (EWMA) simulation rate of a running job.",
+			func(p JobProgress) float64 { return p.InteractionsSec }},
+		{"popsimd_job_seeds_completed", "Seed runs completed by a running job.",
+			func(p JobProgress) float64 { return float64(p.Completed) }},
+	}
+	progress := make([]JobProgress, len(jobs))
+	for i, j := range jobs {
+		progress[i] = j.Progress()
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
+		for _, p := range progress {
+			fmt.Fprintf(w, "%s{job=\"%s\"} %g\n", g.name, promLabel.Replace(p.ID), g.value(p))
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
+	"time"
 
 	"popsim/internal/report"
 )
@@ -15,32 +17,52 @@ const maxSpecBytes = 1 << 20
 
 // Server is the HTTP face of a Manager:
 //
-//	POST /jobs              submit a scenario spec (JSON); 202 + job handle,
-//	                        or 429 + Retry-After under backpressure
-//	GET  /jobs/{id}         job status
-//	GET  /jobs/{id}/stream  per-seed results as JSON lines (replay + live),
-//	                        the same pinned schema as `experiments -json`
-//	POST /jobs/{id}/resume  re-enqueue an interrupted job
-//	POST /jobs/{id}/cancel  interrupt a running job (checkpoints park)
-//	GET  /healthz           liveness
-//	GET  /metrics           counters (queue depth, running jobs, cache hit
-//	                        rate, interactions/sec)
+//	POST /jobs                submit a scenario spec (JSON); 202 + job
+//	                          handle, or 429 + Retry-After under backpressure
+//	GET  /jobs/{id}           job status
+//	GET  /jobs/{id}/progress  live run progress: per-seed probe snapshots
+//	                          (steps, windowed interactions/sec, backend
+//	                          tier, batch stats, checkpoint age, worker
+//	                          barrier waits, degrade events)
+//	GET  /jobs/{id}/stream    per-seed results as JSON lines (replay +
+//	                          live), the same pinned schema as
+//	                          `experiments -json`; while the job runs,
+//	                          progress frames ({"progress": …}) interleave
+//	                          at ProgressInterval
+//	POST /jobs/{id}/resume    re-enqueue an interrupted job
+//	POST /jobs/{id}/cancel    interrupt a running job (checkpoints park)
+//	GET  /healthz             liveness (always 200 while the process runs)
+//	GET  /readyz              readiness: 503 once draining has begun
+//	GET  /metrics             counters (queue depth, running jobs, cache hit
+//	                          rate, interactions/sec); Prometheus text
+//	                          exposition when Accept includes text/plain,
+//	                          JSON otherwise
 type Server struct {
 	manager *Manager
 	mux     *http.ServeMux
 	// RetryAfterSec is the Retry-After hint on 429 responses (default 1).
 	RetryAfterSec int
+	// ProgressInterval is the cadence of progress frames on
+	// /jobs/{id}/stream while the job is non-terminal (default 500ms).
+	ProgressInterval time.Duration
 }
 
 // NewServer wraps a manager.
 func NewServer(m *Manager) *Server {
-	s := &Server{manager: m, mux: http.NewServeMux(), RetryAfterSec: 1}
+	s := &Server{
+		manager:          m,
+		mux:              http.NewServeMux(),
+		RetryAfterSec:    1,
+		ProgressInterval: 500 * time.Millisecond,
+	}
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/progress", s.handleProgress)
 	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("POST /jobs/{id}/resume", s.handleResume)
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -103,9 +125,27 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleProgress serves a point-in-time view of a job's live run progress,
+// assembled from the per-seed probes on the scraper's clock — safe to poll
+// at any cadence while the job runs.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, job.Progress())
+	}
+}
+
+// progressFrame wraps a JobProgress for the stream: result lines never carry
+// a top-level "progress" key, so clients that follow live distinguish the
+// two shapes on that key alone (replay-after-terminal clients never see a
+// frame — progress only interleaves while the job runs).
+type progressFrame struct {
+	Progress JobProgress `json:"progress"`
+}
+
 // handleStream replays the job's completed seed-run lines and follows live
 // until the job is terminal or the client goes away. One report.Line per
-// line — byte-compatible with `experiments -json`.
+// line — byte-compatible with `experiments -json` — with progress frames
+// interleaved at ProgressInterval while the job is non-terminal.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.job(w, r)
 	if !ok {
@@ -114,6 +154,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	interval := s.ProgressInterval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
 	sent := 0
 	for {
 		watch := job.Watch()
@@ -137,6 +183,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-watch:
+		case <-ticker.C:
+			buf, err := json.Marshal(progressFrame{Progress: job.Progress()})
+			if err != nil {
+				return
+			}
+			if _, err := w.Write(append(buf, '\n')); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
 	}
 }
@@ -174,6 +231,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleReadyz is the load-balancer signal distinct from liveness: a
+// draining server is alive (checkpointing its jobs) but must receive no new
+// work, so readiness flips to 503 the moment Drain begins.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.manager.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves the counter set: Prometheus text exposition when the
+// scraper asks for it via Accept (Prometheus sends text/plain with a version
+// parameter), the historical JSON form otherwise.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", promContentType)
+		w.WriteHeader(http.StatusOK)
+		s.manager.WritePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.manager.Metrics().Snapshot())
 }

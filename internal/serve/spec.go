@@ -175,6 +175,20 @@ func (s *Spec) Normalize() error {
 	return nil
 }
 
+// UseCountsBackend reports whether the manager runs this spec's seeds on the
+// O(|Q|) counts backend: an explicit counts backend (the caller accepted the
+// annealed contract; Normalize checked the topology is vertex-transitive), or
+// auto at counts scale on the complete topology with no adversary — on a
+// graph the quenched vector engine is the faithful execution, mirroring
+// popsim.RunUntilCounts. Call after Normalize; Build uses the same predicate
+// to decide whether a counts-native initial configuration (no O(n) agent
+// vector) can stand in for the materialized one.
+func (s *Spec) UseCountsBackend() bool {
+	return s.Backend == BackendCounts ||
+		(s.Backend == BackendAuto && s.OmissionRate == 0 &&
+			s.N >= popsim.DefaultCountsBackendN && s.TopologyValue().IsComplete())
+}
+
 // BatchValue returns the spec's batch tier as the facade's BatchMode. Call
 // after Normalize.
 func (s *Spec) BatchValue() popsim.BatchMode {
@@ -259,11 +273,22 @@ func (s *Spec) Build(seed int64) (popsim.SystemSpec, Workload, error) {
 	}
 	spec := popsim.SystemSpec{
 		Model:         kind,
-		Initial:       w.Config(s.N),
 		Seed:          seed,
 		Topology:      topo,
 		MaxFastStates: s.MaxStates,
 		CountBatch:    s.BatchValue(),
+	}
+	if s.Sim == "" && w.CountsConfig != nil && s.UseCountsBackend() {
+		// Counts-native construction: the run executes on the counts
+		// backend, so never materialize the O(n) agent vector — at the batch
+		// tier's 10⁸–10⁹ operating range it wouldn't fit. CountsConfig cells
+		// are in Config's first-occurrence order, so the interner assigns
+		// identical dense IDs and the run is bit-identical to one built from
+		// the materialized configuration. Simulator runs keep Initial: their
+		// wrapped configurations are position-dependent.
+		spec.InitialCounts = w.CountsConfig(s.N)
+	} else {
+		spec.Initial = w.Config(s.N)
 	}
 	switch s.Sim {
 	case "":

@@ -28,10 +28,32 @@ type Workload struct {
 	Proto pp.TwoWay
 	// Config builds the standard initial configuration for n agents.
 	Config func(n int) pp.Configuration
+	// CountsConfig builds the same initial configuration in counts-native
+	// form — O(|Q|) cells instead of an O(n) agent vector — for runs the
+	// manager executes on the counts backend (populations at the batch
+	// tier's 10⁸–10⁹ range never materialize per-agent state). Cells MUST
+	// appear in Config's first-occurrence order: the interner assigns dense
+	// IDs in encounter order, and matching order is what keeps counts-native
+	// runs bit-identical to ones built from the materialized configuration.
+	// nil means no counts-native form; Build falls back to Config.
+	CountsConfig func(n int) []popsim.CountedState
 	// Done builds the O(n) agent-vector convergence predicate.
 	Done func(n int) func(pp.Configuration) bool
 	// CountsDone builds the O(|Q|) counts-view convergence predicate.
 	CountsDone func(n int) func(*popsim.StateCounts) bool
+}
+
+// countCells drops empty cells: a zero-count state must not reach the
+// interner (the materialized Config never encounters it, and interning order
+// is run identity).
+func countCells(cells ...popsim.CountedState) []popsim.CountedState {
+	out := cells[:0]
+	for _, c := range cells {
+		if c.Count > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // WorkloadByName resolves a registered workload.
@@ -43,6 +65,12 @@ func WorkloadByName(name string) (Workload, error) {
 			Proto: protocols.Pairing{},
 			Config: func(n int) pp.Configuration {
 				return protocols.PairingConfig((n+1)/2, n/2)
+			},
+			CountsConfig: func(n int) []popsim.CountedState {
+				return countCells(
+					popsim.CountedState{State: protocols.Consumer, Count: int64((n + 1) / 2)},
+					popsim.CountedState{State: protocols.Producer, Count: int64(n / 2)},
+				)
 			},
 			Done: func(n int) func(pp.Configuration) bool {
 				c, p := (n+1)/2, n/2
@@ -60,6 +88,12 @@ func WorkloadByName(name string) (Workload, error) {
 			Config: func(n int) pp.Configuration {
 				return protocols.MajorityConfig(n/2+1, n-n/2-1)
 			},
+			CountsConfig: func(n int) []popsim.CountedState {
+				return countCells(
+					popsim.CountedState{State: protocols.StrongA, Count: int64(n/2 + 1)},
+					popsim.CountedState{State: protocols.StrongB, Count: int64(n - n/2 - 1)},
+				)
+			},
 			Done: func(n int) func(pp.Configuration) bool {
 				return func(cf pp.Configuration) bool { return protocols.MajorityConverged(cf, "A") }
 			},
@@ -74,7 +108,10 @@ func WorkloadByName(name string) (Workload, error) {
 			Name:   name,
 			Proto:  protocols.LeaderElection{},
 			Config: protocols.LeaderConfig,
-			Done:   func(n int) func(pp.Configuration) bool { return protocols.LeaderElected },
+			CountsConfig: func(n int) []popsim.CountedState {
+				return countCells(popsim.CountedState{State: protocols.Leader, Count: int64(n)})
+			},
+			Done: func(n int) func(pp.Configuration) bool { return protocols.LeaderElected },
 			CountsDone: func(n int) func(*popsim.StateCounts) bool {
 				return func(sc *popsim.StateCounts) bool { return sc.Count(protocols.Leader) == 1 }
 			},
@@ -85,6 +122,14 @@ func WorkloadByName(name string) (Workload, error) {
 			Proto: protocols.Modulo{M: 2},
 			Config: func(n int) pp.Configuration {
 				return protocols.ModuloConfig(n, n/2+1)
+			},
+			CountsConfig: func(n int) []popsim.CountedState {
+				ones := n/2 + 1
+				// ModuloConfig fills residue-1 tokens first, then residue 0.
+				return countCells(
+					popsim.CountedState{State: protocols.ModuloState{Value: 1, Active: true}, Count: int64(ones)},
+					popsim.CountedState{State: protocols.ModuloState{Value: 0, Active: true}, Count: int64(n - ones)},
+				)
 			},
 			Done: func(n int) func(pp.Configuration) bool {
 				want := (n/2 + 1) % 2
@@ -117,7 +162,10 @@ func WorkloadByName(name string) (Workload, error) {
 			Name:   name,
 			Proto:  protocols.WalkLeader{},
 			Config: protocols.LeaderConfig,
-			Done:   func(n int) func(pp.Configuration) bool { return protocols.LeaderElected },
+			CountsConfig: func(n int) []popsim.CountedState {
+				return countCells(popsim.CountedState{State: protocols.Leader, Count: int64(n)})
+			},
+			Done: func(n int) func(pp.Configuration) bool { return protocols.LeaderElected },
 			CountsDone: func(n int) func(*popsim.StateCounts) bool {
 				return func(sc *popsim.StateCounts) bool { return sc.Count(protocols.Leader) == 1 }
 			},
@@ -128,6 +176,12 @@ func WorkloadByName(name string) (Workload, error) {
 			Proto: protocols.WalkMajority{},
 			Config: func(n int) pp.Configuration {
 				return protocols.WalkMajorityConfig(n/2+1, n-n/2-1)
+			},
+			CountsConfig: func(n int) []popsim.CountedState {
+				return countCells(
+					popsim.CountedState{State: protocols.TokenA, Count: int64(n/2 + 1)},
+					popsim.CountedState{State: protocols.TokenB, Count: int64(n - n/2 - 1)},
+				)
 			},
 			Done: func(n int) func(pp.Configuration) bool {
 				return func(cf pp.Configuration) bool { return protocols.WalkMajorityConverged(cf, "A") }
@@ -144,6 +198,14 @@ func WorkloadByName(name string) (Workload, error) {
 			Proto: protocols.Or{},
 			Config: func(n int) pp.Configuration {
 				return protocols.OrConfig(n, 1)
+			},
+			CountsConfig: func(n int) []popsim.CountedState {
+				// OrConfig seats the single One at index 0, so it interns
+				// first.
+				return countCells(
+					popsim.CountedState{State: protocols.One, Count: 1},
+					popsim.CountedState{State: protocols.Zero, Count: int64(n - 1)},
+				)
 			},
 			Done: func(n int) func(pp.Configuration) bool {
 				return func(cf pp.Configuration) bool { return protocols.OrConverged(cf, protocols.One) }

@@ -161,6 +161,9 @@ func (s *System) runShardedPred(opts ShardedOptions, onConfig func(Configuration
 		}
 		return nil, err
 	}
+	if s.probe != nil {
+		sr.SetProbe(s.probe)
+	}
 	res := &ShardedResult{}
 	if drive == nil {
 		if err := sr.RunSteps(horizon); err != nil {
@@ -197,9 +200,13 @@ func shardedDegradable(err error) bool {
 // current configuration, same seed, full horizon — and the result records
 // why.
 func (s *System) runShardedDegraded(protocol any, pred func(Configuration) bool, every, horizon int, cause error) (*ShardedResult, error) {
+	s.probe.Degrade("sharded", "batched", 0, cause.Error())
 	rec, eng, err := s.freshBatchedEngine(protocol, s.eng.Config())
 	if err != nil {
 		return nil, err
+	}
+	if s.probe != nil {
+		eng.SetProbe(s.probe)
 	}
 	res := &ShardedResult{Degraded: true, DegradedReason: cause.Error()}
 	if pred == nil {

@@ -42,6 +42,7 @@ import (
 	"popsim/internal/adversary"
 	"popsim/internal/engine"
 	"popsim/internal/model"
+	"popsim/internal/obs"
 	"popsim/internal/pp"
 	"popsim/internal/sched"
 	"popsim/internal/sim"
@@ -80,6 +81,11 @@ type (
 	Topology = model.Topology
 	// Graph is a built topology instance (CSR adjacency over the agents).
 	Graph = model.Graph
+	// RunProbe is the pull-based live-progress surface every backend
+	// publishes into at its natural boundaries; see obs.RunProbe.
+	RunProbe = obs.RunProbe
+	// ProbeSnapshot is a point-in-time read of a RunProbe.
+	ProbeSnapshot = obs.Snapshot
 )
 
 // ParseTopology parses a topology name ("complete", "cycle", "grid",
@@ -258,6 +264,33 @@ type System struct {
 	// Counts-native initial cells (InitialCounts systems only).
 	cstates []pp.State
 	ccounts pp.Counts
+
+	// probe, when armed, is handed to every engine the system drives — its
+	// own agent-vector engine and the detached count/batched engines of the
+	// RunUntilCounts family — so one probe follows the run across backend
+	// selection and degrades.
+	probe *obs.RunProbe
+}
+
+// Probe returns the system's progress probe, arming one on first call. The
+// probe follows the system's runs across backends: the agent-vector engine,
+// the detached counts engines behind RunUntilCounts (including their degrade
+// fallbacks), and hybrid runs, all publish into it at their boundary points.
+// Safe to Snapshot concurrently with a run.
+func (s *System) Probe() *obs.RunProbe {
+	if s.probe == nil {
+		s.SetProbe(obs.NewRunProbe())
+	}
+	return s.probe
+}
+
+// SetProbe attaches an existing probe; nil disarms future runs (engines
+// already driving keep the probe they were armed with).
+func (s *System) SetProbe(probe *obs.RunProbe) {
+	s.probe = probe
+	if s.eng != nil {
+		s.eng.SetProbe(probe)
+	}
 }
 
 // ErrSpec reports an invalid SystemSpec.

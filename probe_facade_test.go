@@ -1,0 +1,142 @@
+package popsim_test
+
+import (
+	"testing"
+
+	"popsim"
+	"popsim/internal/protocols"
+)
+
+// Facade probe contracts: one System probe follows runs across backend
+// selection, CountsJob exposes the engine probe across checkpoint/resume,
+// and terminal snapshots are deterministic per seed.
+
+func TestSystemProbeCountsBackend(t *testing.T) {
+	spec := countsMajoritySpec(40_000, 30_000, 3)
+	spec.CountBatch = popsim.BatchOn
+	sys, err := popsim.NewSystem(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := sys.Probe()
+	res, err := sys.RunUntilCounts(allOutput("A"), 4096, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("majority did not converge: %+v", res)
+	}
+	snap := probe.Snapshot()
+	if snap.Backend != "counts-batch" {
+		t.Fatalf("probe backend = %q, want counts-batch (result backend %q)", snap.Backend, res.Backend)
+	}
+	if snap.Steps < int64(res.Steps) {
+		t.Fatalf("probe steps %d behind hitting step %d", snap.Steps, res.Steps)
+	}
+	if snap.BatchRuns <= 0 {
+		t.Fatalf("batch stats not published: %+v", snap)
+	}
+	if len(snap.Degrades) != 0 {
+		t.Fatalf("unexpected degrade events: %+v", snap.Degrades)
+	}
+}
+
+func TestCountsJobProbeAcrossResume(t *testing.T) {
+	mk := func() *popsim.System {
+		sys, err := popsim.NewSystem(countsMajoritySpec(900, 700, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	job, err := mk().NewCountsJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := job.Probe()
+	if err := job.RunSteps(10_000); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := job.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := probe.Snapshot()
+	if snap.Steps != int64(job.Steps()) {
+		t.Fatalf("probe steps = %d, job steps = %d", snap.Steps, job.Steps())
+	}
+	if snap.CheckpointSteps != int64(ck.Steps()) {
+		t.Fatalf("probe checkpoint steps = %d, checkpoint = %d", snap.CheckpointSteps, ck.Steps())
+	}
+
+	resumed, err := mk().ResumeCountsJob(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.SetProbe(probe) // carry the same probe across the resume
+	if err := resumed.RunSteps(10_000); err != nil {
+		t.Fatal(err)
+	}
+	snap = probe.Snapshot()
+	if snap.Steps != int64(resumed.Steps()) {
+		t.Fatalf("post-resume probe steps = %d, job steps = %d", snap.Steps, resumed.Steps())
+	}
+}
+
+func TestSystemProbeDeterministicTerminal(t *testing.T) {
+	run := func() popsim.ProbeSnapshot {
+		spec := countsMajoritySpec(600, 424, 9)
+		spec.CountBatch = popsim.BatchOn
+		sys, err := popsim.NewSystem(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe := sys.Probe()
+		job, err := sys.NewCountsJob()
+		if err != nil {
+			t.Fatal(err)
+		}
+		job.SetProbe(probe)
+		if err := job.RunSteps(20_000); err != nil {
+			t.Fatal(err)
+		}
+		return probe.Snapshot()
+	}
+	a, b := run(), run()
+	if a.Steps != b.Steps || a.States != b.States ||
+		a.BatchRuns != b.BatchRuns || a.BatchCollisions != b.BatchCollisions ||
+		a.BatchMeanRunLen != b.BatchMeanRunLen {
+		t.Fatalf("same-seed terminal snapshots diverge:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSystemProbeHybrid(t *testing.T) {
+	spec := popsim.SystemSpec{
+		Model:    popsim.TW,
+		Protocol: protocols.Majority{},
+		InitialCounts: []popsim.CountedState{
+			{State: protocols.StrongA, Count: 2100},
+			{State: protocols.StrongB, Count: 1996},
+		},
+		Seed: 7,
+	}
+	sys, err := popsim.NewSystem(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := sys.Probe()
+	res, err := sys.RunHybridCounts(popsim.HybridOptions{Shards: 2}, nil, 0, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := probe.Snapshot()
+	if snap.Backend != "hybrid" {
+		t.Fatalf("probe backend = %q, want hybrid (result backend %q)", snap.Backend, res.Backend)
+	}
+	if snap.Steps != res.Steps {
+		t.Fatalf("probe steps = %d, result steps = %d", snap.Steps, res.Steps)
+	}
+	if len(snap.Workers) != 2 {
+		t.Fatalf("worker cells = %d, want 2", len(snap.Workers))
+	}
+}
